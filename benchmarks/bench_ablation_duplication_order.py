@@ -1,0 +1,50 @@
+"""E9 — ablation: duplication order sweep.
+
+Paper (Section I/II-C): duplication "can be scaled to an arbitrary order"
+but costs grow with each replica.  Sweeping N = 1..8 shows the linear cost
+growth and locates where the prototype's constant cost beats it.
+"""
+
+import pytest
+
+from repro.bench import format_table, measure, save_table
+from repro.minic import compile_source
+from repro.programs import load_source
+
+ORDERS = (1, 2, 3, 4, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    source = load_source("integer_compare")
+    rows = {}
+    for order in ORDERS:
+        program = compile_source(
+            source, scheme="duplication", duplication_order=order, cfi_policy="edge"
+        )
+        rows[order] = measure(program, "integer_compare", [41, 41])
+    proto = compile_source(source, scheme="ancode", cfi_policy="edge")
+    rows["prototype"] = measure(proto, "integer_compare", [41, 41])
+    return rows
+
+
+def test_duplication_order_scaling(benchmark, sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sizes = [sweep[o].size_bytes for o in ORDERS]
+    cycles = [sweep[o].cycles for o in ORDERS]
+    assert sizes == sorted(sizes)
+    assert cycles == sorted(cycles)
+    # The paper compares against order 6; by then the prototype is cheaper
+    # on both axes.
+    assert sweep["prototype"].size_bytes < sweep[6].size_bytes
+    assert sweep["prototype"].cycles < sweep[6].cycles
+
+    rows = [
+        [str(o), sweep[o].size_bytes, sweep[o].cycles] for o in ORDERS
+    ] + [["prototype", sweep["prototype"].size_bytes, sweep["prototype"].cycles]]
+    text = format_table(
+        "E9 — duplication order sweep vs prototype (integer compare)",
+        ["Order", "Size / B", "Runtime / c"],
+        rows,
+    )
+    save_table("ablation_duplication_order", text)

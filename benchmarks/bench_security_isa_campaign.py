@@ -1,0 +1,76 @@
+"""E6 — ISA-level attack campaign: the qualitative security comparison.
+
+Reproduces the paper's core security argument end-to-end on compiled code:
+
+* a single branch-direction flip defeats CFI-only, is trapped by
+  duplication, and trips the prototype's CFI linking;
+* *repeating* the flip at every comparison walks through the duplication
+  tree (Section II-C) but still cannot beat the prototype.
+"""
+
+import pytest
+
+from repro.bench import format_table, save_table
+from repro.faults.classify import Outcome
+from repro.faults.isa_campaign import (
+    branch_flip_sweep,
+    repeated_branch_flip,
+    skip_sweep,
+)
+from repro.minic import compile_source
+from repro.programs import load_source
+
+SCHEMES = ("none", "duplication", "ancode")
+ARGS = [7, 7]
+
+
+@pytest.fixture(scope="module")
+def programs():
+    source = load_source("integer_compare")
+    return {scheme: compile_source(source, scheme=scheme) for scheme in SCHEMES}
+
+
+def run_campaign(programs):
+    table = {}
+    for scheme in SCHEMES:
+        program = programs[scheme]
+        table[scheme] = {
+            "single-flip": branch_flip_sweep(
+                program, "integer_compare", ARGS, max_branches=1
+            ),
+            "repeated-flip": repeated_branch_flip(program, "integer_compare", ARGS),
+            "skip-sweep": skip_sweep(program, "integer_compare", ARGS),
+        }
+    return table
+
+
+def test_security_campaign(benchmark, programs):
+    table = benchmark.pedantic(run_campaign, args=(programs,), rounds=1, iterations=1)
+
+    # CFI-only: the decision is the single point of failure.
+    assert table["none"]["single-flip"].undetected_wrong == 1
+    assert table["none"]["repeated-flip"].undetected_wrong == 1
+    # Duplication: catches one flip, defeated by repetition (Section II-C).
+    assert table["duplication"]["single-flip"].outcomes.get(Outcome.DETECTED_TRAP, 0) == 1
+    assert table["duplication"]["repeated-flip"].undetected_wrong == 1
+    # Prototype: detects both, via the CFI linking (Figure 2).
+    assert table["ancode"]["single-flip"].outcomes.get(Outcome.DETECTED_CFI, 0) == 1
+    assert table["ancode"]["repeated-flip"].outcomes.get(Outcome.DETECTED_CFI, 0) == 1
+    assert table["ancode"]["repeated-flip"].undetected_wrong == 0
+    # Instruction skips must never silently change any scheme's result.
+    for scheme in SCHEMES:
+        assert table[scheme]["skip-sweep"].undetected_wrong == 0
+
+    rows = []
+    for scheme in SCHEMES:
+        for attack, result in table[scheme].items():
+            outcome_text = ", ".join(
+                f"{k.value}:{v}" for k, v in sorted(result.outcomes.items(), key=lambda e: e[0].value)
+            )
+            rows.append([scheme, attack, result.trials, outcome_text])
+    text = format_table(
+        "E6 — attack outcomes per scheme (single vs repeated branch flips, skips)",
+        ["Scheme", "Attack", "Trials", "Outcomes"],
+        rows,
+    )
+    save_table("security_isa_campaign", text)

@@ -1,0 +1,51 @@
+"""E1 — Table I: condition values for the encoded predicates.
+
+Regenerates the paper's Table I (subtraction order plus true/false symbol
+per predicate) from the parameter machinery, and checks the exact published
+values for the paper's constants.
+"""
+
+from repro.bench import format_table, save_table
+from repro.core import Predicate, ProtectionParams
+
+
+def generate_table1():
+    params = ProtectionParams.paper()
+    table = params.symbols
+    rows = []
+    order = [Predicate.GT, Predicate.GE, Predicate.LT, Predicate.LE,
+             Predicate.EQ, Predicate.NE]
+    subtraction_text = {"xy": "xc - yc", "yx": "yc - xc", "both": "both"}
+    for pred in order:
+        row = table.row(pred)
+        rows.append(
+            [
+                pred.value,
+                subtraction_text[row.subtraction],
+                row.true_value,
+                row.false_value,
+                row.distance,
+            ]
+        )
+    return rows
+
+
+def test_table1_reproduces_paper(benchmark):
+    rows = benchmark(generate_table1)
+    by_pred = {r[0]: r for r in rows}
+    # Exact published values for A=63877, C=29982 / 14991 (R = 5570).
+    assert by_pred[">"][1] == "yc - xc" and by_pred["<"][1] == "xc - yc"
+    assert by_pred[">"][2] == 35552 and by_pred[">"][3] == 29982
+    assert by_pred[">="][2] == 29982 and by_pred[">="][3] == 35552
+    assert by_pred["<"][2] == 35552 and by_pred["<"][3] == 29982
+    assert by_pred["<="][2] == 29982 and by_pred["<="][3] == 35552
+    assert by_pred["=="][2] == 29982 and by_pred["=="][3] == 35552
+    assert by_pred["!="][2] == 35552 and by_pred["!="][3] == 29982
+    assert all(r[4] == 15 for r in rows)  # D = 15 throughout
+
+    text = format_table(
+        "Table I — condition values (A=63877, C_rel=29982, C_eq=14991, R=5570)",
+        ["Predicate", "Subtraction", "True value", "False value", "Hamming distance"],
+        rows,
+    )
+    save_table("table1_condition_values", text)

@@ -1,0 +1,94 @@
+"""E3 — Table III (rows 1-2): integer compare + memcmp micro-benchmarks.
+
+Reports size and runtime under CFI-only / 6x duplication / prototype.
+The paper's shape to reproduce:
+
+* integer compare: the prototype beats duplication on BOTH size and
+  runtime (86 B vs 128 B, 63 c vs 91 c in the paper);
+* memcmp (128 elements): prototype runtime beats duplication (8905 c vs
+  10210 c) while its size is in the same ballpark (306 B vs 300 B).
+
+Absolute numbers differ (different compiler/CFI scheme); the ordering and
+rough factors are the reproduction target.
+"""
+
+import pytest
+
+from repro.bench import format_table, measure, overhead_pct, save_table
+
+SCHEMES = ("none", "duplication", "ancode")
+LABELS = {"none": "CFI", "duplication": "Duplication", "ancode": "Prototype"}
+
+
+def run_integer_compare(programs):
+    return {
+        scheme: measure(programs[scheme], "integer_compare", [41, 41])
+        for scheme in SCHEMES
+    }
+
+
+def run_memcmp(programs):
+    return {
+        scheme: measure(
+            programs[scheme],
+            "run_memcmp",
+            [128],
+            size_functions=("secure_memcmp",),
+        )
+        for scheme in SCHEMES
+    }
+
+
+def _table_rows(name, measurements):
+    base = measurements["none"]
+    rows = []
+    for metric, getter in (("Size / B", lambda m: m.size_bytes),
+                           ("Runtime / c", lambda m: m.cycles)):
+        row = [name, metric, getter(base)]
+        for scheme in ("duplication", "ancode"):
+            value = getter(measurements[scheme])
+            row.append(value)
+            row.append(f"+{overhead_pct(value, getter(base)):.0f}%")
+        rows.append(row)
+    return rows
+
+
+def test_integer_compare_micro(benchmark, integer_compare_programs):
+    measurements = benchmark.pedantic(
+        run_integer_compare, args=(integer_compare_programs,), rounds=1, iterations=1
+    )
+    base, dup, proto = (measurements[s] for s in SCHEMES)
+    assert base.exit_code == dup.exit_code == proto.exit_code == 1
+    # Paper shape: prototype strictly cheaper than duplication, both above CFI.
+    assert base.size_bytes < proto.size_bytes < dup.size_bytes
+    assert base.cycles < proto.cycles < dup.cycles
+
+
+def test_memcmp_micro(benchmark, memcmp_programs):
+    measurements = benchmark.pedantic(
+        run_memcmp, args=(memcmp_programs,), rounds=1, iterations=1
+    )
+    base, dup, proto = (measurements[s] for s in SCHEMES)
+    assert base.exit_code == dup.exit_code == proto.exit_code == 1
+    # Paper shape: prototype runtime beats duplication; both sizes grow vs CFI.
+    assert proto.cycles < dup.cycles
+    assert base.size_bytes < dup.size_bytes
+    assert base.size_bytes < proto.size_bytes
+    # Duplication re-checks every loop iteration: factor >2 over CFI runtime.
+    assert dup.cycles > 2 * base.cycles
+
+
+def test_emit_table3_micro(benchmark, integer_compare_programs, memcmp_programs):
+    def build():
+        rows = []
+        rows += _table_rows("integer compare", run_integer_compare(integer_compare_programs))
+        rows += _table_rows("memcmp", run_memcmp(memcmp_programs))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(
+        "Table III (micro) — size and runtime under CFI / Duplication / Prototype",
+        ["Benchmark", "Metric", "CFI abs", "Dup abs", "Dup +/-", "Proto abs", "Proto +/-"],
+        rows,
+    )
+    save_table("table3_microbenchmarks", text)

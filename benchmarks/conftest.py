@@ -1,0 +1,31 @@
+"""Shared fixtures for the experiment benches."""
+
+import pytest
+
+from repro.minic import compile_source
+from repro.programs import load_source
+
+
+#: Table III uses the paper-style per-edge CFI justification policy (see
+#: repro.backend.cfi_instrumentation.POLICIES).
+TABLE3_CFI_POLICY = "edge"
+
+
+@pytest.fixture(scope="session")
+def integer_compare_programs():
+    """The Table III 'integer compare' micro under all three schemes."""
+    source = load_source("integer_compare")
+    return {
+        scheme: compile_source(source, scheme=scheme, cfi_policy=TABLE3_CFI_POLICY)
+        for scheme in ("none", "duplication", "ancode")
+    }
+
+
+@pytest.fixture(scope="session")
+def memcmp_programs():
+    """The Table III 'memcmp' micro (128 equal elements) under all schemes."""
+    source = load_source("memcmp")
+    return {
+        scheme: compile_source(source, scheme=scheme, cfi_policy=TABLE3_CFI_POLICY)
+        for scheme in ("none", "duplication", "ancode")
+    }

@@ -1,0 +1,44 @@
+"""Run the Section VI fault simulation and print the detectability profile.
+
+Shows how to drive :mod:`repro.faults.arithmetic` directly: exhaustive
+sweeps for small fault multiplicities, Monte-Carlo sampling above, with the
+direction split (forged TRUE vs fail-safe FALSE) for equality comparisons.
+
+Run:  python examples/fault_campaign.py
+"""
+
+from repro.core import Predicate
+from repro.faults.arithmetic import exhaustive_campaign, sampled_campaign
+
+
+def profile(predicate: Predicate, max_bits: int = 6) -> None:
+    print(f"\n{predicate.value} comparison "
+          f"(locations: intermediates of the encoded compare)")
+    print(f"{'bits':>4} {'trials':>9} {'detected':>9} {'masked':>7} "
+          f"{'->TRUE':>7} {'->FALSE':>8} {'flip rate':>10}")
+    for bits in range(1, max_bits + 1):
+        if bits <= 3:
+            r = exhaustive_campaign(predicate, bits)
+        else:
+            r = sampled_campaign(predicate, bits, samples=200_000)
+        print(
+            f"{r.bits:>4} {r.trials:>9} {r.detected:>9} {r.masked:>7} "
+            f"{r.flipped_to_true:>7} {r.flipped_to_false:>8} "
+            f"{100 * r.flip_rate:>9.5f}%"
+        )
+
+
+def main() -> None:
+    print("Section VI reproduction: bit flips spread over the whole")
+    print("computation of the condition value (paper: all <=3-bit faults")
+    print("detected; ~0.0002% undetected flips at 4 bits).")
+    profile(Predicate.LT)
+    profile(Predicate.EQ)
+    print("\nNote the asymmetry for ==: the dangerous direction (forging")
+    print("TRUE, e.g. a signature accepted) needs many more flipped bits")
+    print("than the fail-safe direction (a valid comparison reading as")
+    print("unequal).")
+
+
+if __name__ == "__main__":
+    main()

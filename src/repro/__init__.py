@@ -1,0 +1,42 @@
+"""repro — reproduction of "Securing Conditional Branches in the Presence of
+Fault Attacks" (Schilling, Werner, Mangard; DATE 2018).
+
+Public API highlights
+---------------------
+
+* :class:`repro.ancode.ANCode` — AN-code arithmetic encoding.
+* :class:`repro.core.ProtectionParams` / :class:`repro.core.EncodedComparator`
+  — the paper's encoded comparison (Algorithms 1 and 2, Table I).
+* :func:`repro.compile_minic` — compile MiniC source through the protected
+  pipeline (Figure 3) to an ARMv7-M-like binary.
+* :class:`repro.isa.CPU` — the ISA simulator with CFI monitor and fault hooks.
+* :mod:`repro.faults` — fault models and injection campaigns.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.ancode import ANCode, ANCodeError
+from repro.core import EncodedComparator, Predicate, ProtectionParams, SymbolTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANCode",
+    "ANCodeError",
+    "EncodedComparator",
+    "Predicate",
+    "ProtectionParams",
+    "SymbolTable",
+    "__version__",
+]
+
+
+def compile_minic(source, **kwargs):
+    """Compile MiniC source text; see :func:`repro.minic.driver.compile_source`.
+
+    Imported lazily so the lightweight arithmetic API does not pull in the
+    whole compiler stack.
+    """
+    from repro.minic.driver import compile_source
+
+    return compile_source(source, **kwargs)

@@ -1,0 +1,33 @@
+"""AN-code arithmetic encoding (S1 in DESIGN.md).
+
+AN-codes represent a functional value ``n`` as the code word ``A * n``.
+Every multiple of the encoding constant ``A`` is a valid code word; the
+congruence ``code % A == 0`` validates a word.  The code is closed under
+addition and subtraction, which is what the paper's encoded comparison
+exploits (Section II-B and IV of the paper).
+"""
+
+from repro.ancode.codes import ANCode, ANCodeError
+from repro.ancode.distance import (
+    code_word_weights,
+    hamming_distance,
+    hamming_weight,
+    min_arithmetic_distance,
+    min_pairwise_distance,
+    signed_difference_weights,
+)
+from repro.ancode.super_a import KNOWN_SUPER_AS, find_best_constants, rank_constants
+
+__all__ = [
+    "ANCode",
+    "ANCodeError",
+    "KNOWN_SUPER_AS",
+    "code_word_weights",
+    "find_best_constants",
+    "hamming_distance",
+    "hamming_weight",
+    "min_arithmetic_distance",
+    "min_pairwise_distance",
+    "rank_constants",
+    "signed_difference_weights",
+]

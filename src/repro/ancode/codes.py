@@ -1,0 +1,176 @@
+"""Core AN-code encode/decode/arithmetic.
+
+All arithmetic happens in a fixed machine word (default 32 bit), i.e. modulo
+``2**word_bits``, exactly as it would on the ARMv7-M target the paper uses.
+
+Representation notes (these distinctions carry the whole paper):
+
+* *Code words proper* are unsigned multiples ``A * n`` with
+  ``0 <= n <= max_functional``; validity is the unsigned congruence
+  ``code % A == 0``.
+* *Differences* of code words are valid in the **signed** (two's complement)
+  interpretation — AN-codes are closed under subtraction there (Equation 1)
+  — but the **unsigned** congruence fails for negative differences, leaving
+  the residue ``2^w mod A`` behind (Equation 5).  The encoded comparison
+  (Section IV) is built entirely on this asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ANCodeError(ValueError):
+    """Raised when an operation would violate the AN-code invariants."""
+
+
+@dataclass(frozen=True)
+class ANCode:
+    """An AN-code with encoding constant ``A`` inside a ``word_bits`` word.
+
+    Parameters
+    ----------
+    A:
+        The encoding constant.  All code words are multiples of ``A``.
+    word_bits:
+        Machine word width the encoded values live in.
+    functional_bits:
+        Width of the functional (unencoded) values.  The paper requires
+        ``n < A`` to preserve error detection; with the default
+        ``A = 63877`` the full 16-bit range is usable.
+    """
+
+    A: int = 63877
+    word_bits: int = 32
+    functional_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.A <= 1:
+            raise ANCodeError(f"encoding constant must be > 1, got {self.A}")
+        if self.A % 2 == 0:
+            raise ANCodeError("even encoding constants lose low-bit redundancy")
+        if self.A.bit_length() + self.functional_bits > self.word_bits:
+            raise ANCodeError(
+                f"A={self.A} with {self.functional_bits} functional bits "
+                f"overflows a {self.word_bits}-bit word"
+            )
+
+    @property
+    def word_mask(self) -> int:
+        return (1 << self.word_bits) - 1
+
+    @property
+    def max_functional(self) -> int:
+        """Largest encodable unsigned functional value."""
+        return (1 << self.functional_bits) - 1
+
+    @property
+    def max_signed_functional(self) -> int:
+        """Largest magnitude representable in the signed interpretation.
+
+        A signed code word must fit ``|A*n| < 2^(w-1)``; this is roughly half
+        the unsigned range (33619 for the paper's parameters).
+        """
+        return min(self.max_functional, ((1 << (self.word_bits - 1)) - 1) // self.A)
+
+    @property
+    def residue_of_wrap(self) -> int:
+        """``2**word_bits mod A`` — the residue that tags negative differences.
+
+        This is the quantity the paper calls ``2^32 % A`` (Equation 5); for
+        the default parameters it equals 5570.
+        """
+        return (1 << self.word_bits) % self.A
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def encode(self, n: int) -> int:
+        """Encode an unsigned functional value ``0 <= n <= max_functional``."""
+        if not 0 <= n <= self.max_functional:
+            raise ANCodeError(f"{n} outside functional range of {self}")
+        return self.A * n
+
+    def encode_signed(self, n: int) -> int:
+        """Encode a signed functional value as a two's-complement word.
+
+        Negative encodings are *transient* values (differences); they are
+        valid under :meth:`is_valid_signed` but intentionally invalid under
+        the unsigned congruence :meth:`is_valid`.
+        """
+        if abs(n) > self.max_signed_functional:
+            raise ANCodeError(f"{n} outside signed functional range of {self}")
+        return (self.A * n) & self.word_mask
+
+    def decode(self, code: int) -> int:
+        """Decode an unsigned code word, raising on faults."""
+        if not self.is_valid(code):
+            raise ANCodeError(f"invalid code word {code:#x} for A={self.A}")
+        return (code & self.word_mask) // self.A
+
+    def decode_signed(self, code: int) -> int:
+        """Decode a word under the signed (two's complement) interpretation."""
+        if not self.is_valid_signed(code):
+            raise ANCodeError(f"invalid signed code word {code:#x} for A={self.A}")
+        return self._signed(code) // self.A
+
+    def is_valid(self, code: int) -> bool:
+        """Unsigned AN congruence ``0 == code mod A`` — the hardware check."""
+        return (code & self.word_mask) % self.A == 0
+
+    def is_valid_signed(self, code: int) -> bool:
+        """Signed-interpretation validity (differences of code words)."""
+        return self._signed(code) % self.A == 0
+
+    def residue(self, code: int) -> int:
+        """Unsigned residue ``code % A`` — the raw check value hardware computes."""
+        return (code & self.word_mask) % self.A
+
+    def _signed(self, code: int) -> int:
+        code &= self.word_mask
+        if code >> (self.word_bits - 1):
+            return code - (1 << self.word_bits)
+        return code
+
+    # ------------------------------------------------------------------
+    # Arithmetic in the encoded domain (all mod 2**word_bits)
+    # ------------------------------------------------------------------
+    def add(self, xc: int, yc: int) -> int:
+        """Encoded addition: AN-codes are closed under ``+`` (Equation 1)."""
+        return (xc + yc) & self.word_mask
+
+    def sub(self, xc: int, yc: int) -> int:
+        """Encoded subtraction: closed in the signed representation."""
+        return (xc - yc) & self.word_mask
+
+    def neg(self, xc: int) -> int:
+        return (-xc) & self.word_mask
+
+    def add_const(self, xc: int, n: int) -> int:
+        """Add an *unencoded* constant by encoding it at compile time."""
+        return (xc + self.encode(n)) & self.word_mask
+
+    def mul(self, xc: int, yc: int) -> int:
+        """Encoded multiplication.
+
+        ``xc * yc = A^2 * x * y``; the product needs one corrective exact
+        division by ``A`` to return to the code (the "special correction
+        value" the paper mentions).  The wide product is computed before
+        truncation, as a UMULL+divide sequence would on the target.
+        """
+        wide = xc * yc
+        if wide % self.A != 0:
+            raise ANCodeError("product left the code (operand fault?)")
+        return (wide // self.A) & self.word_mask
+
+    def check(self, *codes: int) -> None:
+        """Validate every word (unsigned), raising on the first invalid one."""
+        for code in codes:
+            if not self.is_valid(code):
+                raise ANCodeError(f"invalid code word {code:#x} for A={self.A}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ANCode(A={self.A}, word_bits={self.word_bits}, "
+            f"functional_bits={self.functional_bits})"
+        )

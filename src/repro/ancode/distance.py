@@ -1,0 +1,122 @@
+"""Hamming-distance metrics for AN-codes.
+
+The quality measure the paper (following Hoffmann et al., HASE 2014) uses for
+an encoding constant is the minimum Hamming distance between any two code
+words.  Two notions appear in the literature:
+
+* the *arithmetic-difference weight*: ``min_k HW(A*k mod 2^w)`` over all
+  non-zero functional differences ``k`` — cheap to compute and the metric
+  used to label ``A = 63877`` a "super A" with distance 6;
+* the exact *pairwise XOR distance* ``min HW(A*x XOR A*y)``, which is not
+  translation invariant and needs a pairwise sweep.
+
+Both are provided; the pairwise sweep is chunked numpy and only practical for
+small functional widths (it is used by the slow test suite and the E8
+ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POPCOUNT_TABLE = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1).astype(np.uint8)
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits of a non-negative integer."""
+    return bin(value).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Hamming distance between two words of equal (implied) width."""
+    return hamming_weight(a ^ b)
+
+
+def _popcount_u32(words: np.ndarray) -> np.ndarray:
+    """Vectorised popcount of a uint32 array."""
+    as_bytes = words.astype(np.uint32).view(np.uint8)
+    return _POPCOUNT_TABLE[as_bytes].reshape(words.shape + (4,)).sum(axis=-1)
+
+
+def code_word_weights(A: int, word_bits: int, functional_bits: int) -> np.ndarray:
+    """Hamming weights of all non-zero code words ``A*k mod 2^w``.
+
+    ``k`` ranges over the unsigned functional range
+    ``1 .. 2^functional_bits - 1`` — the code-word set proper.  This is the
+    metric under which the paper (following Hoffmann et al.) quotes a
+    minimum distance of 6 for ``A = 63877``.
+    """
+    if word_bits != 32:
+        mask = (1 << word_bits) - 1
+        return np.array(
+            [hamming_weight((A * k) & mask) for k in range(1, 1 << functional_bits)],
+            dtype=np.uint8,
+        )
+    k = np.arange(1, 1 << functional_bits, dtype=np.uint64)
+    pos = (np.uint64(A) * k) & np.uint64(0xFFFFFFFF)
+    return _popcount_u32(pos)
+
+
+def signed_difference_weights(A: int, word_bits: int, functional_bits: int) -> np.ndarray:
+    """Weights of signed differences ``±A*k mod 2^w`` (two's complement).
+
+    The wrapped negatives can dip *below* the unsigned code-word minimum
+    (for ``A = 63877`` the minimum drops from 6 to 5); this matters for
+    faults injected on transient difference values and is reported by the
+    E8 ablation.
+    """
+    pos = code_word_weights(A, word_bits, functional_bits)
+    if word_bits != 32:
+        mask = (1 << word_bits) - 1
+        neg = np.array(
+            [hamming_weight((-A * k) & mask) for k in range(1, 1 << functional_bits)],
+            dtype=np.uint8,
+        )
+        return np.concatenate([pos, neg])
+    k = np.arange(1, 1 << functional_bits, dtype=np.uint64)
+    words = (np.uint64(A) * k) & np.uint64(0xFFFFFFFF)
+    neg = (np.uint64(1 << 32) - words) & np.uint64(0xFFFFFFFF)
+    return np.concatenate([pos, _popcount_u32(neg)])
+
+
+def min_arithmetic_distance(A: int, word_bits: int = 32, functional_bits: int = 16) -> int:
+    """Minimum weight of any non-zero code word (the paper's distance metric).
+
+    "Minimum Hamming distance of six" for ``A = 63877`` over 16-bit
+    functional values (Section IV-a).
+    """
+    return int(code_word_weights(A, word_bits, functional_bits).min())
+
+
+def min_pairwise_distance(
+    A: int,
+    word_bits: int = 32,
+    functional_bits: int = 8,
+    chunk: int = 2048,
+) -> int:
+    """Exact minimum pairwise XOR Hamming distance between code words.
+
+    Cost is quadratic in the number of code words — keep ``functional_bits``
+    small (<= 12) unless you have time to spare.
+    """
+    mask = (1 << word_bits) - 1
+    n = 1 << functional_bits
+    words = (np.arange(n, dtype=np.uint64) * np.uint64(A)) & np.uint64(mask)
+    words = words.astype(np.uint32)
+    best = word_bits
+    for start in range(0, n, chunk):
+        block = words[start : start + chunk]
+        # Only compare against strictly-later words to avoid the zero diagonal.
+        for i, w in enumerate(block):
+            rest = words[start + i + 1 :]
+            if rest.size == 0:
+                continue
+            d = _popcount_u32(np.bitwise_xor(rest, w))
+            m = int(d.min())
+            if m < best:
+                best = m
+                if best == 1:
+                    return best
+    return best

@@ -1,0 +1,74 @@
+"""Search for good encoding constants ("super As", Hoffmann et al. 2014).
+
+The paper picks ``A = 63877`` because it maximises the minimum Hamming
+distance (6) for 16-bit functional values in a 32-bit word while leaving the
+full 16-bit functional range usable.  Finding such constants is exhaustive
+search; this module provides a vectorised ranking so the search is practical
+for moderate candidate ranges, plus a table of known-good constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ancode.distance import min_arithmetic_distance
+
+#: Known-good ("super") encoding constants per functional width, from the
+#: AN-code literature, with their measured minimum code distance under our
+#: metric.  Each maps functional_bits -> (A, min distance).
+KNOWN_SUPER_AS: dict[int, tuple[int, int]] = {
+    8: (58659, 6),
+    16: (63877, 6),
+}
+
+
+@dataclass(frozen=True)
+class ConstantQuality:
+    """Ranking record for one candidate encoding constant."""
+
+    A: int
+    min_distance: int
+
+    def __lt__(self, other: "ConstantQuality") -> bool:
+        return (self.min_distance, self.A) < (other.min_distance, other.A)
+
+
+def rank_constants(
+    candidates: list[int],
+    word_bits: int = 32,
+    functional_bits: int = 16,
+) -> list[ConstantQuality]:
+    """Rank candidate constants by minimum arithmetic code distance (desc)."""
+    ranked = []
+    max_a_bits = word_bits - functional_bits
+    for A in candidates:
+        if A <= 1 or A % 2 == 0:
+            continue
+        if A.bit_length() > max_a_bits:
+            continue
+        ranked.append(
+            ConstantQuality(A, min_arithmetic_distance(A, word_bits, functional_bits))
+        )
+    ranked.sort(key=lambda q: (-q.min_distance, q.A))
+    return ranked
+
+
+def find_best_constants(
+    word_bits: int = 32,
+    functional_bits: int = 16,
+    lo: int | None = None,
+    hi: int | None = None,
+    top: int = 5,
+) -> list[ConstantQuality]:
+    """Exhaustively search odd constants in ``[lo, hi]`` and return the best.
+
+    Defaults to the top quarter of the representable range, where the large
+    constants with good distance live.
+    """
+    max_a = (1 << (word_bits - functional_bits)) - 1
+    if hi is None:
+        hi = max_a
+    if lo is None:
+        lo = (max_a * 3) // 4
+    candidates = list(range(lo | 1, hi + 1, 2))
+    return rank_constants(candidates, word_bits, functional_bits)[:top]

@@ -1,0 +1,6 @@
+"""ARMv7-M-like back end (S7 in DESIGN.md): ISel, RA, frame, CFI, emission."""
+
+from repro.backend.driver import CompiledProgram, compile_ir
+from repro.backend.machine import CompileError, MachineFunction
+
+__all__ = ["CompileError", "CompiledProgram", "MachineFunction", "compile_ir"]

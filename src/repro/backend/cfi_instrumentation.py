@@ -1,0 +1,382 @@
+"""CFI instrumentation (the back end's only CFI/target-specific stage).
+
+Runs after register allocation, frame lowering and constant expansion, on
+final-shape machine code:
+
+1. materialises the CFI-unit base in r9 (function prologue);
+2. expands :class:`~repro.backend.machine.CfiMerge` pseudos in protected-
+   branch successors into ``STR cond, [r9, #MERGE]`` — the paper's state
+   update linking the encoded condition symbol into the CFI redundancy
+   (Figure 2): the statically expected merge value is ``C_true`` in the
+   taken successor and ``C_false`` in the other;
+3. reroutes every non-canonical CFG edge through a *justification* block
+   that merges a correction value, making the state at each block entry
+   path-independent;
+4. inserts a state check (``STR expected, [r9, #CHECK]``) before returns.
+
+Correction and check constants are loaded from a per-function data pool
+rather than from immediates: an immediate would change the very
+instruction signatures it is computed from (a fixpoint problem); pool loads
+have value-independent signatures.  Tampering with pool *data* changes the
+merged value and is caught by the next check.
+
+The order of operations matters: all structural edits (merges, fix blocks
+with final pool indices, check sequences) happen first, then a single
+static GPSA propagation computes every state, then the pool values are
+solved — instruction signatures never depend on the solved values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.machine import CfiMerge, LoadAddr, MachineBlock, MachineFunction
+from repro.cfi.gpsa import entry_state, merge, rotl, update
+from repro.cfi.signatures import signature
+from repro.isa import instructions as ins
+from repro.isa.mmio import MMIO
+from repro.isa.registers import R9, R12
+
+MERGE_OFF = MMIO.CFI_MERGE - MMIO.BASE
+CHECK_OFF = MMIO.CFI_CHECK - MMIO.BASE
+
+
+class CfiError(RuntimeError):
+    """The instrumentation could not establish path-independent states."""
+
+
+@dataclass
+class CfiTables:
+    """Data produced by instrumentation: per-function constant pools."""
+
+    pools: dict[str, list[int]] = field(default_factory=dict)
+
+    def pool_bytes(self, name: str) -> bytes:
+        return b"".join((v & 0xFFFFFFFF).to_bytes(4, "little") for v in self.pools[name])
+
+
+#: CFI state-justification policies:
+#: * ``merge`` — corrections only where paths actually merge (an optimised
+#:   XOR-GPSA; cheapest possible software scheme);
+#: * ``edge``  — a justification on *every* branch edge, like the paper's
+#:   software-centred GPSA, where each control-flow transfer updates the
+#:   state ("CFI schemes either use correction values or replace the
+#:   state", Section II-A).  This is the policy the Table III comparison
+#:   uses: it prices each conditional branch, which is exactly what makes
+#:   six-fold duplication expensive.
+POLICIES = ("merge", "edge")
+
+
+def instrument_function(
+    mf: MachineFunction, tables: CfiTables, policy: str = "merge"
+) -> str:
+    """Instrument one function; returns the pool symbol name."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown CFI policy {policy!r}")
+    pool_symbol = f"cfi.pool.{mf.name}"
+    _setup_base_register(mf)
+    merge_expectations = _expand_merges(mf)
+    _normalize_redundant_branches(mf)
+    pool_slots = _PoolAllocator()
+    if policy == "edge":
+        fixes = _insert_fix_blocks_every_edge(mf, pool_slots, pool_symbol)
+    else:
+        fixes = _insert_fix_blocks(mf, pool_slots, pool_symbol)
+    checks = _insert_checks(mf, pool_slots, pool_symbol)
+    pool = _solve(mf, merge_expectations, fixes, checks, pool_slots.count, policy)
+    tables.pools[pool_symbol] = pool
+    return pool_symbol
+
+
+# ---------------------------------------------------------------------------
+# Structural edits
+# ---------------------------------------------------------------------------
+def _setup_base_register(mf: MachineFunction) -> None:
+    """r9 = MMIO.BASE, established once per function after the push."""
+    entry = mf.entry
+    insert_at = 0
+    if entry.instructions and isinstance(entry.instructions[0], ins.Push):
+        insert_at = 1
+    if len(entry.instructions) > insert_at and isinstance(
+        entry.instructions[insert_at], ins.AluImm
+    ):
+        insert_at += 1  # keep 'sub sp' adjacent to the push
+    entry.instructions[insert_at:insert_at] = [
+        ins.Movw(R9, MMIO.BASE & 0xFFFF),
+        ins.Movt(R9, MMIO.BASE >> 16),
+    ]
+
+
+def _expand_merges(mf: MachineFunction) -> dict[str, list[int]]:
+    """CfiMerge -> STR; returns per-block expected merge values in order.
+
+    Two merge kinds: protected-branch successor merges (expectation =
+    C_true/C_false per successor, from the branch record) and inline
+    residue-check merges (expectation carried on the pseudo itself).
+    """
+    successor_expect: dict[str, int] = {}
+    for record in mf.protected_branches:
+        successor_expect[record.then_label] = record.true_value
+        successor_expect[record.else_label] = record.false_value
+    expectations: dict[str, list[int]] = {}
+    for block in mf.blocks:
+        new_instrs = []
+        for instr in block.instructions:
+            if isinstance(instr, CfiMerge):
+                if instr.expected is not None:
+                    expected = instr.expected
+                elif block.label in successor_expect:
+                    expected = successor_expect[block.label]
+                else:
+                    raise CfiError(
+                        f"CfiMerge in {block.label} without protected-branch record"
+                    )
+                expectations.setdefault(block.label, []).append(expected)
+                new_instrs.append(ins.StrImm(instr.rs, R9, MERGE_OFF))
+            else:
+                new_instrs.append(instr)
+        block.instructions = new_instrs
+    return expectations
+
+
+def _normalize_redundant_branches(mf: MachineFunction) -> None:
+    """Drop a Bcc immediately followed by a B to the same label."""
+    for block in mf.blocks:
+        cleaned = []
+        for i, instr in enumerate(block.instructions):
+            if (
+                isinstance(instr, ins.Bcc)
+                and i + 1 < len(block.instructions)
+                and isinstance(block.instructions[i + 1], ins.B)
+                and block.instructions[i + 1].label == instr.label
+            ):
+                continue
+            cleaned.append(instr)
+        block.instructions = cleaned
+
+
+class _PoolAllocator:
+    def __init__(self) -> None:
+        self.count = 0
+
+    def take(self) -> int:
+        index = self.count
+        self.count += 1
+        return index
+
+
+@dataclass
+class _Fix:
+    block: MachineBlock
+    target: str
+    pool_index: int
+
+
+@dataclass
+class _Check:
+    block_label: str
+    str_instr: object
+    pool_index: int
+
+
+def _branch_edges(mf: MachineFunction):
+    """All (block, branch_instr) edges in instruction order."""
+    labels = {b.label for b in mf.blocks}
+    for block in mf.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, (ins.B, ins.Bcc)) and instr.label in labels:
+                yield block, instr
+
+
+def _insert_fix_blocks(
+    mf: MachineFunction, pool: _PoolAllocator, pool_symbol: str
+) -> list[_Fix]:
+    """Reroute non-canonical edges through correction blocks."""
+    edges_by_target: dict[str, list[tuple[MachineBlock, object]]] = {}
+    for block, instr in _branch_edges(mf):
+        edges_by_target.setdefault(instr.label, []).append((block, instr))
+
+    rpo_index = {label: i for i, label in enumerate(_reverse_postorder(mf))}
+    fixes: list[_Fix] = []
+    for target, edges in edges_by_target.items():
+        if len(edges) <= 1:
+            continue
+        edges.sort(key=lambda e: rpo_index.get(e[0].label, 1 << 30))
+        for block, instr in edges[1:]:
+            index = pool.take()
+            fix = mf.new_block("cfi.fix")
+            fix.instructions = [
+                LoadAddr(R12, pool_symbol),
+                ins.LdrImm(R12, R12, 4 * index),
+                ins.StrImm(R12, R9, MERGE_OFF),
+                ins.B(target),
+            ]
+            instr.label = fix.label
+            fixes.append(_Fix(fix, target, index))
+    return fixes
+
+
+def _insert_fix_blocks_every_edge(
+    mf: MachineFunction, pool: _PoolAllocator, pool_symbol: str
+) -> list[_Fix]:
+    """Per-edge justification: every branch goes through a correction."""
+    fixes: list[_Fix] = []
+    for block, instr in list(_branch_edges(mf)):
+        target = instr.label
+        index = pool.take()
+        fix = mf.new_block("cfi.edge")
+        fix.instructions = [
+            LoadAddr(R12, pool_symbol),
+            ins.LdrImm(R12, R12, 4 * index),
+            ins.StrImm(R12, R9, MERGE_OFF),
+            ins.B(target),
+        ]
+        instr.label = fix.label
+        fixes.append(_Fix(fix, target, index))
+    return fixes
+
+
+def _insert_checks(
+    mf: MachineFunction, pool: _PoolAllocator, pool_symbol: str
+) -> list[_Check]:
+    checks: list[_Check] = []
+    for block in mf.blocks:
+        for i, instr in enumerate(list(block.instructions)):
+            if isinstance(instr, ins.BxLr):
+                index = pool.take()
+                sequence = [
+                    LoadAddr(R12, pool_symbol),
+                    ins.LdrImm(R12, R12, 4 * index),
+                    ins.StrImm(R12, R9, CHECK_OFF),
+                ]
+                block.instructions[i:i] = sequence
+                checks.append(_Check(block.label, sequence[2], index))
+                break
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Static propagation + solving
+# ---------------------------------------------------------------------------
+def _solve(
+    mf: MachineFunction,
+    merge_expectations: dict[str, list[int]],
+    fixes: list[_Fix],
+    checks: list[_Check],
+    pool_size: int,
+    policy: str = "merge",
+) -> list[int]:
+    fix_labels = {f.block.label: f for f in fixes}
+    states: dict[str, int] = {mf.entry.label: entry_state(mf.name)}
+    if policy == "edge":
+        # Per-edge justification replaces the state at every block entry
+        # with a canonical per-block value; corrections bridge the gap.
+        for block in mf.blocks:
+            if block.label not in fix_labels and block is not mf.entry:
+                states[block.label] = entry_state(f"{mf.name}:{block.label}")
+    pool = [0] * pool_size
+    check_by_label = {c.block_label: c for c in checks}
+
+    # Worklist propagation: a block is walked once its entry state is known.
+    walked: set[str] = set()
+    progress = True
+    while progress:
+        progress = False
+        for block in mf.blocks:
+            label = block.label
+            if label in walked or label not in states:
+                continue
+            walked.add(label)
+            progress = True
+            if label in fix_labels:
+                continue  # walked separately after target states settle
+            state = states[label]
+            merge_index = 0
+            for instr in block.instructions:
+                state = update(state, signature(instr))
+                if _is_merge_store(instr):
+                    expected = merge_expectations.get(label)
+                    if expected is None or merge_index >= len(expected):
+                        raise CfiError(f"unexpected CFI merge in {label}")
+                    state = merge(state, expected[merge_index])
+                    merge_index += 1
+                elif _is_check_store(instr):
+                    pool[check_by_label[label].pool_index] = state
+                if isinstance(instr, (ins.B, ins.Bcc)):
+                    target = instr.label
+                    if target in fix_labels:
+                        states.setdefault(target, state)
+                    elif target not in states:
+                        states[target] = state
+                    elif states[target] != state:
+                        raise CfiError(
+                            f"{mf.name}: divergent state reaches {target} "
+                            "(canonical-edge selection bug)"
+                        )
+
+    # Solve each correction: chain(state_in, x) must equal states[target].
+    for fix in fixes:
+        state_in = states.get(fix.block.label)
+        if state_in is None:
+            # The whole edge is unreachable (e.g. dead block); drop it.
+            pool[fix.pool_index] = 0
+            continue
+        target_state = states.get(fix.target)
+        if target_state is None:
+            raise CfiError(f"{mf.name}: correction into unreachable {fix.target}")
+        state = state_in
+        rotations_after_merge = 0
+        seen_merge = False
+        for instr in fix.block.instructions:
+            state = update(state, signature(instr))
+            if _is_merge_store(instr):
+                seen_merge = True
+                continue
+            if seen_merge:
+                rotations_after_merge += 1
+        # state == chain with x = 0; x enters via xor and commutes with the
+        # rotations: final = chain0 ^ rotl^r(x)  =>  x = rotr^r(chain0 ^ T).
+        diff = (state ^ target_state) & 0xFFFFFFFF
+        r = rotations_after_merge % 32
+        x = ((diff >> r) | (diff << (32 - r))) & 0xFFFFFFFF if r else diff
+        pool[fix.pool_index] = x
+    return pool
+
+
+def _is_merge_store(instr) -> bool:
+    return (
+        isinstance(instr, ins.StrImm) and instr.rn == R9 and instr.imm == MERGE_OFF
+    )
+
+
+def _is_check_store(instr) -> bool:
+    return (
+        isinstance(instr, ins.StrImm) and instr.rn == R9 and instr.imm == CHECK_OFF
+    )
+
+
+def _reverse_postorder(mf: MachineFunction) -> list[str]:
+    succs = {b.label: b.successor_labels() for b in mf.blocks}
+    seen: set[str] = set()
+    post: list[str] = []
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(succs.get(label, ())))]
+        seen.add(label)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for s in it:
+                if s in succs and s not in seen:
+                    seen.add(s)
+                    stack.append((s, iter(succs[s])))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(current)
+                stack.pop()
+
+    visit(mf.entry.label)
+    order = list(reversed(post))
+    order.extend(b.label for b in mf.blocks if b.label not in seen)
+    return order

@@ -1,0 +1,161 @@
+"""Back-end driver: IR module -> executable CodeImage.
+
+Mirrors the paper's Figure 3 back end: Instruction Selection -> (RA/frame,
+which LLVM hides inside ISel's neighbours) -> CFI Instrumentation -> Code
+Emission.  The front half (middle end) is :func:`repro.core.protect.
+protect_module`; :func:`compile_ir` runs both halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.backend.cfi_instrumentation import CfiTables, instrument_function
+from repro.backend.frame import expand_constants, hoist_constants, lower_frame
+from repro.backend.isel import select_module
+from repro.backend.machine import CfiMerge, MachineFunction
+from repro.backend.regalloc import allocate
+from repro.core.params import ProtectionParams
+from repro.core.protect import protect_module
+from repro.ir.cfg import split_critical_edges
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.isa.assembler import AsmBlock, AsmFunction, CodeImage, DataSegment, assemble
+from repro.isa.cpu import CPU, ExecutionResult
+from repro.isa.cycles import CycleModel
+from repro.cfi.monitor import CfiMonitor
+from repro.passes.lower_select import lower_selects
+from repro.passes.lower_switch import lower_switches
+
+
+@dataclass
+class CompiledProgram:
+    """Everything needed to simulate and measure a compiled module."""
+
+    image: CodeImage
+    machine_functions: list[MachineFunction]
+    cfi_tables: Optional[CfiTables]
+    scheme: str
+    cfi: bool
+    stats: dict = field(default_factory=dict)
+
+    def size_of(self, function: str) -> int:
+        return self.image.function_sizes[function]
+
+    @property
+    def code_size(self) -> int:
+        return self.image.code_size
+
+    def run(
+        self,
+        function: str,
+        args: list[int] | None = None,
+        max_cycles: int = 10_000_000,
+        cycle_model: Optional[CycleModel] = None,
+        setup=None,
+    ) -> ExecutionResult:
+        cpu, result = self.run_cpu(function, args, max_cycles, cycle_model, setup)
+        return result
+
+    def run_cpu(
+        self,
+        function: str,
+        args: list[int] | None = None,
+        max_cycles: int = 10_000_000,
+        cycle_model: Optional[CycleModel] = None,
+        setup=None,
+        pre_hooks=None,
+    ):
+        """Run and return (cpu, result) for tests that inspect state."""
+        cpu = self.prepare_cpu(function, args, cycle_model, setup, pre_hooks)
+        return cpu, cpu.run(max_cycles)
+
+    def prepare_cpu(
+        self,
+        function: str,
+        args: list[int] | None = None,
+        cycle_model: Optional[CycleModel] = None,
+        setup=None,
+        pre_hooks=None,
+    ) -> CPU:
+        cpu = CPU(self.image, cycle_model)
+        if self.cfi:
+            CfiMonitor(cpu, function)
+        if setup is not None:
+            setup(cpu)
+        if pre_hooks:
+            cpu.pre_hooks.extend(pre_hooks)
+        cpu.call(function, list(args or []))
+        return cpu
+
+
+def compile_ir(
+    module: Module,
+    scheme: str = "ancode",
+    params: Optional[ProtectionParams] = None,
+    cfi: bool = True,
+    duplication_order: int = 6,
+    hw_modulo: bool = False,
+    operand_checks: bool = False,
+    cfi_policy: str = "merge",
+) -> CompiledProgram:
+    """Full pipeline: middle-end protection + back end + assembly.
+
+    ``scheme`` selects the Table III column: ``none`` (CFI-only baseline),
+    ``duplication`` or ``ancode`` (the prototype).  ``operand_checks``
+    additionally merges operand residues into the CFI state (extension).
+    ``cfi_policy`` picks the state-justification strategy: ``merge``
+    (optimised; corrections only at joins) or ``edge`` (the paper's
+    per-transfer updates — used for the Table III comparison).
+    """
+    stats = protect_module(module, scheme, params, duplication_order, operand_checks)
+
+    # Back-end legalisation for *all* functions.
+    lower_selects(module, only_protected=False)
+    lower_switches(module, only_protected=False)
+    for func in module.functions.values():
+        if func.blocks:
+            split_critical_edges(func)
+    verify_module(module)
+
+    machine_functions = select_module(module, hw_modulo)
+    for mf in machine_functions:
+        hoist_constants(mf)
+        allocate(mf)
+        lower_frame(mf)
+        expand_constants(mf)
+
+    cfi_tables: Optional[CfiTables] = None
+    data = [
+        DataSegment(g.name, g.size, g.initializer)
+        for g in module.globals.values()
+    ]
+    if cfi:
+        cfi_tables = CfiTables()
+        for mf in machine_functions:
+            instrument_function(mf, cfi_tables, policy=cfi_policy)
+        for symbol, pool in cfi_tables.pools.items():
+            data.append(
+                DataSegment(symbol, max(4, 4 * len(pool)), cfi_tables.pool_bytes(symbol))
+            )
+    else:
+        for mf in machine_functions:
+            for block in mf.blocks:
+                block.instructions = [
+                    i for i in block.instructions if not isinstance(i, CfiMerge)
+                ]
+
+    asm_functions = [
+        AsmFunction(mf.name, [AsmBlock(b.label, b.instructions) for b in mf.blocks])
+        for mf in machine_functions
+    ]
+    image = assemble(asm_functions, data)
+    return CompiledProgram(
+        image=image,
+        machine_functions=machine_functions,
+        cfi_tables=cfi_tables,
+        scheme=scheme,
+        cfi=cfi,
+        stats=stats,
+    )

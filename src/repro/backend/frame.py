@@ -1,0 +1,127 @@
+"""Frame lowering: prologue/epilogue, alloca offsets, constant expansion.
+
+Frame layout (grows downward; sp after prologue):
+
+    sp + 0                      spill slots (4 bytes each)
+    sp + spill_bytes            allocas
+    sp + frame_size             saved registers (pushed)
+"""
+
+from __future__ import annotations
+
+from repro.backend.machine import (
+    AllocaAddr,
+    CompileError,
+    LoadConst,
+    MachineFunction,
+)
+from repro.isa import instructions as ins
+from repro.isa.registers import LR, SP
+
+
+def lower_frame(mf: MachineFunction) -> None:
+    # -- assign alloca offsets -------------------------------------------
+    offsets: dict[int, int] = {}
+    cursor = mf.spill_bytes
+    for alloca_id, size in sorted(mf.alloca_sizes.items()):
+        offsets[alloca_id] = cursor
+        cursor += (size + 3) & ~3
+    frame_size = cursor
+
+    # -- expand AllocaAddr -------------------------------------------------
+    for block in mf.blocks:
+        new_instrs = []
+        for instr in block.instructions:
+            if isinstance(instr, AllocaAddr):
+                new_instrs.append(
+                    ins.AluImm("add", instr.rd, SP, offsets[instr.alloca_id])
+                )
+            else:
+                new_instrs.append(instr)
+        block.instructions = new_instrs
+
+    # -- prologue / epilogue -------------------------------------------------
+    saved = list(mf.used_callee_saved)
+    push_regs = tuple(saved + [LR])
+    prologue = [ins.Push(push_regs)]
+    if frame_size:
+        prologue.append(ins.AluImm("sub", SP, SP, frame_size))
+    mf.entry.instructions[0:0] = prologue
+
+    exit_block = mf.block_by_label(f"{mf.name}.__exit")
+    epilogue = []
+    if frame_size:
+        epilogue.append(ins.AluImm("add", SP, SP, frame_size))
+    epilogue.append(ins.Pop(push_regs))
+    # Exit block currently holds just BxLr; the epilogue goes before it.
+    exit_block.instructions[0:0] = epilogue
+
+
+def expand_constants(mf: MachineFunction) -> None:
+    """Expand LoadConst into MOVS / MOVW / MOVW+MOVT."""
+    for block in mf.blocks:
+        new_instrs = []
+        for instr in block.instructions:
+            if not isinstance(instr, LoadConst):
+                new_instrs.append(instr)
+                continue
+            imm = instr.imm & 0xFFFFFFFF
+            if imm <= 255:
+                new_instrs.append(ins.MovImm(instr.rd, imm))
+            elif imm <= 0xFFFF:
+                new_instrs.append(ins.Movw(instr.rd, imm))
+            else:
+                new_instrs.append(ins.Movw(instr.rd, imm & 0xFFFF))
+                new_instrs.append(ins.Movt(instr.rd, imm >> 16))
+        block.instructions = new_instrs
+
+
+def hoist_constants(mf: MachineFunction, max_hoisted: int = 4) -> int:
+    """Share repeated LoadConst values through one register (pre-RA).
+
+    This is what lets the encoded-compare sequence match Table II: A, C and
+    the condition symbols live in registers, so the sequence itself is just
+    SUB/ADD/UDIV/MLS.
+    """
+    from collections import Counter
+
+    from repro.isa.registers import VReg
+
+    counts: Counter = Counter()
+    for instr in mf.instructions():
+        if isinstance(instr, LoadConst) and instr.imm > 255:
+            counts[instr.imm] += 1
+    worth_hoisting = [imm for imm, n in counts.most_common(max_hoisted) if n >= 2]
+    if not worth_hoisting:
+        return 0
+
+    shared: dict[int, VReg] = {imm: mf.new_vreg(f"c{imm:x}") for imm in worth_hoisting}
+    replaced: dict[VReg, VReg] = {}
+    for block in mf.blocks:
+        new_instrs = []
+        for instr in block.instructions:
+            if isinstance(instr, LoadConst) and instr.imm in shared:
+                replaced[instr.rd] = shared[instr.imm]
+                continue
+            new_instrs.append(instr)
+        block.instructions = new_instrs
+
+    def mapping(reg):
+        return replaced.get(reg, reg)
+
+    for instr in mf.instructions():
+        instr.substitute(mapping)
+    for record in mf.protected_branches:
+        record.cond_reg = replaced.get(record.cond_reg, record.cond_reg)
+
+    # Materialise the shared constants at the top of the entry block, after
+    # the argument copies (which must stay first).
+    insert_at = 0
+    for i, instr in enumerate(mf.entry.instructions):
+        if isinstance(instr, ins.MovReg):
+            insert_at = i + 1
+        else:
+            break
+    loads = [LoadConst(shared[imm], imm) for imm in worth_hoisting]
+    mf.entry.instructions[insert_at:insert_at] = loads
+    return len(worth_hoisting)

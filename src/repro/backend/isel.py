@@ -1,0 +1,393 @@
+"""Instruction selection: IR -> machine IR with virtual registers.
+
+One IR value = one virtual register (SSA in, so single definition).  Phi
+nodes become parallel copies at the end of predecessor blocks (critical
+edges are split beforehand, which keeps the copy placement sound).
+Comparisons feeding a conditional branch are fused into CMP+Bcc; protected
+branches additionally drop a :class:`~repro.backend.machine.CfiMerge`
+pseudo into both successors and register a
+:class:`~repro.backend.machine.ProtectedBranchRecord`.
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as ir
+from repro.ir.function import BasicBlock, Function
+from repro.ir.module import GlobalVariable, Module
+from repro.ir.types import I32
+from repro.ir.values import Argument, Constant, Undef, Value
+from repro.isa import instructions as ins
+from repro.isa.registers import R0, R1, R2, R3, VReg
+from repro.backend.machine import (
+    AllocaAddr,
+    CfiMerge,
+    CompileError,
+    LoadAddr,
+    LoadConst,
+    MachineBlock,
+    MachineFunction,
+    ProtectedBranchRecord,
+)
+
+#: IR icmp predicate -> branch condition code.
+CC_OF = {
+    "eq": "eq",
+    "ne": "ne",
+    "ult": "lo",
+    "ule": "ls",
+    "ugt": "hi",
+    "uge": "hs",
+    "slt": "lt",
+    "sle": "le",
+    "sgt": "gt",
+    "sge": "ge",
+}
+
+_INVERT = {
+    "eq": "ne", "ne": "eq", "lo": "hs", "hs": "lo", "ls": "hi", "hi": "ls",
+    "lt": "ge", "ge": "lt", "le": "gt", "gt": "le",
+}
+
+
+class ISel:
+    def __init__(self, func: Function, hw_modulo: bool = False):
+        self.func = func
+        self.hw_modulo = hw_modulo
+        self.mf = MachineFunction(func.name)
+        self.vregs: dict[Value, VReg] = {}
+        self.block_map: dict[BasicBlock, MachineBlock] = {}
+        self.current: MachineBlock | None = None
+        self._alloca_ids: dict[ir.Alloca, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> MachineFunction:
+        func = self.func
+        if len(func.arguments) > 4:
+            raise CompileError(f"{func.name}: more than 4 arguments unsupported")
+
+        # Create machine blocks up front (entry block label == function name).
+        for i, block in enumerate(func.blocks):
+            label = func.name if i == 0 else f"{func.name}.{block.name}"
+            mblock = MachineBlock(label)
+            self.mf.blocks.append(mblock)
+            self.block_map[block] = mblock
+
+        # Argument copies.
+        self.current = self.block_map[func.entry]
+        for i, arg in enumerate(func.arguments):
+            self.emit(ins.MovReg(self.vreg(arg), (R0, R1, R2, R3)[i]))
+
+        for block in func.blocks:
+            self.current = self.block_map[block]
+            self.lower_block(block)
+
+        return self.mf
+
+    # ------------------------------------------------------------------
+    def emit(self, instr) -> None:
+        assert self.current is not None
+        self.current.append(instr)
+
+    def vreg(self, value: Value) -> VReg:
+        if value not in self.vregs:
+            self.vregs[value] = self.mf.new_vreg(value.name or type(value).__name__.lower())
+        return self.vregs[value]
+
+    def value_reg(self, value: Value) -> VReg:
+        """Register holding ``value``, materialising constants as needed."""
+        if isinstance(value, Constant):
+            reg = self.mf.new_vreg("const")
+            self.emit(LoadConst(reg, value.value))
+            return reg
+        if isinstance(value, Undef):
+            reg = self.mf.new_vreg("undef")
+            self.emit(LoadConst(reg, 0))
+            return reg
+        if isinstance(value, GlobalVariable):
+            reg = self.mf.new_vreg(f"addr.{value.name}")
+            self.emit(ins.LdrLit(reg, value.name))
+            return reg
+        return self.vreg(value)
+
+    # ------------------------------------------------------------------
+    def lower_block(self, block: BasicBlock) -> None:
+        for instr in block.instructions:
+            if isinstance(instr, ir.Phi):
+                self.vreg(instr)  # reserve; copies handled at predecessors
+            elif instr.is_terminator:
+                self.lower_phi_copies(block)
+                self.lower_terminator(block, instr)
+            else:
+                self.lower_instruction(instr)
+
+    # ------------------------------------------------------------------
+    # Straight-line instructions
+    # ------------------------------------------------------------------
+    def lower_instruction(self, instr) -> None:  # noqa: C901 - dispatcher
+        if isinstance(instr, ir.BinaryOp):
+            self.lower_binary(instr)
+        elif isinstance(instr, ir.ICmp):
+            # Fused into branches; materialise only for non-branch users.
+            if any(not isinstance(u, ir.CondBr) for u in instr.users):
+                self.materialize_bool(instr)
+        elif isinstance(instr, ir.Alloca):
+            alloca_id = len(self._alloca_ids)
+            self._alloca_ids[instr] = alloca_id
+            self.mf.alloca_sizes[alloca_id] = instr.size
+            self.emit(AllocaAddr(self.vreg(instr), alloca_id))
+        elif isinstance(instr, ir.Load):
+            base, offset = self.address_of(instr.pointer)
+            if isinstance(offset, int):
+                self.emit(ins.LdrImm(self.vreg(instr), base, offset, instr.type.size_bytes))
+            else:
+                self.emit(ins.LdrReg(self.vreg(instr), base, offset, instr.type.size_bytes))
+        elif isinstance(instr, ir.Store):
+            base, offset = self.address_of(instr.pointer)
+            value = self.value_reg(instr.value)
+            size = instr.value.type.size_bytes
+            if isinstance(offset, int):
+                self.emit(ins.StrImm(value, base, offset, size))
+            else:
+                self.emit(ins.StrReg(value, base, offset, size))
+        elif isinstance(instr, ir.PtrAdd):
+            if not self._foldable_ptradd(instr):
+                self.lower_ptradd(instr)
+        elif isinstance(instr, ir.ZExt):
+            self.emit(ins.MovReg(self.vreg(instr), self.value_reg(instr.value)))
+        elif isinstance(instr, ir.Trunc):
+            src = self.value_reg(instr.value)
+            dst = self.vreg(instr)
+            if instr.type.bits == 8:
+                self.emit(ins.AluImm("and", dst, src, 0xFF, s=True))
+            elif instr.type.bits == 16:
+                self.emit(ins.ShiftImm("lsl", dst, src, 16))
+                self.emit(ins.ShiftImm("lsr", dst, dst, 16))
+            else:  # i1
+                self.emit(ins.AluImm("and", dst, src, 1, s=True))
+        elif isinstance(instr, ir.Call):
+            self.lower_call(instr)
+        elif isinstance(instr, ir.CfiMergeIR):
+            self.emit(CfiMerge(self.value_reg(instr.value), expected=instr.expected))
+        elif isinstance(instr, ir.Select):
+            raise CompileError("select must be lowered before ISel")
+        else:
+            raise CompileError(f"cannot select {instr.opcode}")
+
+    def lower_binary(self, instr: ir.BinaryOp) -> None:
+        dst = self.vreg(instr)
+        op = instr.opcode
+        if op in ("add", "sub", "and", "or", "xor"):
+            target_op = {"add": "add", "sub": "sub", "and": "and", "or": "orr", "xor": "eor"}[op]
+            lhs = self.value_reg(instr.lhs)
+            rhs = instr.rhs
+            if isinstance(rhs, Constant) and self._fits_alu_imm(target_op, rhs.value):
+                self.emit(ins.AluImm(target_op, dst, lhs, rhs.value, s=True))
+            else:
+                self.emit(ins.Alu(target_op, dst, lhs, self.value_reg(rhs), s=True))
+        elif op == "mul":
+            self.emit(ins.Mul(dst, self.value_reg(instr.lhs), self.value_reg(instr.rhs)))
+        elif op == "udiv":
+            self.emit(ins.Udiv(dst, self.value_reg(instr.lhs), self.value_reg(instr.rhs)))
+        elif op == "sdiv":
+            self.emit(ins.Sdiv(dst, self.value_reg(instr.lhs), self.value_reg(instr.rhs)))
+        elif op == "urem":
+            lhs = self.value_reg(instr.lhs)
+            rhs = self.value_reg(instr.rhs)
+            if self.hw_modulo:
+                self.emit(ins.Umod(dst, lhs, rhs))
+            else:
+                # The Table II idiom: q = a / b; r = a - q*b (UDIV + MLS).
+                quotient = self.mf.new_vreg("q")
+                self.emit(ins.Udiv(quotient, lhs, rhs))
+                self.emit(ins.Mls(dst, quotient, rhs, lhs))
+        elif op == "srem":
+            lhs = self.value_reg(instr.lhs)
+            rhs = self.value_reg(instr.rhs)
+            quotient = self.mf.new_vreg("q")
+            self.emit(ins.Sdiv(quotient, lhs, rhs))
+            self.emit(ins.Mls(dst, quotient, rhs, lhs))
+        elif op in ("shl", "lshr", "ashr"):
+            shift_op = {"shl": "lsl", "lshr": "lsr", "ashr": "asr"}[op]
+            lhs = self.value_reg(instr.lhs)
+            if isinstance(instr.rhs, Constant):
+                self.emit(ins.ShiftImm(shift_op, dst, lhs, instr.rhs.value & 31))
+            else:
+                self.emit(ins.ShiftReg(shift_op, dst, lhs, self.value_reg(instr.rhs)))
+        else:
+            raise CompileError(f"cannot select binary op {op}")
+
+    @staticmethod
+    def _fits_alu_imm(op: str, imm: int) -> bool:
+        if op in ("add", "sub"):
+            return 0 <= imm <= 4095
+        return 0 <= imm <= 255
+
+    def lower_ptradd(self, instr: ir.PtrAdd) -> None:
+        dst = self.vreg(instr)
+        base = self.value_reg(instr.pointer)
+        offset = instr.offset
+        if isinstance(offset, Constant) and offset.value <= 4095:
+            self.emit(ins.AluImm("add", dst, base, offset.value, s=True))
+        else:
+            self.emit(ins.Alu("add", dst, base, self.value_reg(offset), s=True))
+
+    @staticmethod
+    def _foldable_ptradd(instr: ir.PtrAdd) -> bool:
+        """True when every use folds into a load/store addressing mode."""
+        return bool(instr.users) and all(
+            isinstance(u, (ir.Load, ir.Store))
+            and getattr(u, "pointer", None) is instr
+            for u in instr.users
+        )
+
+    def address_of(self, pointer: Value):
+        """(base_reg, offset) addressing mode; folds foldable PtrAdds."""
+        if isinstance(pointer, ir.PtrAdd) and self._foldable_ptradd(pointer):
+            off = pointer.offset
+            if isinstance(off, Constant) and 0 <= off.value <= 124:
+                return self.value_reg(pointer.pointer), off.value
+            return self.value_reg(pointer.pointer), self.value_reg(off)
+        return self.value_reg(pointer), 0
+
+    def lower_call(self, instr: ir.Call) -> None:
+        self.mf.makes_calls = True
+        arg_regs = (R0, R1, R2, R3)
+        for i, arg in enumerate(instr.args):
+            self.emit(ins.MovReg(arg_regs[i], self.value_reg(arg)))
+        self.emit(ins.Bl(instr.callee.name))
+        if instr.type.bits:
+            self.emit(ins.MovReg(self.vreg(instr), R0))
+
+    # ------------------------------------------------------------------
+    # Comparisons and branches
+    # ------------------------------------------------------------------
+    def emit_compare(self, cmp: ir.ICmp) -> None:
+        lhs = self.value_reg(cmp.lhs)
+        rhs = cmp.rhs
+        if isinstance(rhs, Constant) and 0 <= rhs.value <= 255:
+            self.emit(ins.CmpImm(lhs, rhs.value))
+        else:
+            self.emit(ins.CmpReg(lhs, self.value_reg(rhs)))
+
+    def materialize_bool(self, cmp: ir.ICmp) -> None:
+        """rd = (lhs cc rhs) ? 1 : 0 using a fall-through Bcc."""
+        dst = self.vreg(cmp)
+        cont = self.mf.new_block("bool", after=self.current)
+        self.emit(ins.MovImm(dst, 1))
+        self.emit_compare(cmp)
+        self.emit(ins.Bcc(CC_OF[cmp.predicate], cont.label))
+        self.emit(ins.MovImm(dst, 0))
+        self.emit(ins.B(cont.label))
+        self.current = cont
+
+    def lower_phi_copies(self, block: BasicBlock) -> None:
+        """Parallel copies for successor phis, before the branch sequence."""
+        copies: list[tuple[VReg, object]] = []
+        for succ in dict.fromkeys(block.successors()):
+            for phi in succ.phis:
+                incoming = phi.incoming_for(block)
+                dst = self.vreg(phi)
+                if isinstance(incoming, Constant):
+                    copies.append((dst, incoming.value))
+                elif isinstance(incoming, Undef):
+                    copies.append((dst, 0))
+                else:
+                    copies.append((dst, self.vreg(incoming)))
+        self.emit_parallel_copies(copies)
+
+    def emit_parallel_copies(self, copies) -> None:
+        """Order reg-to-reg copies so sources are read before overwrite."""
+        pending = [(d, s) for d, s in copies if isinstance(s, VReg) and d != s]
+        const_copies = [(d, s) for d, s in copies if not isinstance(s, VReg)]
+        while pending:
+            progressed = False
+            for i, (dst, src) in enumerate(pending):
+                blocked = any(
+                    j != i and s2 == dst for j, (_, s2) in enumerate(pending)
+                )
+                if blocked:
+                    continue  # dst still read by another pending copy
+                self.emit(ins.MovReg(dst, src))
+                pending.pop(i)
+                progressed = True
+                break
+            if not progressed:
+                # A cycle: rotate through a temporary.
+                dst, src = pending.pop(0)
+                temp = self.mf.new_vreg("cyc")
+                self.emit(ins.MovReg(temp, src))
+                pending = [(d, temp if s == src else s) for d, s in pending]
+                pending.append((dst, temp))
+        for dst, value in const_copies:
+            self.emit(LoadConst(dst, value))
+
+    def lower_terminator(self, block: BasicBlock, term) -> None:
+        if isinstance(term, ir.Ret):
+            if term.value is not None:
+                self.emit(ins.MovReg(R0, self.value_reg(term.value)))
+            self.emit(ins.B(f"{self.func.name}.__exit"))
+        elif isinstance(term, ir.Br):
+            self.emit(ins.B(self.label_of(term.target)))
+        elif isinstance(term, ir.CondBr):
+            self.lower_condbr(term)
+        elif isinstance(term, ir.Trap):
+            self.emit(ins.Udf(term.code))
+        elif isinstance(term, ir.Switch):
+            raise CompileError("switch must be lowered before ISel")
+        else:
+            raise CompileError(f"cannot select terminator {term.opcode}")
+
+    def label_of(self, block: BasicBlock) -> str:
+        return self.block_map[block].label
+
+    def lower_condbr(self, term: ir.CondBr) -> None:
+        cond = term.condition
+        then_label = self.label_of(term.then_block)
+        else_label = self.label_of(term.else_block)
+        if isinstance(cond, ir.ICmp):
+            self.emit_compare(cond)
+            cc = CC_OF[cond.predicate]
+        else:
+            # A boolean value: branch on != 0.
+            self.emit(ins.CmpImm(self.value_reg(cond), 0))
+            cc = "ne"
+        self.emit(ins.Bcc(cc, then_label))
+        self.emit(ins.B(else_label))
+
+        if term.protected is not None:
+            symbol = term.condition_symbol
+            assert symbol is not None
+            cond_reg = self.vreg(symbol)
+            # The CFI merge executes first thing in both successors; it is a
+            # *use* of the symbol, so the register allocator keeps it alive
+            # across the branch (the paper's "state update" in Figure 2).
+            self.block_map[term.then_block].instructions.insert(0, CfiMerge(cond_reg))
+            self.block_map[term.else_block].instructions.insert(0, CfiMerge(cond_reg))
+            self.mf.protected_branches.append(
+                ProtectedBranchRecord(
+                    block_label=self.current.label,
+                    then_label=then_label,
+                    else_label=else_label,
+                    true_value=term.protected.true_value,
+                    false_value=term.protected.false_value,
+                    predicate=term.protected.predicate,
+                    cond_reg=cond_reg,
+                )
+            )
+
+
+def select_function(func: Function, hw_modulo: bool = False) -> MachineFunction:
+    mf = ISel(func, hw_modulo).run()
+    # Exit block with the (to-be-filled) epilogue.
+    exit_block = MachineBlock(f"{func.name}.__exit")
+    exit_block.append(ins.BxLr())
+    mf.blocks.append(exit_block)
+    return mf
+
+
+def select_module(module: Module, hw_modulo: bool = False) -> list[MachineFunction]:
+    return [
+        select_function(func, hw_modulo)
+        for func in module.functions.values()
+        if func.blocks
+    ]

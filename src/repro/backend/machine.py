@@ -1,0 +1,144 @@
+"""Machine-level IR: functions/blocks of target instructions + pseudos.
+
+Pseudo-instructions exist between instruction selection and emission:
+
+* :class:`LoadConst` — materialise an arbitrary 32-bit constant (expanded
+  to MOVS/MOVW/MOVW+MOVT late, after constant hoisting);
+* :class:`AllocaAddr` — frame-pointer arithmetic, fixed once the frame
+  layout is known;
+* :class:`CfiMerge` — "store this condition symbol to the CFI unit",
+  placed in protected-branch successors during ISel so the register
+  allocator keeps the symbol alive (expanded by CFI instrumentation,
+  deleted when CFI is off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.symbols import Predicate
+from repro.isa import instructions as ins
+from repro.isa.registers import VReg, reg_name
+
+
+@dataclass(repr=False)
+class LoadConst(ins.Instr):
+    rd: object
+    imm: int
+    mnemonic = "ldconst"
+    DEFS = ("rd",)
+
+    def text(self) -> str:
+        return f"ldconst {reg_name(self.rd)}, #{self.imm}"
+
+
+#: Address materialisation is the ISA's literal-pool load.
+LoadAddr = ins.LdrLit
+
+
+@dataclass(repr=False)
+class AllocaAddr(ins.Instr):
+    rd: object
+    alloca_id: int
+    mnemonic = "frameaddr"
+    DEFS = ("rd",)
+
+    def text(self) -> str:
+        return f"frameaddr {reg_name(self.rd)}, slot{self.alloca_id}"
+
+
+@dataclass(repr=False)
+class CfiMerge(ins.Instr):
+    """Merge the value in ``rs`` into the CFI state (Figure 2).
+
+    ``expected`` carries the statically expected merge value when the merge
+    site knows it directly (operand residue checks).  Protected-branch
+    successor merges leave it None — their expectation is per-successor and
+    comes from the :class:`ProtectedBranchRecord`.
+    """
+
+    rs: object
+    expected: Optional[int] = None
+    mnemonic = "cfimerge"
+    USES = ("rs",)
+
+    def text(self) -> str:
+        return f"cfimerge {reg_name(self.rs)}"
+
+
+@dataclass
+class ProtectedBranchRecord:
+    """Machine-level record of one protected branch for CFI instrumentation."""
+
+    block_label: str
+    then_label: str
+    else_label: str
+    true_value: int
+    false_value: int
+    predicate: Predicate
+    cond_reg: object = None  # VReg during ISel, physical after RA
+
+
+@dataclass
+class MachineBlock:
+    label: str
+    instructions: list = field(default_factory=list)
+
+    def append(self, instr) -> None:
+        self.instructions.append(instr)
+
+    def successor_labels(self) -> list[str]:
+        succs = []
+        for instr in self.instructions:
+            if isinstance(instr, ins.Bcc):
+                succs.append(instr.label)
+            elif isinstance(instr, ins.B):
+                succs.append(instr.label)
+        return succs
+
+
+@dataclass
+class MachineFunction:
+    name: str
+    blocks: list[MachineBlock] = field(default_factory=list)
+    protected_branches: list[ProtectedBranchRecord] = field(default_factory=list)
+    #: alloca_id -> size in bytes (frame lowering assigns offsets)
+    alloca_sizes: dict[int, int] = field(default_factory=dict)
+    #: filled by the register allocator
+    used_callee_saved: list[int] = field(default_factory=list)
+    spill_bytes: int = 0
+    makes_calls: bool = False
+    _vreg_counter: int = 0
+    _label_counter: int = 0
+
+    def new_vreg(self, hint: str = "") -> VReg:
+        self._vreg_counter += 1
+        return VReg(self._vreg_counter, hint)
+
+    def new_block(self, hint: str, after: Optional[MachineBlock] = None) -> MachineBlock:
+        self._label_counter += 1
+        block = MachineBlock(f"{self.name}.{hint}{self._label_counter}")
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def block_by_label(self, label: str) -> MachineBlock:
+        for block in self.blocks:
+            if block.label == label:
+                return block
+        raise KeyError(label)
+
+    def instructions(self):
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def entry(self) -> MachineBlock:
+        return self.blocks[0]
+
+
+class CompileError(RuntimeError):
+    """The back end could not lower the input (unsupported shape)."""

@@ -1,0 +1,321 @@
+"""Linear-scan register allocation.
+
+Design notes (kept deliberately simple but correct):
+
+* whole-range live intervals (no holes) built from block-level liveness;
+* pools: callee-saved r4-r8, r10, r11 for intervals crossing calls;
+  caller-saved r0-r3 otherwise, with *per-register blocked ranges* around
+  the positions where the ABI actually uses them (argument copies at entry,
+  argument/result windows around BL, the return-value copy to r0);
+* r9 is reserved for the CFI unit base, r12 and lr are reserved as spill
+  scratch registers;
+* spilled vregs live in frame slots; every use reloads into a scratch,
+  every def stores from it (an instruction reading three spilled values
+  raises — not observed; the fix would be a third reserved register);
+* protected-branch condition symbols must stay in registers (the CFI merge
+  stores them in the successors), so their intervals may evict others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.machine import CompileError, MachineFunction
+from repro.isa import instructions as ins
+from repro.isa.registers import LR, R12, VReg
+
+CALLEE_SAVED_POOL = (4, 5, 6, 7, 8, 10, 11)
+CALLER_SAVED_POOL = (0, 1, 2, 3)
+SCRATCH = (R12, LR)
+
+
+@dataclass
+class Interval:
+    vreg: VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+    must_have_reg: bool = False
+    assigned: int | None = None
+
+
+@dataclass
+class AllocationResult:
+    assignment: dict[VReg, int]
+    spill_slots: dict[VReg, int]
+    spill_count: int
+    used_callee_saved: list[int]
+
+
+def _positions(mf: MachineFunction):
+    pos = {}
+    spans = {}
+    counter = 0
+    for block in mf.blocks:
+        start = counter
+        for instr in block.instructions:
+            pos[id(instr)] = counter
+            counter += 1
+        spans[block.label] = (start, max(start, counter - 1))
+    return pos, spans, counter
+
+
+def _block_liveness(mf: MachineFunction):
+    succ_of = {b.label: list(b.successor_labels()) for b in mf.blocks}
+    use_of: dict[str, set] = {}
+    def_of: dict[str, set] = {}
+    for block in mf.blocks:
+        uses: set = set()
+        defs: set = set()
+        for instr in block.instructions:
+            for r in instr.reg_uses():
+                if isinstance(r, VReg) and r not in defs:
+                    uses.add(r)
+            for r in instr.reg_defs():
+                if isinstance(r, VReg):
+                    defs.add(r)
+        use_of[block.label] = uses
+        def_of[block.label] = defs
+
+    live_in: dict[str, set] = {b.label: set() for b in mf.blocks}
+    live_out: dict[str, set] = {b.label: set() for b in mf.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mf.blocks):
+            label = block.label
+            out = set()
+            for succ in succ_of[label]:
+                out |= live_in.get(succ, set())
+            inn = use_of[label] | (out - def_of[label])
+            if out != live_out[label] or inn != live_in[label]:
+                live_out[label] = out
+                live_in[label] = inn
+                changed = True
+    return live_in, live_out
+
+
+def _phys_blocked_ranges(mf: MachineFunction, pos, total: int):
+    """Ranges where each caller-saved register is occupied by the ABI."""
+    blocked: dict[int, list[tuple[int, int]]] = {r: [] for r in CALLER_SAVED_POOL}
+
+    flat: list = []
+    for block in mf.blocks:
+        flat.extend(block.instructions)
+
+    # Entry argument copies: r0..r3 live from position 0 to their copy.
+    for instr in flat:
+        p = pos[id(instr)]
+        if isinstance(instr, ins.MovReg) and isinstance(instr.rm, int):
+            if instr.rm in blocked:
+                blocked[instr.rm].append((0, p))
+        if not isinstance(instr, (ins.MovReg,)):
+            break
+
+    for i, instr in enumerate(flat):
+        p = pos[id(instr)]
+        if isinstance(instr, ins.Bl):
+            # Argument copies immediately preceding the call.
+            window_start = p
+            j = i - 1
+            while j >= 0 and isinstance(flat[j], ins.MovReg) and isinstance(
+                flat[j].rd, int
+            ):
+                window_start = pos[id(flat[j])]
+                j -= 1
+            for r in CALLER_SAVED_POOL:
+                blocked[r].append((window_start, p))
+            # Result in r0 until the copy-out (if any).
+            hi = p + 1
+            if i + 1 < len(flat) and isinstance(flat[i + 1], ins.MovReg) and flat[
+                i + 1
+            ].rm == 0:
+                hi = pos[id(flat[i + 1])]
+            blocked[0].append((p, hi))
+        elif isinstance(instr, ins.MovReg) and instr.rd == 0 and isinstance(
+            instr.rd, int
+        ):
+            # Return-value copy: r0 stays live to the function end.
+            blocked[0].append((p, total))
+        elif isinstance(instr, ins.BxLr):
+            blocked[0].append((p, total))
+    return blocked
+
+
+def _build_intervals(mf: MachineFunction):
+    pos, spans, total = _positions(mf)
+    live_in, live_out = _block_liveness(mf)
+    intervals: dict[VReg, Interval] = {}
+
+    def touch(vreg: VReg, p: int) -> None:
+        iv = intervals.get(vreg)
+        if iv is None:
+            intervals[vreg] = Interval(vreg, p, p)
+        else:
+            iv.start = min(iv.start, p)
+            iv.end = max(iv.end, p)
+
+    call_positions = []
+    for block in mf.blocks:
+        b_start, b_end = spans[block.label]
+        for vreg in live_in[block.label]:
+            touch(vreg, b_start)
+        for vreg in live_out[block.label]:
+            touch(vreg, b_end)
+        for instr in block.instructions:
+            p = pos[id(instr)]
+            for r in list(instr.reg_uses()) + list(instr.reg_defs()):
+                if isinstance(r, VReg):
+                    touch(r, p)
+            if isinstance(instr, ins.Bl):
+                call_positions.append(p)
+
+    must = {
+        record.cond_reg
+        for record in mf.protected_branches
+        if isinstance(record.cond_reg, VReg)
+    }
+    for iv in intervals.values():
+        iv.crosses_call = any(iv.start <= c <= iv.end for c in call_positions)
+        iv.must_have_reg = iv.vreg in must
+    blocked = _phys_blocked_ranges(mf, pos, total)
+    return intervals, blocked
+
+
+def allocate(mf: MachineFunction) -> AllocationResult:
+    intervals, blocked = _build_intervals(mf)
+    ordered = sorted(intervals.values(), key=lambda iv: (iv.start, iv.end))
+    active: list[Interval] = []
+    free_callee = list(CALLEE_SAVED_POOL)
+    free_caller = list(CALLER_SAVED_POOL)
+    spill_slots: dict[VReg, int] = {}
+    used_callee: set[int] = set()
+
+    def overlaps_blocked(reg: int, iv: Interval) -> bool:
+        return any(lo <= iv.end and iv.start <= hi for lo, hi in blocked[reg])
+
+    def release(reg: int) -> None:
+        if reg in CALLEE_SAVED_POOL:
+            free_callee.append(reg)
+        else:
+            free_caller.append(reg)
+
+    def expire(current_start: int) -> None:
+        for iv in list(active):
+            if iv.end < current_start:
+                active.remove(iv)
+                if iv.assigned is not None:
+                    release(iv.assigned)
+
+    def spill(victim: Interval) -> None:
+        spill_slots[victim.vreg] = len(spill_slots)
+
+    for iv in ordered:
+        expire(iv.start)
+        reg = None
+        if not iv.crosses_call:
+            for candidate in list(free_caller):
+                if not overlaps_blocked(candidate, iv):
+                    reg = candidate
+                    free_caller.remove(candidate)
+                    break
+        if reg is None and free_callee:
+            reg = free_callee.pop(0)
+            used_callee.add(reg)
+        if reg is not None:
+            iv.assigned = reg
+            active.append(iv)
+            continue
+
+        # No free register: try to evict.
+        def compatible(a: Interval) -> bool:
+            if a.must_have_reg:
+                return False
+            if iv.crosses_call:
+                return a.assigned in CALLEE_SAVED_POOL
+            return a.assigned in CALLEE_SAVED_POOL or not overlaps_blocked(
+                a.assigned, iv
+            )
+
+        candidates = [a for a in active if a.assigned is not None and compatible(a)]
+        if iv.must_have_reg:
+            victims = candidates  # evict even shorter-lived intervals
+        else:
+            victims = [a for a in candidates if a.end > iv.end]
+        if victims:
+            victim = max(victims, key=lambda a: a.end)
+            iv.assigned = victim.assigned
+            victim.assigned = None
+            spill(victim)
+            active.remove(victim)
+            active.append(iv)
+        else:
+            if iv.must_have_reg:
+                raise CompileError(
+                    f"{mf.name}: cannot keep protected condition symbol "
+                    f"{iv.vreg} in a register"
+                )
+            spill(iv)
+
+    assignment = {
+        iv.vreg: iv.assigned for iv in intervals.values() if iv.assigned is not None
+    }
+    result = AllocationResult(
+        assignment=assignment,
+        spill_slots=spill_slots,
+        spill_count=len(spill_slots),
+        used_callee_saved=sorted(used_callee),
+    )
+    _rewrite(mf, result)
+    return result
+
+
+def _rewrite(mf: MachineFunction, result: AllocationResult) -> None:
+    """Replace vregs with physical registers, inserting spill code."""
+    from repro.isa.registers import SP
+
+    for block in mf.blocks:
+        new_instrs = []
+        for instr in block.instructions:
+            uses = [r for r in instr.reg_uses() if isinstance(r, VReg)]
+            defs = [r for r in instr.reg_defs() if isinstance(r, VReg)]
+            spilled_uses = [r for r in dict.fromkeys(uses) if r in result.spill_slots]
+            spilled_defs = [r for r in dict.fromkeys(defs) if r in result.spill_slots]
+            if len(spilled_uses) > len(SCRATCH):
+                raise CompileError(
+                    f"{mf.name}: instruction {instr.text()} reads "
+                    f"{len(spilled_uses)} spilled values"
+                )
+            scratch_map: dict[VReg, int] = {}
+            for i, vreg in enumerate(spilled_uses):
+                scratch = SCRATCH[i]
+                scratch_map[vreg] = scratch
+                offset = 4 * result.spill_slots[vreg]
+                new_instrs.append(ins.LdrImm(scratch, SP, offset))
+            def_scratch: dict[VReg, int] = {}
+            for vreg in spilled_defs:
+                def_scratch[vreg] = scratch_map.get(vreg, SCRATCH[0])
+
+            def mapping(reg):
+                if isinstance(reg, VReg):
+                    if reg in scratch_map:
+                        return scratch_map[reg]
+                    if reg in def_scratch:
+                        return def_scratch[reg]
+                    if reg in result.assignment:
+                        return result.assignment[reg]
+                    raise CompileError(f"{mf.name}: unallocated vreg {reg}")
+                return reg
+
+            instr.substitute(mapping)
+            new_instrs.append(instr)
+            for vreg in spilled_defs:
+                offset = 4 * result.spill_slots[vreg]
+                new_instrs.append(ins.StrImm(def_scratch[vreg], SP, offset))
+        block.instructions = new_instrs
+
+    for record in mf.protected_branches:
+        if isinstance(record.cond_reg, VReg):
+            record.cond_reg = result.assignment[record.cond_reg]
+    mf.used_callee_saved = result.used_callee_saved
+    mf.spill_bytes = 4 * result.spill_count

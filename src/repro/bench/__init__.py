@@ -1,0 +1,6 @@
+"""Benchmark harness utilities (S12): measurement + paper-style tables."""
+
+from repro.bench.harness import Measurement, measure, overhead_pct
+from repro.bench.tables import format_table, save_table
+
+__all__ = ["Measurement", "format_table", "measure", "overhead_pct", "save_table"]

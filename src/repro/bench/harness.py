@@ -1,0 +1,59 @@
+"""Measurement helpers for the experiment benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.driver import CompiledProgram
+from repro.isa.cpu import Status
+
+
+class MeasurementError(RuntimeError):
+    """A benchmark run did not exit cleanly."""
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (program, workload) data point."""
+
+    function: str
+    size_bytes: int
+    cycles: int
+    instructions: int
+    exit_code: int
+
+
+def measure(
+    program: CompiledProgram,
+    function: str,
+    args: list[int] | None = None,
+    max_cycles: int = 50_000_000,
+    size_functions: tuple[str, ...] | None = None,
+) -> Measurement:
+    """Run ``function`` and collect cycles + code size.
+
+    ``size_functions`` lets a measurement attribute the size of several
+    functions (e.g. a protected helper plus its driver); defaults to just
+    the measured function.
+    """
+    result = program.run(function, list(args or []), max_cycles=max_cycles)
+    if result.status is not Status.EXIT:
+        raise MeasurementError(
+            f"{function}: expected clean exit, got {result.status}"
+        )
+    names = size_functions if size_functions is not None else (function,)
+    size = sum(program.size_of(name) for name in names)
+    return Measurement(
+        function=function,
+        size_bytes=size,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        exit_code=result.exit_code,
+    )
+
+
+def overhead_pct(value: float, baseline: float) -> float:
+    """Relative overhead in percent, the way Table III reports it."""
+    if baseline == 0:
+        return float("inf")
+    return 100.0 * (value - baseline) / baseline

@@ -1,0 +1,16 @@
+"""GPSA control-flow integrity (S9 in DESIGN.md).
+
+A software-centred CFI scheme in the spirit of Werner et al. (CARDIS 2015),
+the one the paper builds on: every retired instruction advances a state
+``S = rotl(S, 1) XOR sig(instr)``; values stored to the CFI unit are merged
+``S ^= value``; stored check values must equal ``S``.  The paper's branch
+protection merges the *encoded condition symbol* into ``S`` in both branch
+successors, with the statically expected symbol differing per successor —
+that is the "linking" that removes the 1-bit single point of failure.
+"""
+
+from repro.cfi.gpsa import entry_state, merge, update
+from repro.cfi.monitor import CfiMonitor
+from repro.cfi.signatures import signature
+
+__all__ = ["CfiMonitor", "entry_state", "merge", "signature", "update"]

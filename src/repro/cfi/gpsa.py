@@ -1,0 +1,27 @@
+"""GPSA state arithmetic (shared by static propagation and the monitor)."""
+
+from __future__ import annotations
+
+import zlib
+
+MASK = 0xFFFFFFFF
+
+
+def rotl(value: int, amount: int = 1) -> int:
+    value &= MASK
+    return ((value << amount) | (value >> (32 - amount))) & MASK
+
+
+def update(state: int, sig: int) -> int:
+    """Advance the state by one retired instruction."""
+    return rotl(state, 1) ^ (sig & MASK)
+
+
+def merge(state: int, value: int) -> int:
+    """Merge a runtime value stored to the CFI unit into the state."""
+    return (state ^ value) & MASK
+
+
+def entry_state(function_name: str) -> int:
+    """Deterministic per-function entry state."""
+    return zlib.crc32(f"fn:{function_name}".encode()) & MASK

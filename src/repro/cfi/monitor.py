@@ -1,0 +1,51 @@
+"""Runtime CFI monitor.
+
+Attached to the CPU as a retire hook.  Mirrors the paper's CFI unit:
+
+* every retired instruction advances the GPSA state;
+* stores to ``CFI_MERGE`` fold the stored value into the state (this is how
+  encoded condition symbols get linked in — Figure 2);
+* stores to ``CFI_CHECK`` compare the stored (expected) value against the
+  state and flag a violation on mismatch;
+* calls push the caller state and switch to the callee's entry state;
+  returns pop (an interprocedural shadow stack inside the monitor).
+"""
+
+from __future__ import annotations
+
+from repro.cfi.gpsa import entry_state, merge, update
+from repro.cfi.signatures import signature
+from repro.isa import instructions as ins
+from repro.isa.cpu import CPU, MAGIC_RETURN
+from repro.isa.mmio import MMIO
+
+
+class CfiMonitor:
+    def __init__(self, cpu: CPU, entry_function: str):
+        self.cpu = cpu
+        self.image = cpu.image
+        self.state = entry_state(entry_function)
+        self.call_stack: list[int] = []
+        self.violations = 0
+        self.checks_passed = 0
+        cpu.retire_hooks.append(self.on_retire)
+
+    # ------------------------------------------------------------------
+    def on_retire(self, cpu: CPU, instr, cfi_events) -> None:
+        self.state = update(self.state, signature(instr))
+        for event in cfi_events:
+            if event.addr == MMIO.CFI_MERGE:
+                self.state = merge(self.state, event.value)
+            elif event.addr == MMIO.CFI_CHECK:
+                if event.value != self.state:
+                    self.violations += 1
+                    cpu.cfi_violation()
+                else:
+                    self.checks_passed += 1
+        if isinstance(instr, ins.Bl):
+            callee = self.image.function_of(instr.target)
+            self.call_stack.append(self.state)
+            if callee is not None:
+                self.state = entry_state(callee)
+        elif isinstance(instr, ins.BxLr) and self.call_stack:
+            self.state = self.call_stack.pop()

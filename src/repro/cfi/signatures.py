@@ -1,0 +1,21 @@
+"""Per-instruction signatures.
+
+The signature is the CRC-32 of the instruction's canonical text — address
+independent (so layout does not feed back into the instrumentation) but
+sensitive to opcode, registers and immediates, which is what instruction-
+granular CFI needs: executing a *different* instruction yields a different
+state.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+def signature(instr) -> int:
+    # Instruction text is immutable once emitted; cache per object (the
+    # monitor queries this for every retired instruction).
+    sig = getattr(instr, "_sig_cache", None)
+    if sig is None:
+        sig = zlib.crc32(instr.text().encode()) & 0xFFFFFFFF
+        instr._sig_cache = sig
+    return sig

@@ -1,0 +1,26 @@
+"""Core contribution of the paper: encoded comparisons + protected branches.
+
+This package implements Section III/IV of the paper:
+
+* :mod:`repro.core.symbols` — comparison predicates and the condition-symbol
+  table (Table I);
+* :mod:`repro.core.params` — parameter selection: encoding constant ``A``,
+  additive constants ``C`` and the resulting symbol Hamming distance ``D``;
+* :mod:`repro.core.comparison` — the encoded comparison algorithms
+  (Algorithm 1 for relational, Algorithm 2 for equality predicates);
+* :mod:`repro.core.an_coder` — the "AN Coder" compiler pass that rewrites
+  IR so conditional branches use encoded comparisons;
+* :mod:`repro.core.protect` — one-call facade assembling the whole pipeline.
+"""
+
+from repro.core.comparison import EncodedComparator
+from repro.core.params import ProtectionParams, optimize_c
+from repro.core.symbols import Predicate, SymbolTable
+
+__all__ = [
+    "EncodedComparator",
+    "Predicate",
+    "ProtectionParams",
+    "SymbolTable",
+    "optimize_c",
+]

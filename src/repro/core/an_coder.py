@@ -1,0 +1,236 @@
+"""The AN Coder pass (Figure 3): rewrite branches to encoded comparisons.
+
+For every conditional branch in a ``protect_branches`` function whose
+condition is an (unsigned or equality) integer comparison, this pass:
+
+1. AN-encodes the backward slice feeding the comparison — ``add``/``sub``
+   stay in the encoded domain (Equation 1), constants are encoded at compile
+   time, phis are cloned into encoded phis (so loop counters decoupled by
+   the Loop Decoupler iterate fully inside the code), and everything else is
+   an *encode boundary* (``x * A``);
+2. emits the encoded comparison sequence of Algorithm 1/2 (sub, add-C,
+   remainder — exactly the SUB/ADD/UDIV/MLS mix of Table II once lowered);
+3. replaces the branch condition by ``cond == C_true`` (the paper's
+   "standard compare and branch" on the redundant symbol) and attaches
+   :class:`~repro.ir.instructions.ProtectedBranchInfo` so the back end's CFI
+   instrumentation can merge the symbol into the CFI state in both
+   successors (Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import ProtectionParams
+from repro.core.symbols import Predicate
+from repro.ir.cfg import split_critical_edges
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOp,
+    CfiMergeIR,
+    CondBr,
+    ICmp,
+    Instruction,
+    Phi,
+    ProtectedBranchInfo,
+)
+from repro.ir.module import Module
+from repro.ir.types import I32
+from repro.ir.values import Argument, Constant, Value
+
+
+class ANCoderPass:
+    """Callable module pass; returns the number of protected branches."""
+
+    def __init__(
+        self,
+        params: ProtectionParams | None = None,
+        only_protected: bool = True,
+        operand_checks: bool = False,
+    ):
+        self.params = params or ProtectionParams.paper()
+        self.only_protected = only_protected
+        #: Extension beyond the paper: also merge each comparison operand's
+        #: AN residue into the CFI state.  Closes the measured operand-fault
+        #: window of Algorithm 2 (an encoded-operand bit flip with
+        #: |delta mod +/-A| < C forges the EQUAL symbol); the paper instead
+        #: delegates operand integrity to the data-protection scheme.
+        self.operand_checks = operand_checks
+        #: Constants that exceeded the functional range during encoding;
+        #: recorded for diagnostics (the encoding still wraps mod 2^32).
+        self.overflowed_constants: list[int] = []
+
+    def __call__(self, module: Module) -> int:
+        total = 0
+        for func in module.functions.values():
+            if not func.blocks:
+                continue
+            if self.only_protected and not func.is_protected:
+                continue
+            total += self._run_function(func)
+        return total
+
+    # ------------------------------------------------------------------
+    def _run_function(self, func: Function) -> int:
+        split_critical_edges(func)
+        encoder = _SliceEncoder(self, func)
+        protected = 0
+        for block in list(func.blocks):
+            term = block.terminator
+            if not isinstance(term, CondBr) or term.protected is not None:
+                continue
+            cmp = term.condition
+            if not isinstance(cmp, ICmp):
+                continue
+            predicate = cmp.paper_predicate
+            if predicate is None:
+                continue  # signed predicates stay unprotected (documented)
+            if cmp.lhs.type is not I32:
+                continue
+            self._protect_branch(encoder, term, cmp, predicate)
+            protected += 1
+        return protected
+
+    def _protect_branch(
+        self,
+        encoder: "_SliceEncoder",
+        branch: CondBr,
+        cmp: ICmp,
+        predicate: Predicate,
+    ) -> None:
+        params = self.params
+        symbols = params.symbols
+        block = branch.parent
+        assert block is not None
+
+        xc = encoder.encoded(cmp.lhs)
+        yc = encoder.encoded(cmp.rhs)
+
+        def emit(instr: Instruction) -> Instruction:
+            block.insert_before_terminator(instr)
+            return instr
+
+        a_const = Constant(I32, params.an.A)
+        if predicate.is_equality:
+            c_const = Constant(I32, params.c_eq)
+            d1 = emit(BinaryOp("sub", xc, yc, "an.d1"))
+            d1c = emit(BinaryOp("add", d1, c_const, "an.d1c"))
+            r1 = emit(BinaryOp("urem", d1c, a_const, "an.r1"))
+            d2 = emit(BinaryOp("sub", yc, xc, "an.d2"))
+            d2c = emit(BinaryOp("add", d2, c_const, "an.d2c"))
+            r2 = emit(BinaryOp("urem", d2c, a_const, "an.r2"))
+            cond = emit(BinaryOp("add", r1, r2, "an.cond"))
+        else:
+            row = symbols.row(predicate)
+            lhs, rhs = (xc, yc) if row.subtraction == "xy" else (yc, xc)
+            c_const = Constant(I32, params.c_rel)
+            d = emit(BinaryOp("sub", lhs, rhs, "an.d"))
+            dc = emit(BinaryOp("add", d, c_const, "an.dc"))
+            cond = emit(BinaryOp("urem", dc, a_const, "an.cond"))
+
+        if self.operand_checks:
+            # Post-use residue checks: placed *after* the comparison consumed
+            # the operands, so a fault between check and use cannot slip
+            # through (a pre-use check would leave a TOCTOU window — a flip
+            # after the check but before the subtractions forges results).
+            for operand, tag in ((xc, "x"), (yc, "y")):
+                if isinstance(operand, Constant):
+                    continue  # compile-time encodings cannot be faulted
+                residue = emit(BinaryOp("urem", operand, a_const, f"an.chk{tag}"))
+                emit(CfiMergeIR(residue, 0))
+
+        true_value = symbols.true_value(predicate)
+        new_cmp = emit(
+            ICmp("eq", cond, Constant(I32, true_value), "an.take")
+        )
+        branch.set_operand(0, new_cmp)
+        branch.attach_condition_symbol(cond)
+        branch.protected = ProtectedBranchInfo(
+            predicate=predicate,
+            true_value=true_value,
+            false_value=symbols.false_value(predicate),
+        )
+
+
+class _SliceEncoder:
+    """Encodes the backward slice of comparison operands, with memoisation.
+
+    Placement rule: the encoded counterpart of an instruction is inserted
+    immediately after the instruction itself, so dominance is inherited from
+    the original data flow.  Encoded phis sit in the same block as the
+    original phi.
+    """
+
+    #: Opcodes transported into the AN domain without correction.
+    TRANSPARENT = ("add", "sub")
+
+    def __init__(self, owner: ANCoderPass, func: Function):
+        self.owner = owner
+        self.func = func
+        self.params = owner.params
+        self.memo: dict[Value, Value] = {}
+
+    def encoded(self, value: Value) -> Value:
+        if value in self.memo:
+            return self.memo[value]
+        result = self._encode(value)
+        self.memo[value] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _encode(self, value: Value) -> Value:
+        an = self.params.an
+        if isinstance(value, Constant):
+            if value.value > an.max_functional:
+                self.owner.overflowed_constants.append(value.value)
+            return Constant(I32, (value.value * an.A) & an.word_mask)
+        if isinstance(value, Phi) and value.type is I32:
+            return self._encode_phi(value)
+        if (
+            isinstance(value, BinaryOp)
+            and value.opcode in self.TRANSPARENT
+            and value.type is I32
+        ):
+            clone = BinaryOp(
+                value.opcode,
+                self.encoded(value.lhs),
+                self.encoded(value.rhs),
+                f"{value.name or value.opcode}.an",
+            )
+            self._insert_after(value, clone)
+            return clone
+        return self._boundary(value)
+
+    def _encode_phi(self, phi: Phi) -> Value:
+        clone = Phi(I32, f"{phi.name or 'phi'}.an")
+        block = phi.parent
+        assert block is not None
+        block.insert(0, clone)
+        self.memo[phi] = clone  # break recursion through loop back edges
+        for incoming, pred in phi.incomings:
+            clone.add_incoming(self.encoded(incoming), pred)
+        return clone
+
+    def _boundary(self, value: Value) -> Value:
+        """Everything else enters the domain through an explicit encode."""
+        an = self.params.an
+        encode = BinaryOp("mul", value, Constant(I32, an.A), "enc")
+        if isinstance(value, Instruction):
+            self._insert_after(value, encode)
+        elif isinstance(value, Argument):
+            self.func.entry.insert(0, encode)
+        else:  # globals etc.: safe to materialise at any use-dominating point
+            raise NotImplementedError(
+                f"cannot encode value of kind {type(value).__name__}"
+            )
+        return encode
+
+    @staticmethod
+    def _insert_after(anchor: Instruction, instr: Instruction) -> None:
+        block = anchor.parent
+        assert block is not None
+        index = block.instructions.index(anchor) + 1
+        # Skip past any phis if the anchor itself is a phi.
+        while index < len(block.instructions) and isinstance(
+            block.instructions[index], Phi
+        ):
+            index += 1
+        block.insert(index, instr)

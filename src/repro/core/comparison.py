@@ -1,0 +1,167 @@
+"""Encoded comparison algorithms (Section IV, Algorithms 1 and 2).
+
+These are the *reference* implementations operating on Python integers; the
+compiler (:mod:`repro.core.an_coder` + :mod:`repro.backend`) emits the same
+computation as ARMv7-M instructions.  Keeping a bit-exact executable
+specification here lets the test-suite diff the compiled code against it.
+
+The trick (Equations 3-5 of the paper): AN-codes are closed under signed
+subtraction, so ``xc - yc`` is a valid code word *as a signed value*.
+Reinterpreting the difference as unsigned leaves positive differences
+untouched but turns a negative difference ``A*(x-y)`` into
+``2^w + A*(x-y)``, whose residue mod ``A`` is ``R = 2^w mod A`` instead of 0.
+Adding ``0 < C < A`` before the remainder moves the symbols away from zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import ProtectionParams
+from repro.core.symbols import Predicate
+
+
+class ConditionFault(Exception):
+    """A condition value was neither the true nor the false symbol."""
+
+    def __init__(self, predicate: Predicate, value: int):
+        super().__init__(f"invalid condition value {value:#x} for {predicate.value}")
+        self.predicate = predicate
+        self.value = value
+
+
+@dataclass
+class ComparisonTrace:
+    """Intermediate values of one encoded comparison.
+
+    The Section VI fault simulation (E5) injects bit flips into exactly
+    these locations, so the trace doubles as the fault-space definition.
+    """
+
+    predicate: Predicate
+    inputs: tuple[int, int]
+    intermediates: list[tuple[str, int]] = field(default_factory=list)
+    condition: int = 0
+
+    def record(self, name: str, value: int) -> int:
+        self.intermediates.append((name, value))
+        return value
+
+
+class EncodedComparator:
+    """Computes redundant condition symbols from AN-encoded operands."""
+
+    def __init__(self, params: ProtectionParams | None = None):
+        self.params = params or ProtectionParams.paper()
+        self.symbols = self.params.symbols
+
+    @property
+    def mask(self) -> int:
+        return self.params.an.word_mask
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: relational predicates
+    # ------------------------------------------------------------------
+    def compare_relational(
+        self,
+        predicate: Predicate,
+        xc: int,
+        yc: int,
+        trace: ComparisonTrace | None = None,
+    ) -> int:
+        """AN-encoded ``< <= > >=`` comparison (Algorithm 1 + Table I).
+
+        Returns the condition symbol; does *not* decide anything — deciding
+        is the branch's job, and the symbol's redundancy survives into the
+        CFI state there.
+        """
+        if predicate.is_equality:
+            raise ValueError(f"{predicate} is not relational")
+        row = self.symbols.row(predicate)
+        a, c = self.params.an.A, self.params.c_rel
+        lhs, rhs = (xc, yc) if row.subtraction == "xy" else (yc, xc)
+        diff = (lhs - rhs + c) & self.mask
+        if trace is not None:
+            trace.record("diff", diff)
+        cond = diff % a
+        if trace is not None:
+            trace.record("cond", cond)
+            trace.condition = cond
+        return cond
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: equality predicates
+    # ------------------------------------------------------------------
+    def compare_equality(
+        self,
+        predicate: Predicate,
+        xc: int,
+        yc: int,
+        trace: ComparisonTrace | None = None,
+    ) -> int:
+        """AN-encoded ``==`` / ``!=`` comparison (Algorithm 2).
+
+        Combines the ``>=`` and ``<=`` conditions: equal operands make both
+        remainders ``C`` (sum ``2C``); unequal operands make exactly one of
+        them ``R + C`` (sum ``R + 2C``).
+        """
+        if not predicate.is_equality:
+            raise ValueError(f"{predicate} is not an equality predicate")
+        a, c = self.params.an.A, self.params.c_eq
+        diff1 = (xc - yc) & self.mask
+        diff1 = (diff1 + c) & self.mask
+        rem1 = diff1 % a
+        diff2 = (yc - xc) & self.mask
+        diff2 = (diff2 + c) & self.mask
+        rem2 = diff2 % a
+        cond = (rem1 + rem2) & self.mask
+        if trace is not None:
+            for name, value in (
+                ("diff1", diff1),
+                ("rem1", rem1),
+                ("diff2", diff2),
+                ("rem2", rem2),
+                ("cond", cond),
+            ):
+                trace.record(name, value)
+            trace.condition = cond
+        return cond
+
+    # ------------------------------------------------------------------
+    # Unified interface (Equation 2 of the paper)
+    # ------------------------------------------------------------------
+    def compare(
+        self,
+        predicate: Predicate,
+        xc: int,
+        yc: int,
+        trace: ComparisonTrace | None = None,
+    ) -> int:
+        """``EncodedCompare(P, xc, yc)`` per Equation 2."""
+        if predicate.is_equality:
+            return self.compare_equality(predicate, xc, yc, trace)
+        return self.compare_relational(predicate, xc, yc, trace)
+
+    def traced_compare(self, predicate: Predicate, xc: int, yc: int) -> ComparisonTrace:
+        trace = ComparisonTrace(predicate, (xc, yc))
+        self.compare(predicate, xc, yc, trace)
+        return trace
+
+    def classify(self, predicate: Predicate, condition: int) -> bool:
+        """Decode a condition symbol, raising :class:`ConditionFault` on faults.
+
+        Models a *checked* consumer; the real branch instead compares against
+        the true symbol and relies on the CFI merge to catch invalid symbols.
+        """
+        true_value, false_value = self.symbols.valid_symbols(predicate)
+        if condition == true_value:
+            return True
+        if condition == false_value:
+            return False
+        raise ConditionFault(predicate, condition)
+
+    def compare_plain(self, predicate: Predicate, x: int, y: int) -> bool:
+        """Encode, compare and classify plain integers (convenience)."""
+        xc = self.params.an.encode(x)
+        yc = self.params.an.encode(y)
+        return self.classify(predicate, self.compare(predicate, xc, yc))

@@ -1,0 +1,122 @@
+"""Parameter selection for protected comparisons (Section IV-a of the paper).
+
+The designer picks:
+
+* the encoding constant ``A`` (error detection on the data path),
+* the additive constant ``C`` with ``0 < C < A``, which (a) keeps the
+  comparison symbols away from the easily-forced all-zero/all-one words and
+  (b) is tuned to maximise the Hamming distance ``D`` between the true and
+  false symbols.
+
+The paper's choice: ``A = 63877``, ``C = 29982`` for relational predicates,
+``C = 14991`` for equality predicates, reaching ``D = 15``.
+:func:`optimize_c` re-derives these values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ancode.codes import ANCode
+from repro.ancode.distance import hamming_distance, hamming_weight
+from repro.core.symbols import SymbolTable
+
+#: MMIO word the CFI unit exposes for merging condition values (see
+#: repro.isa.mmio); kept here because it is part of the protection contract.
+PAPER_A = 63877
+PAPER_C_REL = 29982
+PAPER_C_EQ = 14991
+
+
+@dataclass(frozen=True)
+class ProtectionParams:
+    """Complete parameter set for branch protection.
+
+    ``c_rel`` is the constant used by the relational (``< <= > >=``)
+    comparison (Algorithm 1); ``c_eq`` the one used by the equality
+    comparison (Algorithm 2).  The equality symbols are built from ``2*c_eq``
+    so choosing ``c_eq = c_rel / 2`` makes both predicate families share the
+    same pair of symbols — exactly what the paper's constants do
+    (``2 * 14991 = 29982``).
+    """
+
+    an: ANCode = field(default_factory=ANCode)
+    c_rel: int = PAPER_C_REL
+    c_eq: int = PAPER_C_EQ
+
+    def __post_init__(self) -> None:
+        residue = self.an.residue_of_wrap
+        for name, c, scale in (("c_rel", self.c_rel, 1), ("c_eq", self.c_eq, 2)):
+            if not 0 < c < self.an.A:
+                raise ValueError(f"{name}={c} must satisfy 0 < C < A={self.an.A}")
+            if residue + scale * c >= self.an.A:
+                # Otherwise the "wrapped" symbol would be reduced mod A and
+                # no longer equal the canonical R + scale*C of Table I.
+                raise ValueError(
+                    f"{name}={c}: R + {scale}*C = {residue + scale * c} "
+                    f"must stay below A={self.an.A}"
+                )
+
+    @classmethod
+    def paper(cls) -> "ProtectionParams":
+        """The exact parameter set evaluated in the paper."""
+        return cls(ANCode(PAPER_A, 32, 16), PAPER_C_REL, PAPER_C_EQ)
+
+    @classmethod
+    def derive(cls, an: ANCode) -> "ProtectionParams":
+        """Derive optimal C constants for an arbitrary code."""
+        c_rel = optimize_c(an.A, an.word_bits, scale=1)
+        c_eq = optimize_c(an.A, an.word_bits, scale=2)
+        return cls(an, c_rel, c_eq)
+
+    @property
+    def symbols(self) -> SymbolTable:
+        return SymbolTable(self.an.A, self.an.word_bits, self.c_rel, self.c_eq)
+
+    @property
+    def security_level(self) -> int:
+        """The paper's ``D``: minimum symbol Hamming distance."""
+        return self.symbols.min_distance()
+
+
+def optimize_c(A: int, word_bits: int = 32, scale: int = 1) -> int:
+    """Find ``C`` maximising the symbol Hamming distance.
+
+    The two symbols are ``scale*C`` and ``R + scale*C`` (``R = 2^w mod A``);
+    ``scale`` is 1 for the relational comparison and 2 for the equality
+    comparison (whose result is a sum of two remainders, Algorithm 2).
+
+    Constraints honoured:
+
+    * ``0 < C < A`` (the paper's range for the additive constant),
+    * ``R + scale*C < A`` so neither symbol is reduced mod A — the runtime
+      remainder must yield exactly the Table I symbols.
+
+    Ties are broken by preferring symbols with balanced Hamming weight
+    (hardest to force to all-0/all-1), then by the larger C (further from
+    the easily-forced all-zero word).
+    """
+    residue = (1 << word_bits) % A
+    best_c = 1
+    best_key: tuple[int, int, int] | None = None
+    half_weight = word_bits // 2
+    limit = (A - residue + scale - 1) // scale  # largest C with R+scale*C < A
+    for c in range(1, min(A, limit)):
+        low = scale * c
+        high = residue + scale * c
+        dist = hamming_distance(low, high)
+        balance = -abs(hamming_weight(low) - half_weight) - abs(
+            hamming_weight(high) - half_weight
+        )
+        key = (dist, balance, c)
+        if best_key is None or key > best_key:
+            best_key = key
+            best_c = c
+    return best_c
+
+
+def max_symbol_distance(A: int, word_bits: int = 32, scale: int = 1) -> int:
+    """Best achievable symbol distance for a given ``A`` (used by E8)."""
+    c = optimize_c(A, word_bits, scale)
+    residue = (1 << word_bits) % A
+    return hamming_distance(scale * c, residue + scale * c)

@@ -1,0 +1,30 @@
+"""One-call protection facade.
+
+``protect_module(module)`` runs the paper's middle-end pipeline over a
+module in place; the back end (:mod:`repro.backend.driver`) then completes
+compilation including CFI instrumentation.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import ProtectionParams
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.passes.pipeline import standard_pipeline
+
+
+def protect_module(
+    module: Module,
+    scheme: str = "ancode",
+    params: ProtectionParams | None = None,
+    duplication_order: int = 6,
+    operand_checks: bool = False,
+) -> dict[str, object]:
+    """Apply branch protection to every ``protect_branches`` function.
+
+    Returns the per-pass statistics (e.g. how many branches were protected).
+    """
+    pipeline = standard_pipeline(scheme, params, duplication_order, operand_checks)
+    stats = pipeline.run(module)
+    verify_module(module)
+    return stats

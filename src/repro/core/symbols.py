@@ -1,0 +1,133 @@
+"""Comparison predicates and condition symbols (Table I of the paper).
+
+A protected conditional branch never sees a 1-bit flag.  The encoded
+comparison produces one of two *symbols* ``C_true`` / ``C_false`` whose
+Hamming distance is at least the security level ``D``.  Table I of the paper
+lists, per predicate, which operand order is subtracted and which symbol
+means "condition holds".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ancode.distance import hamming_distance
+
+
+class Predicate(enum.Enum):
+    """Comparison predicates on (unsigned) functional values."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def is_equality(self) -> bool:
+        return self in (Predicate.EQ, Predicate.NE)
+
+    @property
+    def negated(self) -> "Predicate":
+        return _NEGATIONS[self]
+
+    @property
+    def swapped(self) -> "Predicate":
+        """Predicate with the operand order reversed (x P y == y P' x)."""
+        return _SWAPS[self]
+
+    def evaluate(self, x: int, y: int) -> bool:
+        """Ground-truth evaluation on plain integers."""
+        return _EVAL[self](x, y)
+
+
+_NEGATIONS = {
+    Predicate.EQ: Predicate.NE,
+    Predicate.NE: Predicate.EQ,
+    Predicate.LT: Predicate.GE,
+    Predicate.GE: Predicate.LT,
+    Predicate.GT: Predicate.LE,
+    Predicate.LE: Predicate.GT,
+}
+
+_SWAPS = {
+    Predicate.EQ: Predicate.EQ,
+    Predicate.NE: Predicate.NE,
+    Predicate.LT: Predicate.GT,
+    Predicate.GT: Predicate.LT,
+    Predicate.LE: Predicate.GE,
+    Predicate.GE: Predicate.LE,
+}
+
+_EVAL = {
+    Predicate.EQ: lambda x, y: x == y,
+    Predicate.NE: lambda x, y: x != y,
+    Predicate.LT: lambda x, y: x < y,
+    Predicate.LE: lambda x, y: x <= y,
+    Predicate.GT: lambda x, y: x > y,
+    Predicate.GE: lambda x, y: x >= y,
+}
+
+
+@dataclass(frozen=True)
+class SymbolRow:
+    """One row of Table I: operand order plus the two condition symbols."""
+
+    predicate: Predicate
+    #: "xy" = compute xc - yc, "yx" = compute yc - xc (before adding C).
+    subtraction: str
+    true_value: int
+    false_value: int
+
+    @property
+    def distance(self) -> int:
+        return hamming_distance(self.true_value, self.false_value)
+
+
+class SymbolTable:
+    """Condition-symbol table for a given parameter set.
+
+    Reproduces Table I of the paper: for the relational predicates the true
+    and false symbols are ``R + C`` and ``C`` (``R = 2^w mod A``), with the
+    subtraction order determining which outcome carries the wrap residue.
+    For the equality predicates the symbols are ``2*C`` and ``R + 2*C``.
+    """
+
+    def __init__(self, A: int, word_bits: int, c_rel: int, c_eq: int):
+        self.A = A
+        self.word_bits = word_bits
+        self.c_rel = c_rel
+        self.c_eq = c_eq
+        self.residue = (1 << word_bits) % A
+        r = self.residue
+        self._rows = {
+            # Table I ordering: >, >=, <, <=, then the equality pair.
+            Predicate.GT: SymbolRow(Predicate.GT, "yx", r + c_rel, c_rel),
+            Predicate.GE: SymbolRow(Predicate.GE, "xy", c_rel, r + c_rel),
+            Predicate.LT: SymbolRow(Predicate.LT, "xy", r + c_rel, c_rel),
+            Predicate.LE: SymbolRow(Predicate.LE, "yx", c_rel, r + c_rel),
+            Predicate.EQ: SymbolRow(Predicate.EQ, "both", 2 * c_eq, r + 2 * c_eq),
+            Predicate.NE: SymbolRow(Predicate.NE, "both", r + 2 * c_eq, 2 * c_eq),
+        }
+
+    def row(self, predicate: Predicate) -> SymbolRow:
+        return self._rows[predicate]
+
+    def true_value(self, predicate: Predicate) -> int:
+        return self._rows[predicate].true_value
+
+    def false_value(self, predicate: Predicate) -> int:
+        return self._rows[predicate].false_value
+
+    def rows(self) -> list[SymbolRow]:
+        return [self._rows[p] for p in Predicate]
+
+    def min_distance(self) -> int:
+        """Smallest symbol distance over all predicates (the paper's D)."""
+        return min(row.distance for row in self.rows())
+
+    def valid_symbols(self, predicate: Predicate) -> tuple[int, int]:
+        row = self._rows[predicate]
+        return (row.true_value, row.false_value)

@@ -1,0 +1,38 @@
+"""Crypto substrate for the secure-bootloader macro-benchmark (S11).
+
+Host-side reference implementations (pure Python, from scratch):
+
+* :mod:`repro.crypto.sha256` — SHA-256;
+* :mod:`repro.crypto.curves` / :mod:`repro.crypto.ecdsa` — ECDSA over
+  short Weierstrass curves, generic in the curve size;
+* :mod:`repro.crypto.image` — boot-image building/signing.
+
+The *device-side* implementations (what actually runs on the simulator)
+live in :mod:`repro.programs` as MiniC source; the test-suite cross-checks
+the two.  The paper's bootloader used ECDSA (P-256 class); simulating
+~52 M cycles of P-256 in Python is impractical, so the default curve is a
+scaled-down Weierstrass curve (see DESIGN.md's substitution notes) — the
+code path (hash -> verify -> protected memcmp -> protected branches) is
+identical.
+"""
+
+from repro.crypto.curves import Curve, CurvePoint, P256, TOY20
+from repro.crypto.ecdsa import KeyPair, generate_keypair, sign, verify
+from repro.crypto.image import BootImage, build_signed_image, prepare_bootloader_module
+from repro.crypto.sha256 import sha256, sha256_words
+
+__all__ = [
+    "BootImage",
+    "Curve",
+    "CurvePoint",
+    "KeyPair",
+    "P256",
+    "TOY20",
+    "build_signed_image",
+    "generate_keypair",
+    "prepare_bootloader_module",
+    "sha256",
+    "sha256_words",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,111 @@
+"""Short Weierstrass curves y^2 = x^3 + ax + b over F_p.
+
+``TOY20`` is a scaled-down curve for the simulator (DESIGN.md's
+substitution for P-256: a pure-Python ISA simulation of P-256 would need
+tens of millions of cycles per verification).  Its constants were computed
+by a baby-step/giant-step order search: p = 1048571 (prime, = 3 mod 4),
+a = -3, b = 44 gives a *prime* group order N = 1048189 with generator
+(2, 317355).  It has no cryptographic strength; it exercises exactly the
+same code path as a real curve.
+
+``P256`` carries the standard NIST P-256 parameters for host-side
+reference tests of the generic ECDSA implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    x: Optional[int]
+    y: Optional[int]
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+
+INFINITY = CurvePoint(None, None)
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Curve domain parameters (generator G of prime order n)."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int
+
+    @property
+    def generator(self) -> CurvePoint:
+        return CurvePoint(self.gx, self.gy)
+
+    @property
+    def bits(self) -> int:
+        return self.p.bit_length()
+
+    def is_on_curve(self, point: CurvePoint) -> bool:
+        if point.is_infinity:
+            return True
+        x, y = point.x, point.y
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    # -- affine group law ---------------------------------------------------
+    def add(self, p1: CurvePoint, p2: CurvePoint) -> CurvePoint:
+        if p1.is_infinity:
+            return p2
+        if p2.is_infinity:
+            return p1
+        if p1.x == p2.x and (p1.y + p2.y) % self.p == 0:
+            return INFINITY
+        if p1.x == p2.x:
+            slope = (3 * p1.x * p1.x + self.a) * pow(2 * p1.y, -1, self.p) % self.p
+        else:
+            slope = (p2.y - p1.y) * pow(p2.x - p1.x, -1, self.p) % self.p
+        x3 = (slope * slope - p1.x - p2.x) % self.p
+        y3 = (slope * (p1.x - x3) - p1.y) % self.p
+        return CurvePoint(x3, y3)
+
+    def multiply(self, k: int, point: CurvePoint) -> CurvePoint:
+        result = INFINITY
+        addend = point
+        k %= self.n
+        while k:
+            if k & 1:
+                result = self.add(result, addend)
+            addend = self.add(addend, addend)
+            k >>= 1
+        return result
+
+
+#: 20-bit toy curve (see module docstring for the derivation).
+TOY20 = Curve(
+    name="toy20",
+    p=1048571,
+    a=1048568,  # -3 mod p
+    b=44,
+    gx=2,
+    gy=317355,
+    n=1048189,
+)
+
+#: NIST P-256 (host-side reference tests only — far too slow to simulate).
+P256 = Curve(
+    name="p256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+#: Backwards-compatible aliases used around the repo.
+TOY32 = TOY20

@@ -1,0 +1,80 @@
+"""ECDSA over a generic short Weierstrass curve (host-side reference).
+
+Deterministic nonces (RFC-6979-flavoured, via our own SHA-256) keep runs
+reproducible without an entropy source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.curves import Curve, CurvePoint
+from repro.crypto.sha256 import sha256
+
+
+class SignatureError(ValueError):
+    """Raised when signing is impossible (degenerate nonce, bad key...)."""
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    curve: Curve
+    private: int
+    public: CurvePoint
+
+
+def hash_to_int(message: bytes, curve: Curve) -> int:
+    """Leftmost-bits hash truncation per ECDSA (FIPS 186)."""
+    digest = sha256(message)
+    e = int.from_bytes(digest, "big")
+    excess = 8 * len(digest) - curve.n.bit_length()
+    if excess > 0:
+        e >>= excess
+    return e % curve.n
+
+
+def generate_keypair(curve: Curve, seed: bytes = b"repro-key") -> KeyPair:
+    private = (int.from_bytes(sha256(seed), "big") % (curve.n - 1)) + 1
+    public = curve.multiply(private, curve.generator)
+    return KeyPair(curve, private, public)
+
+
+def _nonce(private: int, e: int, curve: Curve, counter: int = 0) -> int:
+    material = (
+        private.to_bytes(32, "big") + e.to_bytes(32, "big") + counter.to_bytes(4, "big")
+    )
+    return (int.from_bytes(sha256(material), "big") % (curve.n - 1)) + 1
+
+
+def sign(message: bytes, keypair: KeyPair) -> tuple[int, int]:
+    curve = keypair.curve
+    e = hash_to_int(message, curve)
+    for counter in range(64):
+        k = _nonce(keypair.private, e, curve, counter)
+        point = curve.multiply(k, curve.generator)
+        r = point.x % curve.n
+        if r == 0:
+            continue
+        s = pow(k, -1, curve.n) * (e + r * keypair.private) % curve.n
+        if s == 0:
+            continue
+        return r, s
+    raise SignatureError("could not find a usable nonce")
+
+
+def verify(message: bytes, signature: tuple[int, int], public: CurvePoint, curve: Curve) -> bool:
+    r, s = signature
+    if not (0 < r < curve.n and 0 < s < curve.n):
+        return False
+    if not curve.is_on_curve(public) or public.is_infinity:
+        return False
+    e = hash_to_int(message, curve)
+    w = pow(s, -1, curve.n)
+    u1 = e * w % curve.n
+    u2 = r * w % curve.n
+    point = curve.add(
+        curve.multiply(u1, curve.generator), curve.multiply(u2, public)
+    )
+    if point.is_infinity:
+        return False
+    return point.x % curve.n == r

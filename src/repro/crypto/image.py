@@ -1,0 +1,104 @@
+"""Boot-image building, signing, and device-module preparation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.curves import TOY20, Curve
+from repro.crypto.ecdsa import KeyPair, generate_keypair, hash_to_int, sign, verify
+from repro.crypto.sha256 import sha256
+from repro.ir.module import Module
+from repro.minic.driver import parse_to_ir
+from repro.programs.loader import load_source
+
+#: Maximum payload the device-side global can hold (bytes).
+MAX_IMAGE_BYTES = 1024
+
+BOOT_OK = 0xB007
+BOOT_REJECT = 0xDEAD
+
+
+def bootloader_params():
+    """Protection parameters sized for the bootloader's 20-bit values.
+
+    The default A = 63877 covers 16-bit functional values; signature words
+    on the TOY20 curve are 20-bit, so the bootloader uses an encoding
+    derived for that range (A = 3577: code distance 9, symbol distance 12)
+    — exactly the paper's "different encodings with different security
+    levels at various program locations".
+    """
+    from repro.ancode.codes import ANCode
+    from repro.core.params import ProtectionParams
+
+    return ProtectionParams.derive(ANCode(A=3577, word_bits=32, functional_bits=20))
+
+
+@dataclass(frozen=True)
+class BootImage:
+    payload: bytes
+    signature: tuple[int, int]
+    keypair: KeyPair
+
+    @property
+    def digest(self) -> bytes:
+        return sha256(self.payload)
+
+    @property
+    def e(self) -> int:
+        return hash_to_int(self.payload, self.keypair.curve)
+
+
+def build_signed_image(
+    payload: bytes,
+    curve: Curve = TOY20,
+    key_seed: bytes = b"repro-boot-key",
+) -> BootImage:
+    """Sign ``payload`` host-side (the device will verify it)."""
+    if len(payload) > MAX_IMAGE_BYTES:
+        raise ValueError(f"payload exceeds {MAX_IMAGE_BYTES} bytes")
+    keypair = generate_keypair(curve, key_seed)
+    signature = sign(payload, keypair)
+    assert verify(payload, signature, keypair.public, curve)
+    return BootImage(payload, signature, keypair)
+
+
+def bootloader_source() -> str:
+    """Concatenated device source (MiniC has no includes)."""
+    return "\n".join(
+        load_source(name) for name in ("sha256", "ecverify", "bootloader_main")
+    )
+
+
+def _set_word(module: Module, name: str, value: int) -> None:
+    glob = module.globals[name]
+    glob.initializer = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def prepare_bootloader_module(
+    image: BootImage,
+    tamper: bytes | None = None,
+) -> Module:
+    """Parse the device program and install image/signature/key globals.
+
+    ``tamper`` optionally replaces the *installed* payload bytes (keeping
+    the original signature) to model an attacker flashing modified
+    firmware.
+    """
+    module = parse_to_ir(bootloader_source(), "bootloader")
+    curve = image.keypair.curve
+    installed = tamper if tamper is not None else image.payload
+    if len(installed) > MAX_IMAGE_BYTES:
+        raise ValueError("installed payload too large")
+    module.globals["boot_image"].initializer = installed
+    _set_word(module, "boot_image_len", len(installed))
+    _set_word(module, "SIG_R", image.signature[0])
+    _set_word(module, "SIG_S", image.signature[1])
+    _set_word(module, "PUB_X", image.keypair.public.x)
+    _set_word(module, "PUB_Y", image.keypair.public.y)
+    _set_word(module, "CURVE_P", curve.p)
+    _set_word(module, "CURVE_A", curve.a)
+    _set_word(module, "CURVE_GX", curve.gx)
+    _set_word(module, "CURVE_GY", curve.gy)
+    _set_word(module, "CURVE_ORDER", curve.n)
+    _set_word(module, "HASH_SHIFT", max(0, 32 - curve.n.bit_length()))
+    return module

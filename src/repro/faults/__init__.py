@@ -1,0 +1,41 @@
+"""Fault models and injection campaigns (S10 in DESIGN.md).
+
+Two levels, matching the paper's evaluation:
+
+* :mod:`repro.faults.arithmetic` — bit flips on the intermediate values of
+  the encoded comparison (Section VI's fault simulation: detectability up
+  to 3 bits, ~0.0002% undetected flips at 4 bits);
+* :mod:`repro.faults.isa_campaign` — faults on the running program
+  (instruction skips, flag flips, register corruption; single and
+  *repeated*, the attack that defeats duplication).
+"""
+
+from repro.faults.arithmetic import (
+    ArithmeticCampaignResult,
+    FaultOutcome,
+    exhaustive_campaign,
+    sampled_campaign,
+)
+from repro.faults.models import (
+    FlagFlip,
+    InstructionSkip,
+    MemoryBitFlip,
+    RegisterBitFlip,
+    RepeatedFlagFlip,
+)
+from repro.faults.isa_campaign import AttackResult, CampaignReport, run_attack
+
+__all__ = [
+    "ArithmeticCampaignResult",
+    "AttackResult",
+    "CampaignReport",
+    "FaultOutcome",
+    "FlagFlip",
+    "InstructionSkip",
+    "MemoryBitFlip",
+    "RegisterBitFlip",
+    "RepeatedFlagFlip",
+    "exhaustive_campaign",
+    "run_attack",
+    "sampled_campaign",
+]

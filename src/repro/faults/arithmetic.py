@@ -1,0 +1,262 @@
+"""Arithmetic-level fault simulation of the encoded comparison (Section VI).
+
+The paper: *"we performed a simulation with faults at different locations
+... for our parameter selection the error detectability is reduced to
+3-bits, arbitrarily placed over the whole computation of the condition
+value.  With four bits flipped ... the error rate where an attacker can
+flip the final condition value is 0.0002%."*
+
+Model: the computation of Algorithm 1/2 is a dataflow of intermediate
+values ("locations").  A fault configuration picks ``k`` distinct
+(location, bit) sites; each site XORs one bit into its location's value
+*after* it is computed, and everything downstream is recomputed.  The final
+condition value is classified as
+
+* ``DETECTED`` — not a valid symbol (the CFI merge will flag it),
+* ``MASKED``  — the correct symbol despite the faults,
+* ``FLIPPED`` — the *opposite* valid symbol: the attack succeeded.
+
+Everything is vectorised with numpy so exhaustive sweeps (k <= 3) and large
+Monte-Carlo samples (k >= 4) are practical.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import ProtectionParams
+from repro.core.symbols import Predicate
+
+U32 = np.uint64  # compute in 64-bit, mask to 32
+MASK = np.uint64(0xFFFFFFFF)
+
+
+class FaultOutcome(enum.Enum):
+    DETECTED = "detected"
+    MASKED = "masked"
+    FLIPPED = "flipped"
+
+
+#: Location names per predicate family, in dataflow order.
+RELATIONAL_LOCATIONS = ("xc", "yc", "diff", "diffc", "cond")
+EQUALITY_LOCATIONS = ("xc", "yc", "d1", "d1c", "r1", "d2", "d2c", "r2", "cond")
+
+
+@dataclass
+class ArithmeticCampaignResult:
+    predicate: Predicate
+    bits: int
+    trials: int
+    detected: int = 0
+    masked: int = 0
+    #: condition forged from false to TRUE — the security-critical direction
+    #: (a password check accepting, a signature verifying)
+    flipped_to_true: int = 0
+    #: condition pushed from true to FALSE — the fail-safe direction
+    flipped_to_false: int = 0
+    locations: tuple = ()
+
+    @property
+    def flipped(self) -> int:
+        return self.flipped_to_true + self.flipped_to_false
+
+    @property
+    def flip_rate(self) -> float:
+        return self.flipped / self.trials if self.trials else 0.0
+
+    @property
+    def forge_rate(self) -> float:
+        return self.flipped_to_true / self.trials if self.trials else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.trials if self.trials else 0.0
+
+    def merge(self, other: "ArithmeticCampaignResult") -> None:
+        self.trials += other.trials
+        self.detected += other.detected
+        self.masked += other.masked
+        self.flipped_to_true += other.flipped_to_true
+        self.flipped_to_false += other.flipped_to_false
+
+
+def _relational_cond(params, x, y, masks):
+    """Vectorised Algorithm 1 (LT orientation) with per-location XOR masks."""
+    a = np.uint64(params.an.A)
+    c = np.uint64(params.c_rel)
+    xc = ((np.uint64(params.an.A) * x) & MASK) ^ masks["xc"]
+    yc = ((np.uint64(params.an.A) * y) & MASK) ^ masks["yc"]
+    diff = ((xc - yc) & MASK) ^ masks["diff"]
+    diffc = ((diff + c) & MASK) ^ masks["diffc"]
+    cond = (diffc % a) ^ masks["cond"]
+    return cond & MASK
+
+
+def _equality_cond(params, x, y, masks):
+    """Vectorised Algorithm 2 with per-location XOR masks."""
+    a = np.uint64(params.an.A)
+    c = np.uint64(params.c_eq)
+    xc = ((np.uint64(params.an.A) * x) & MASK) ^ masks["xc"]
+    yc = ((np.uint64(params.an.A) * y) & MASK) ^ masks["yc"]
+    d1 = ((xc - yc) & MASK) ^ masks["d1"]
+    d1c = ((d1 + c) & MASK) ^ masks["d1c"]
+    r1 = (d1c % a) ^ masks["r1"]
+    d2 = ((yc - xc) & MASK) ^ masks["d2"]
+    d2c = ((d2 + c) & MASK) ^ masks["d2c"]
+    r2 = (d2c % a) ^ masks["r2"]
+    cond = ((r1 + r2) & MASK) ^ masks["cond"]
+    return cond & MASK
+
+
+def _classify_array(params, predicate, truth, cond) -> tuple[int, int, int, int]:
+    symbols = params.symbols
+    true_v = np.uint64(symbols.true_value(predicate))
+    false_v = np.uint64(symbols.false_value(predicate))
+    correct = np.where(truth, true_v, false_v)
+    masked = int(np.count_nonzero(cond == correct))
+    to_true = int(np.count_nonzero(np.logical_and(~truth, cond == true_v)))
+    to_false = int(np.count_nonzero(np.logical_and(truth, cond == false_v)))
+    detected = cond.size - masked - to_true - to_false
+    return detected, masked, to_true, to_false
+
+
+def _locations_for(predicate: Predicate, include_operands: bool) -> tuple:
+    locations = (
+        EQUALITY_LOCATIONS if predicate.is_equality else RELATIONAL_LOCATIONS
+    )
+    if include_operands:
+        return locations
+    return tuple(l for l in locations if l not in ("xc", "yc"))
+
+
+def _evaluate(params, predicate, x, y, site_locs, site_bits, locations):
+    """Evaluate the comparison for N fault configurations of k sites each.
+
+    ``site_locs``/``site_bits``: arrays (N, k) of location indices and bit
+    positions.
+    """
+    n = site_locs.shape[0]
+    masks = {
+        name: np.zeros(n, dtype=np.uint64)
+        for name in (
+            EQUALITY_LOCATIONS if predicate.is_equality else RELATIONAL_LOCATIONS
+        )
+    }
+    for j, name in enumerate(locations):
+        chosen = site_locs == j
+        contribution = np.where(
+            chosen, np.uint64(1) << site_bits.astype(np.uint64), np.uint64(0)
+        )
+        masks[name] ^= np.bitwise_xor.reduce(contribution, axis=1)
+    xs = np.full(n, x, dtype=np.uint64)
+    ys = np.full(n, y, dtype=np.uint64)
+    if predicate.is_equality:
+        cond = _equality_cond(params, xs, ys, masks)
+    else:
+        cond = _relational_cond(params, xs, ys, masks)
+    truth = np.full(n, predicate.evaluate(x, y))
+    return _classify_array(params, predicate, truth, cond)
+
+
+def exhaustive_campaign(
+    predicate: Predicate,
+    bits: int,
+    operand_pairs=((3, 3), (3, 5), (7, 2)),
+    params: ProtectionParams | None = None,
+    include_operands: bool = False,
+    chunk: int = 200_000,
+) -> ArithmeticCampaignResult:
+    """Enumerate *all* placements of ``bits`` flipped bits (k <= 3 advised)."""
+    params = params or ProtectionParams.paper()
+    locations = _locations_for(predicate, include_operands)
+    n_sites = len(locations) * 32
+    sites = list(itertools.combinations(range(n_sites), bits))
+    result = ArithmeticCampaignResult(predicate, bits, 0, locations=locations)
+    site_array = np.array(sites, dtype=np.int64)
+    locs = site_array // 32
+    bit_positions = site_array % 32
+    for x, y in operand_pairs:
+        for start in range(0, len(sites), chunk):
+            ls = locs[start : start + chunk]
+            bs = bit_positions[start : start + chunk]
+            detected, masked, to_true, to_false = _evaluate(
+                params, predicate, x, y, ls, bs, locations
+            )
+            result.trials += ls.shape[0]
+            result.detected += detected
+            result.masked += masked
+            result.flipped_to_true += to_true
+            result.flipped_to_false += to_false
+    return result
+
+
+def sampled_campaign(
+    predicate: Predicate,
+    bits: int,
+    samples: int = 1_000_000,
+    operand_pairs=((3, 3), (3, 5), (7, 2)),
+    params: ProtectionParams | None = None,
+    include_operands: bool = False,
+    seed: int = 0xC0FFEE,
+    chunk: int = 250_000,
+) -> ArithmeticCampaignResult:
+    """Monte-Carlo estimate for larger ``bits`` (the paper's 4+ bit case)."""
+    params = params or ProtectionParams.paper()
+    locations = _locations_for(predicate, include_operands)
+    n_sites = len(locations) * 32
+    rng = np.random.default_rng(seed)
+    result = ArithmeticCampaignResult(predicate, bits, 0, locations=locations)
+    per_pair = samples // len(operand_pairs)
+    for x, y in operand_pairs:
+        remaining = per_pair
+        while remaining > 0:
+            n = min(chunk, remaining)
+            remaining -= n
+            # Sample k distinct sites per trial via argsort of random keys.
+            keys = rng.random((n, n_sites))
+            sites = np.argpartition(keys, bits, axis=1)[:, :bits]
+            locs = sites // 32
+            bit_positions = sites % 32
+            detected, masked, to_true, to_false = _evaluate(
+                params, predicate, x, y, locs, bit_positions, locations
+            )
+            result.trials += n
+            result.detected += detected
+            result.masked += masked
+            result.flipped_to_true += to_true
+            result.flipped_to_false += to_false
+    return result
+
+
+def detectability_profile(
+    predicate: Predicate,
+    max_bits: int = 5,
+    exhaustive_up_to: int = 3,
+    samples: int = 400_000,
+    params: ProtectionParams | None = None,
+    include_operands: bool = False,
+) -> list[ArithmeticCampaignResult]:
+    """Flip-rate vs number of flipped bits (the Section VI series)."""
+    profile = []
+    for bits in range(1, max_bits + 1):
+        if bits <= exhaustive_up_to:
+            profile.append(
+                exhaustive_campaign(
+                    predicate, bits, params=params, include_operands=include_operands
+                )
+            )
+        else:
+            profile.append(
+                sampled_campaign(
+                    predicate,
+                    bits,
+                    samples=samples,
+                    params=params,
+                    include_operands=include_operands,
+                )
+            )
+    return profile

@@ -1,0 +1,34 @@
+"""Outcome classification shared by the fault campaigns."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.cpu import ExecutionResult, Status
+
+
+class Outcome(enum.Enum):
+    """What one injected fault did to the program."""
+
+    #: fault had no observable effect (same exit status + value)
+    MASKED = "masked"
+    #: the CFI monitor flagged a state mismatch
+    DETECTED_CFI = "detected-cfi"
+    #: an explicit software check trapped (duplication tree, AN assert)
+    DETECTED_TRAP = "detected-trap"
+    #: the program exited normally but with a wrong result — attack success
+    WRONG_RESULT = "wrong-result"
+    #: crash-type outcomes (memory error, timeout, decode error)
+    CRASH = "crash"
+
+
+def classify(golden: ExecutionResult, faulted: ExecutionResult) -> Outcome:
+    if faulted.status is Status.CFI_VIOLATION:
+        return Outcome.DETECTED_CFI
+    if faulted.status is Status.FAULT_DETECTED:
+        return Outcome.DETECTED_TRAP
+    if faulted.status is Status.EXIT:
+        if golden.status is Status.EXIT and faulted.exit_code == golden.exit_code:
+            return Outcome.MASKED
+        return Outcome.WRONG_RESULT
+    return Outcome.CRASH

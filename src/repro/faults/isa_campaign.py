@@ -1,0 +1,161 @@
+"""ISA-level fault-injection campaigns (experiment E6).
+
+Runs a compiled program repeatedly, injecting one fault model per run, and
+classifies outcomes.  The headline comparison (paper Section II-C vs. our
+Section III): a *single* branch flip is caught by both duplication and the
+prototype; *repeating* the flip at every comparison defeats the duplication
+tree but still trips the prototype's CFI linking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.driver import CompiledProgram
+from repro.faults.classify import Outcome, classify
+from repro.faults.models import (
+    BranchDirectionFlip,
+    InstructionSkip,
+    RegisterBitFlip,
+    RepeatedBranchDirectionFlip,
+)
+from repro.isa.cpu import ExecutionResult
+
+
+@dataclass
+class AttackResult:
+    attack: str
+    outcomes: dict[Outcome, int] = field(default_factory=dict)
+    trials: int = 0
+    #: exit codes of WRONG_RESULT trials (to tell fail-safe denials from
+    #: security-critical forges)
+    wrong_codes: list[int] = field(default_factory=list)
+
+    def record(self, outcome: Outcome, exit_code: int | None = None) -> None:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        self.trials += 1
+        if outcome is Outcome.WRONG_RESULT and exit_code is not None:
+            self.wrong_codes.append(exit_code)
+
+    def rate(self, outcome: Outcome) -> float:
+        return self.outcomes.get(outcome, 0) / self.trials if self.trials else 0.0
+
+    @property
+    def undetected_wrong(self) -> int:
+        return self.outcomes.get(Outcome.WRONG_RESULT, 0)
+
+
+@dataclass
+class CampaignReport:
+    scheme: str
+    attacks: dict[str, AttackResult] = field(default_factory=dict)
+
+    def result(self, attack: str) -> AttackResult:
+        return self.attacks.setdefault(attack, AttackResult(attack))
+
+
+def _golden(program: CompiledProgram, function: str, args) -> ExecutionResult:
+    return program.run(function, args)
+
+
+def run_attack(
+    program: CompiledProgram,
+    function: str,
+    args: list[int],
+    fault_models,
+    attack_name: str = "attack",
+    max_cycles: int = 2_000_000,
+) -> AttackResult:
+    """Run one fault model per trial against a fixed golden run."""
+    golden = _golden(program, function, args)
+    result = AttackResult(attack_name)
+    for model in fault_models:
+        cpu = program.prepare_cpu(function, args, pre_hooks=[model.hook()])
+        faulted = cpu.run(max_cycles)
+        result.record(classify(golden, faulted), faulted.exit_code)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Stock attack suites
+# ---------------------------------------------------------------------------
+def skip_sweep(program, function, args, first=1, last=None) -> AttackResult:
+    """Skip each dynamic instruction in [first, last] (one per trial)."""
+    golden = _golden(program, function, args)
+    if last is None:
+        last = golden.instructions
+    models = [InstructionSkip(i) for i in range(first, last + 1)]
+    return run_attack(program, function, args, models, "instruction-skip")
+
+
+def branch_flip_sweep(program, function, args, max_branches=64) -> AttackResult:
+    """Invert each dynamic conditional branch (one per trial)."""
+    models = [BranchDirectionFlip(i) for i in range(1, max_branches + 1)]
+    return run_attack(program, function, args, models, "branch-flip")
+
+
+def repeated_branch_flip(program, function, args) -> AttackResult:
+    """Invert every conditional branch in the target function's code range."""
+    addr_range = program.image.function_ranges[function]
+    models = [RepeatedBranchDirectionFlip(addr_range)]
+    return run_attack(program, function, args, models, "repeated-branch-flip")
+
+
+def dynamic_indices(program, function, args, match) -> list[int]:
+    """Dynamic instruction indices (1-based) whose instruction satisfies
+    ``match(instr)`` during a golden run."""
+    hits: list[int] = []
+
+    def observe(cpu, instr, events):
+        if match(instr):
+            hits.append(cpu.dyn_index)
+
+    cpu = program.prepare_cpu(function, args)
+    cpu.retire_hooks.append(observe)
+    cpu.run()
+    return hits
+
+
+def encoded_window(program, function, args, after_encodes: bool = False) -> tuple[int, int]:
+    """Dynamic window from the first encode (MUL) to the first branch.
+
+    Faults inside this window hit the *encoded* dataflow — the region the
+    paper's comparison protects.  Faults before it corrupt plain inputs,
+    which is the data-encoding scheme's responsibility, not the branch
+    protection's.  With ``after_encodes`` the window starts only after the
+    last encode retired (strictly the comparison computation).
+    """
+    muls = dynamic_indices(program, function, args, lambda i: i.mnemonic == "mul")
+    branches = dynamic_indices(program, function, args, lambda i: i.mnemonic == "bcc")
+    if not muls or not branches:
+        raise ValueError("program has no encode/branch window")
+    pre_branch_muls = [m for m in muls if m < branches[0]]
+    start = (pre_branch_muls[-1] + 1) if after_encodes else muls[0]
+    return start, branches[0]
+
+
+def operand_corruption_sweep(
+    program,
+    function,
+    args,
+    regs=range(0, 8),
+    bits=(0, 7, 16, 31),
+    occurrence=3,
+    window=None,
+) -> AttackResult:
+    """Flip register bits (comparison operand corruption).
+
+    With ``window=(lo, hi)`` the flips sweep every dynamic instruction in
+    the window; otherwise a single fixed occurrence is used.
+    """
+    if window is None:
+        occurrences = [occurrence]
+    else:
+        occurrences = list(range(window[0], window[1] + 1))
+    models = [
+        RegisterBitFlip(reg, bit, occ)
+        for reg in regs
+        for bit in bits
+        for occ in occurrences
+    ]
+    return run_attack(program, function, args, models, "operand-corruption")

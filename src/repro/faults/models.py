@@ -1,0 +1,179 @@
+"""ISA-level fault models (Section II threat model).
+
+Each model is a factory for a CPU pre-execution hook.  Hooks run before an
+instruction executes; returning True skips it (the classic instruction-skip
+glitch), mutating ``cpu`` models register/memory/flag corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import instructions as ins
+from repro.isa.cpu import CPU
+
+
+@dataclass(frozen=True)
+class InstructionSkip:
+    """Skip the ``occurrence``-th dynamically executed instruction."""
+
+    occurrence: int
+
+    def hook(self):
+        target = self.occurrence
+
+        def pre(cpu: CPU, instr) -> bool:
+            return cpu.dyn_index == target
+
+        return pre
+
+
+@dataclass(frozen=True)
+class RegisterBitFlip:
+    """Flip one bit of a register just before a dynamic instruction."""
+
+    reg: int
+    bit: int
+    occurrence: int
+
+    def hook(self):
+        def pre(cpu: CPU, instr) -> bool:
+            if cpu.dyn_index == self.occurrence:
+                cpu.regs[self.reg] ^= 1 << self.bit
+            return False
+
+        return pre
+
+
+@dataclass(frozen=True)
+class MemoryBitFlip:
+    """Flip one bit of a memory byte before a dynamic instruction."""
+
+    addr: int
+    bit: int
+    occurrence: int
+
+    def hook(self):
+        def pre(cpu: CPU, instr) -> bool:
+            if cpu.dyn_index == self.occurrence and self.addr < len(cpu.memory):
+                cpu.memory[self.addr] ^= 1 << self.bit
+            return False
+
+        return pre
+
+
+@dataclass(frozen=True)
+class FlagFlip:
+    """Flip a condition flag before the N-th conditional branch.
+
+    This is the paper's core scenario: the 1-bit condition signal inside
+    the CPU is the single point of failure.
+    """
+
+    flag: str = "z"
+    branch_occurrence: int = 1
+
+    def hook(self):
+        seen = [0]
+
+        def pre(cpu: CPU, instr) -> bool:
+            if isinstance(instr, ins.Bcc):
+                seen[0] += 1
+                if seen[0] == self.branch_occurrence:
+                    setattr(cpu, self.flag, getattr(cpu, self.flag) ^ 1)
+            return False
+
+        return pre
+
+
+@dataclass(frozen=True)
+class RepeatedFlagFlip:
+    """Flip a flag before *every* conditional branch.
+
+    The repeat-the-same-fault attack (Section II-C): it walks straight
+    through a duplication comparison tree, flipping every re-check the
+    same way.
+    """
+
+    flag: str = "z"
+
+    def hook(self):
+        def pre(cpu: CPU, instr) -> bool:
+            if isinstance(instr, ins.Bcc):
+                setattr(cpu, self.flag, getattr(cpu, self.flag) ^ 1)
+            return False
+
+        return pre
+
+
+def _invert_branch(cpu: CPU, cond: str) -> None:
+    """Force the flags so that ``cond`` evaluates opposite to now.
+
+    Models an attacker with full control of the 1-bit decision (the
+    hardware multiplexer the paper calls the single point of failure).
+    """
+    before = cpu.condition_holds(cond)
+    for flags in range(16):
+        cpu.n, cpu.z, cpu.c, cpu.v = (
+            (flags >> 3) & 1,
+            (flags >> 2) & 1,
+            (flags >> 1) & 1,
+            flags & 1,
+        )
+        if cpu.condition_holds(cond) != before:
+            return
+    raise AssertionError(f"condition {cond} cannot be inverted")
+
+
+@dataclass(frozen=True)
+class BranchDirectionFlip:
+    """Invert the outcome of the N-th conditional branch."""
+
+    branch_occurrence: int = 1
+
+    def hook(self):
+        seen = [0]
+
+        def pre(cpu: CPU, instr) -> bool:
+            if isinstance(instr, ins.Bcc):
+                seen[0] += 1
+                if seen[0] == self.branch_occurrence:
+                    _invert_branch(cpu, instr.cond)
+            return False
+
+        return pre
+
+
+@dataclass(frozen=True)
+class RepeatedBranchDirectionFlip:
+    """Invert *every* conditional branch — the repeated-fault attack.
+
+    ``addr_range`` (start, end) restricts the glitch to branches inside one
+    code region (e.g. the protected function), which is how an attacker
+    would repeat the same fault against a duplication comparison tree.
+    """
+
+    addr_range: tuple[int, int] | None = None
+
+    def hook(self):
+        lo, hi = self.addr_range if self.addr_range else (0, 1 << 32)
+
+        def pre(cpu: CPU, instr) -> bool:
+            if isinstance(instr, ins.Bcc) and lo <= cpu.regs[15] < hi:
+                _invert_branch(cpu, instr.cond)
+            return False
+
+        return pre
+
+
+@dataclass(frozen=True)
+class RepeatedInstructionSkip:
+    """Skip every dynamic instruction matching a mnemonic (repeated glitch)."""
+
+    mnemonic: str
+
+    def hook(self):
+        def pre(cpu: CPU, instr) -> bool:
+            return instr.mnemonic == self.mnemonic
+
+        return pre

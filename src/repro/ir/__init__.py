@@ -1,0 +1,76 @@
+"""A small SSA intermediate representation (S3 in DESIGN.md).
+
+Deliberately LLVM-shaped: modules hold globals and functions, functions hold
+basic blocks of instructions in SSA form (after :class:`~repro.passes.mem2reg`
+promotion), values keep use-lists so passes can rewrite the program.  The
+paper's middle-end passes (Figure 3) all operate on this IR.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    CondBr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Trap,
+    Trunc,
+    ZExt,
+)
+from repro.ir.module import GlobalVariable, Module
+from repro.ir.printer import print_function, print_module
+from repro.ir.types import FunctionType, Type, I1, I8, I16, I32, PTR, VOID
+from repro.ir.values import Argument, Constant, Undef, Value
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Alloca",
+    "Argument",
+    "BasicBlock",
+    "BinaryOp",
+    "Br",
+    "Call",
+    "CondBr",
+    "Constant",
+    "Function",
+    "FunctionType",
+    "GlobalVariable",
+    "ICmp",
+    "IRBuilder",
+    "Instruction",
+    "I1",
+    "I8",
+    "I16",
+    "I32",
+    "Load",
+    "Module",
+    "PTR",
+    "Phi",
+    "PtrAdd",
+    "Ret",
+    "Select",
+    "Store",
+    "Switch",
+    "Trap",
+    "Trunc",
+    "Type",
+    "Undef",
+    "VOID",
+    "Value",
+    "VerificationError",
+    "ZExt",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

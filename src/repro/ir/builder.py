@@ -1,0 +1,136 @@
+"""Convenience builder for constructing IR, LLVM-IRBuilder style."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    CondBr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Trunc,
+    ZExt,
+)
+from repro.ir.types import I32, Type
+from repro.ir.values import Constant, Value
+
+
+class IRBuilder:
+    """Appends instructions at an insertion point (end of a block)."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        assert self.block is not None and self.block.parent is not None
+        return self.block.parent
+
+    def _insert(self, instr: Instruction) -> Instruction:
+        assert self.block is not None, "builder has no insertion point"
+        return self.block.append(instr)
+
+    # -- constants -------------------------------------------------------
+    def const(self, value: int, type_: Type = I32) -> Constant:
+        return Constant(type_, value)
+
+    # -- arithmetic --------------------------------------------------------
+    def binary(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp(opcode, lhs, rhs, name))
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("mul", lhs, rhs, name)
+
+    def udiv(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("udiv", lhs, rhs, name)
+
+    def urem(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("urem", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("shl", lhs, rhs, name)
+
+    def lshr(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("lshr", lhs, rhs, name)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self._insert(ICmp(predicate, lhs, rhs, name))
+
+    def select(self, cond: Value, tv: Value, fv: Value, name: str = "") -> Select:
+        return self._insert(Select(cond, tv, fv, name))
+
+    def zext(self, value: Value, to_type: Type, name: str = "") -> ZExt:
+        return self._insert(ZExt(value, to_type, name))
+
+    def trunc(self, value: Value, to_type: Type, name: str = "") -> Trunc:
+        return self._insert(Trunc(value, to_type, name))
+
+    # -- memory -------------------------------------------------------------
+    def alloca(self, size: int = 4, name: str = "", element_type: Type = I32) -> Alloca:
+        return self._insert(Alloca(size, name, element_type))
+
+    def load(self, type_: Type, pointer: Value, name: str = "") -> Load:
+        return self._insert(Load(type_, pointer, name))
+
+    def store(self, value: Value, pointer: Value) -> Store:
+        return self._insert(Store(value, pointer))
+
+    def ptradd(self, pointer: Value, offset: Value, name: str = "") -> PtrAdd:
+        return self._insert(PtrAdd(pointer, offset, name))
+
+    # -- control flow ---------------------------------------------------------
+    def br(self, target: BasicBlock) -> Br:
+        return self._insert(Br(target))
+
+    def condbr(self, cond: Value, then_block: BasicBlock, else_block: BasicBlock) -> CondBr:
+        return self._insert(CondBr(cond, then_block, else_block))
+
+    def switch(self, value: Value, default: BasicBlock, cases) -> Switch:
+        return self._insert(Switch(value, default, cases))
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self._insert(Ret(value))
+
+    def call(self, callee: Function, args: list[Value], name: str = "") -> Call:
+        return self._insert(Call(callee, args, name))
+
+    def phi(self, type_: Type, name: str = "") -> Phi:
+        assert self.block is not None
+        node = Phi(type_, name)
+        # Phis always sit at the top of the block.
+        index = 0
+        while index < len(self.block.instructions) and isinstance(
+            self.block.instructions[index], Phi
+        ):
+            index += 1
+        return self.block.insert(index, node)

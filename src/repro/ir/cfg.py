@@ -1,0 +1,99 @@
+"""CFG utilities: predecessor maps, traversal orders, edge splitting."""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Br, Phi
+
+
+def predecessor_map(func: Function) -> dict[BasicBlock, list[BasicBlock]]:
+    preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    return preds
+
+
+def reverse_postorder(func: Function) -> list[BasicBlock]:
+    """Blocks in reverse postorder from the entry (unreachable blocks last)."""
+    seen: set[BasicBlock] = set()
+    postorder: list[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors()))]
+        seen.add(block)
+        while stack:
+            current, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    if func.blocks:
+        visit(func.entry)
+    order = list(reversed(postorder))
+    order.extend(b for b in func.blocks if b not in seen)
+    return order
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Delete blocks unreachable from the entry; returns how many."""
+    seen: set[BasicBlock] = {func.entry}
+    work = [func.entry]
+    while work:
+        block = work.pop()
+        for succ in block.successors():
+            if succ not in seen:
+                seen.add(succ)
+                work.append(succ)
+    dead = [b for b in func.blocks if b not in seen]
+    for block in dead:
+        for succ in block.successors():
+            for phi in succ.phis:
+                if block in phi.incoming_blocks:
+                    phi.remove_incoming(block)
+        for instr in list(block.instructions):
+            instr.users.clear()
+    for block in dead:
+        func.remove_block(block)
+    return len(dead)
+
+
+def split_edge(pred: BasicBlock, succ: BasicBlock) -> BasicBlock:
+    """Insert a fresh block on the edge ``pred -> succ`` and return it.
+
+    Phi nodes in ``succ`` are retargeted to the new block.  Used to give
+    protected-branch successors a unique predecessor so the CFI condition
+    merge is unambiguous.
+    """
+    func = pred.parent
+    assert func is not None and succ.parent is func
+    mid = func.add_block(f"{pred.name}.{succ.name}", after=pred)
+    mid.append(Br(succ))
+    term = pred.terminator
+    assert term is not None
+    term.replace_successor(succ, mid)
+    for phi in succ.phis:
+        phi.replace_incoming_block(pred, mid)
+    return mid
+
+
+def split_critical_edges(func: Function) -> int:
+    """Split every edge whose source has >1 succs and target >1 preds."""
+    preds = predecessor_map(func)
+    count = 0
+    for block in list(func.blocks):
+        succs = block.successors()
+        if len(succs) <= 1:
+            continue
+        for succ in list(dict.fromkeys(succs)):
+            if len(preds[succ]) > 1:
+                split_edge(block, succ)
+                count += 1
+    return count

@@ -1,0 +1,93 @@
+"""Dominator tree and dominance frontiers (Cooper-Harvey-Kennedy).
+
+Used by SSA construction (mem2reg) and by the verifier's def-dominates-use
+check.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import predecessor_map, reverse_postorder
+from repro.ir.function import BasicBlock, Function
+
+
+class DominatorTree:
+    """Immediate dominators + dominance frontiers for one function."""
+
+    def __init__(self, func: Function):
+        self.function = func
+        self.order = reverse_postorder(func)
+        reachable = self._reachable()
+        self.order = [b for b in self.order if b in reachable]
+        self._index = {b: i for i, b in enumerate(self.order)}
+        self.preds = predecessor_map(func)
+        self.idom: dict[BasicBlock, BasicBlock] = {}
+        self._compute_idoms()
+        self.children: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in self.order}
+        for block, dom in self.idom.items():
+            if block is not dom:
+                self.children[dom].append(block)
+        self.frontiers = self._compute_frontiers()
+
+    def _reachable(self) -> set[BasicBlock]:
+        seen = {self.function.entry}
+        work = [self.function.entry]
+        while work:
+            for succ in work.pop().successors():
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    def _compute_idoms(self) -> None:
+        entry = self.function.entry
+        self.idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.order:
+                if block is entry:
+                    continue
+                candidates = [p for p in self.preds[block] if p in self.idom]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for p in candidates[1:]:
+                    new_idom = self._intersect(p, new_idom)
+                if self.idom.get(block) is not new_idom:
+                    self.idom[block] = new_idom
+                    changed = True
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while self._index[a] > self._index[b]:
+                a = self.idom[a]
+            while self._index[b] > self._index[a]:
+                b = self.idom[b]
+        return a
+
+    def _compute_frontiers(self) -> dict[BasicBlock, set[BasicBlock]]:
+        frontiers: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in self.order}
+        for block in self.order:
+            preds = [p for p in self.preds[block] if p in self.idom]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner is not self.idom[block]:
+                    frontiers[runner].add(block)
+                    runner = self.idom[runner]
+        return frontiers
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        runner = b
+        while True:
+            if runner is a:
+                return True
+            parent = self.idom.get(runner)
+            if parent is None or parent is runner:
+                return runner is a
+            runner = parent
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)

@@ -1,0 +1,140 @@
+"""Basic blocks and functions."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.types import FunctionType, Type
+from repro.ir.values import Argument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.module import Module
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in one terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: list[Instruction] = []
+
+    # -- instruction management ----------------------------------------
+    def append(self, instr: Instruction) -> Instruction:
+        instr.parent = self
+        self.instructions.append(instr)
+        return instr
+
+    def insert(self, index: int, instr: Instruction) -> Instruction:
+        instr.parent = self
+        self.instructions.insert(index, instr)
+        return instr
+
+    def insert_before_terminator(self, instr: Instruction) -> Instruction:
+        index = len(self.instructions)
+        if self.instructions and self.instructions[-1].is_terminator:
+            index -= 1
+        return self.insert(index, instr)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def phis(self) -> list[Phi]:
+        return list(itertools.takewhile(
+            lambda i: isinstance(i, Phi), self.instructions
+        ))
+
+    @property
+    def non_phi_instructions(self) -> list[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    # -- CFG -------------------------------------------------------------
+    def successors(self) -> list["BasicBlock"]:
+        term = self.terminator
+        return term.successors() if term else []
+
+    def predecessors(self) -> list["BasicBlock"]:
+        if self.parent is None:
+            return []
+        return [b for b in self.parent.blocks if self in b.successors()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} instrs)>"
+
+
+class Function:
+    """A function: arguments, blocks, and attributes.
+
+    The attribute set mirrors the paper's front-end annotation: functions
+    marked ``protect_branches`` get the AN Coder treatment.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function_type: FunctionType,
+        module: Optional["Module"] = None,
+        param_names: Optional[list[str]] = None,
+    ):
+        self.name = name
+        self.function_type = function_type
+        self.module = module
+        self.blocks: list[BasicBlock] = []
+        self.attributes: set[str] = set()
+        names = param_names or [f"arg{i}" for i in range(len(function_type.params))]
+        self.arguments = [
+            Argument(t, n, i)
+            for i, (t, n) in enumerate(zip(function_type.params, names))
+        ]
+        self._name_counter = itertools.count()
+
+    @property
+    def return_type(self) -> Type:
+        return self.function_type.ret
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    @property
+    def is_protected(self) -> bool:
+        return "protect_branches" in self.attributes
+
+    def add_block(self, name: str, after: Optional[BasicBlock] = None) -> BasicBlock:
+        block = BasicBlock(self.unique_name(name), self)
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        for instr in list(block.instructions):
+            instr.drop_operands()
+            instr.users.clear()
+            instr.parent = None
+        block.instructions.clear()
+        self.blocks.remove(block)
+        block.parent = None
+
+    def unique_name(self, base: str) -> str:
+        existing = {b.name for b in self.blocks}
+        if base not in existing:
+            return base
+        while True:
+            candidate = f"{base}.{next(self._name_counter)}"
+            if candidate not in existing:
+                return candidate
+
+    def instructions(self) -> Iterable[Instruction]:
+        for block in self.blocks:
+            yield from list(block.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"

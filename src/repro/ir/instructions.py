@@ -1,0 +1,471 @@
+"""IR instruction set.
+
+Closely modelled on the LLVM subset the paper's transformations touch:
+integer arithmetic, comparisons, select/switch (which get lowered before the
+AN Coder), memory access, calls and control flow.  ``CondBr`` carries an
+optional :class:`ProtectedBranchInfo` once the AN Coder has rewritten its
+condition — the back end and CFI instrumentation key off it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.symbols import Predicate
+from repro.ir.types import I1, I32, PTR, Type, VOID
+from repro.ir.values import Constant, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.function import BasicBlock, Function
+
+
+#: IR-level integer comparison predicates (LLVM naming).
+ICMP_PREDICATES = (
+    "eq",
+    "ne",
+    "ult",
+    "ule",
+    "ugt",
+    "uge",
+    "slt",
+    "sle",
+    "sgt",
+    "sge",
+)
+
+#: Map of unsigned/equality icmp predicates onto the paper's predicates.
+ICMP_TO_PAPER = {
+    "eq": Predicate.EQ,
+    "ne": Predicate.NE,
+    "ult": Predicate.LT,
+    "ule": Predicate.LE,
+    "ugt": Predicate.GT,
+    "uge": Predicate.GE,
+}
+
+BINARY_OPCODES = (
+    "add",
+    "sub",
+    "mul",
+    "udiv",
+    "sdiv",
+    "urem",
+    "srem",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "lshr",
+    "ashr",
+)
+
+
+@dataclass
+class ProtectedBranchInfo:
+    """Metadata the AN Coder attaches to a protected conditional branch.
+
+    ``condition`` is the encoded condition symbol value (an i32); the branch
+    compares it against ``true_value`` and the CFI instrumentation merges it
+    into the state in both successors, expecting ``true_value`` on the taken
+    edge and ``false_value`` otherwise (Figure 2 of the paper).
+    """
+
+    predicate: Predicate
+    true_value: int
+    false_value: int
+
+
+class Instruction(Value):
+    """Base instruction: a value with operands and a parent block."""
+
+    opcode: str = "?"
+
+    def __init__(self, type_: Type, operands: list[Value], name: str = ""):
+        super().__init__(type_, name)
+        self.operands: list[Value] = []
+        self.parent: Optional["BasicBlock"] = None
+        for op in operands:
+            self._add_operand(op)
+
+    # -- operand/use management ---------------------------------------
+    def _add_operand(self, value: Value) -> None:
+        self.operands.append(value)
+        value.users.add(self)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self.operands[index]
+        self.operands[index] = value
+        if old not in self.operands:
+            old.users.discard(self)
+        value.users.add(self)
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                new.users.add(self)
+        old.users.discard(self)
+
+    def drop_operands(self) -> None:
+        for op in set(self.operands):
+            op.users.discard(self)
+        self.operands.clear()
+
+    def erase_from_parent(self) -> None:
+        """Remove from the block and drop operand uses.  Users must be gone."""
+        assert not self.users, f"erasing {self!r} which still has users"
+        self.drop_operands()
+        if self.parent is not None:
+            self.parent.instructions.remove(self)
+            self.parent = None
+
+    # -- classification -------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Br, CondBr, Switch, Ret, Trap))
+
+    @property
+    def function(self) -> Optional["Function"]:
+        return self.parent.parent if self.parent else None
+
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+
+class BinaryOp(Instruction):
+    """Two-operand integer arithmetic/logic."""
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in BINARY_OPCODES:
+            raise ValueError(f"unknown binary opcode {opcode}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"operand type mismatch: {lhs.type} vs {rhs.type}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class ICmp(Instruction):
+    """Integer comparison producing an i1."""
+
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate {predicate}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"operand type mismatch: {lhs.type} vs {rhs.type}")
+        super().__init__(I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def paper_predicate(self) -> Optional[Predicate]:
+        """The paper predicate, or None for signed predicates."""
+        return ICMP_TO_PAPER.get(self.predicate)
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — lowered to control flow before the AN Coder."""
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, true_value: Value, false_value: Value, name: str = ""):
+        if true_value.type != false_value.type:
+            raise TypeError("select arms must have matching types")
+        super().__init__(true_value.type, [cond, true_value, false_value], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self.operands[2]
+
+
+class Alloca(Instruction):
+    """Stack allocation of ``size`` bytes; yields a pointer."""
+
+    opcode = "alloca"
+
+    def __init__(self, size: int, name: str = "", element_type: Type = I32):
+        super().__init__(PTR, [], name)
+        self.size = size
+        self.element_type = element_type
+
+    @property
+    def is_scalar_word(self) -> bool:
+        """True when this is a single promotable 32-bit slot."""
+        return self.size == 4 and self.element_type is I32
+
+
+class Load(Instruction):
+    opcode = "load"
+
+    def __init__(self, type_: Type, pointer: Value, name: str = ""):
+        if not pointer.type.is_pointer:
+            raise TypeError("load requires a pointer operand")
+        super().__init__(type_, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value):
+        if not pointer.type.is_pointer:
+            raise TypeError("store requires a pointer operand")
+        super().__init__(VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class PtrAdd(Instruction):
+    """Pointer plus byte offset (our minimalist GEP)."""
+
+    opcode = "ptradd"
+
+    def __init__(self, pointer: Value, offset: Value, name: str = ""):
+        if not pointer.type.is_pointer:
+            raise TypeError("ptradd requires a pointer operand")
+        super().__init__(PTR, [pointer, offset], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def offset(self) -> Value:
+        return self.operands[1]
+
+
+class ZExt(Instruction):
+    opcode = "zext"
+
+    def __init__(self, value: Value, to_type: Type, name: str = ""):
+        if value.type.bits >= to_type.bits:
+            raise TypeError("zext must widen")
+        super().__init__(to_type, [value], name)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Trunc(Instruction):
+    opcode = "trunc"
+
+    def __init__(self, value: Value, to_type: Type, name: str = ""):
+        if value.type.bits <= to_type.bits:
+            raise TypeError("trunc must narrow")
+        super().__init__(to_type, [value], name)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Call(Instruction):
+    opcode = "call"
+
+    def __init__(self, callee: "Function", args: list[Value], name: str = ""):
+        expected = callee.function_type.params
+        if len(args) != len(expected):
+            raise TypeError(
+                f"call to {callee.name}: expected {len(expected)} args, got {len(args)}"
+            )
+        for arg, want in zip(args, expected):
+            if arg.type != want:
+                raise TypeError(f"call to {callee.name}: arg type {arg.type} != {want}")
+        super().__init__(callee.function_type.ret, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> list[Value]:
+        return list(self.operands)
+
+
+class Trap(Instruction):
+    """Terminator signalling a detected fault (lowered to an MMIO report).
+
+    ``code`` identifies the detection source (duplication comparison tree,
+    explicit AN check, ...).
+    """
+
+    opcode = "trap"
+
+    def __init__(self, code: int = 1):
+        super().__init__(VOID, [])
+        self.code = code
+
+
+class CfiMergeIR(Instruction):
+    """Merge ``value`` into the CFI state; statically expected ``expected``.
+
+    Emitted by the AN Coder's optional operand residue checks (an extension
+    hardening Algorithm 2's operand-fault window): the residue of a valid
+    code word is 0, so merging it is a no-op, while a faulted operand
+    desynchronises the CFI state.  The IR interpreter models detection by
+    trapping when the value mismatches.
+    """
+
+    opcode = "cfimerge"
+
+    def __init__(self, value: Value, expected: int = 0):
+        super().__init__(VOID, [value])
+        self.expected = expected
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Ret(Instruction):
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class Br(Instruction):
+    opcode = "br"
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__(VOID, [])
+        self.target = target
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.target]
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.target is old:
+            self.target = new
+
+
+class CondBr(Instruction):
+    opcode = "condbr"
+
+    def __init__(self, cond: Value, then_block: "BasicBlock", else_block: "BasicBlock"):
+        super().__init__(VOID, [cond])
+        self.then_block = then_block
+        self.else_block = else_block
+        #: Set by the AN Coder when this branch is protected.
+        self.protected: Optional[ProtectedBranchInfo] = None
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def condition_symbol(self) -> Optional[Value]:
+        """The encoded condition value merged into the CFI state (if any)."""
+        return self.operands[1] if len(self.operands) > 1 else None
+
+    def attach_condition_symbol(self, value: Value) -> None:
+        assert len(self.operands) == 1, "condition symbol already attached"
+        self._add_operand(value)
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.then_block, self.else_block]
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.then_block is old:
+            self.then_block = new
+        if self.else_block is old:
+            self.else_block = new
+
+
+class Switch(Instruction):
+    opcode = "switch"
+
+    def __init__(
+        self,
+        value: Value,
+        default: "BasicBlock",
+        cases: list[tuple[Constant, "BasicBlock"]],
+    ):
+        super().__init__(VOID, [value])
+        self.default = default
+        self.cases = list(cases)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.default] + [block for _, block in self.cases]
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.default is old:
+            self.default = new
+        self.cases = [(c, new if b is old else b) for c, b in self.cases]
+
+
+class Phi(Instruction):
+    """SSA phi node; incoming order mirrors ``parent.predecessors`` loosely."""
+
+    opcode = "phi"
+
+    def __init__(self, type_: Type, name: str = ""):
+        super().__init__(type_, [], name)
+        self.incoming_blocks: list["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self._add_operand(value)
+        self.incoming_blocks.append(block)
+
+    @property
+    def incomings(self) -> list[tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for value, pred in self.incomings:
+            if pred is block:
+                return value
+        raise KeyError(f"phi {self.display} has no incoming for {block.name}")
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        for i, pred in enumerate(self.incoming_blocks):
+            if pred is block:
+                value = self.operands.pop(i)
+                self.incoming_blocks.pop(i)
+                if value not in self.operands:
+                    value.users.discard(self)
+                return
+        raise KeyError(f"phi {self.display} has no incoming for {block.name}")
+
+    def replace_incoming_block(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        self.incoming_blocks = [new if b is old else b for b in self.incoming_blocks]

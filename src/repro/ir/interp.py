@@ -1,0 +1,321 @@
+"""Reference IR interpreter.
+
+Executes IR directly with a byte-addressable memory model that mirrors the
+target's (little-endian, 32-bit pointers).  Every compiled program in the
+test-suite is also run through this interpreter; divergence points at a back
+end bug.  It is also how the *unprotected* semantics of a program are
+defined when the fault campaigns compare outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    CfiMergeIR,
+    CondBr,
+    ICmp,
+    Load,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Trap,
+    Trunc,
+    ZExt,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, Undef, Value
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class InterpError(RuntimeError):
+    """Runtime error during IR interpretation (bad memory, div by zero...)."""
+
+
+class TrapError(RuntimeError):
+    """A ``trap`` instruction executed (detected fault)."""
+
+    def __init__(self, code: int):
+        super().__init__(f"trap {code}")
+        self.code = code
+
+
+@dataclass
+class InterpResult:
+    value: Optional[int]
+    steps: int
+    memory: "Memory"
+
+
+class Memory:
+    """Flat little-endian memory with bump-allocated globals and stack."""
+
+    GLOBAL_BASE = 0x0001_0000
+    STACK_TOP = 0x0010_0000
+
+    def __init__(self, size: int = 0x20_0000):
+        self.data = bytearray(size)
+        self.global_addrs: dict[str, int] = {}
+        self._global_bump = self.GLOBAL_BASE
+        self.sp = self.STACK_TOP
+
+    def place_global(self, name: str, size: int, initializer: bytes) -> int:
+        addr = self._global_bump
+        aligned = (size + 3) & ~3
+        self._global_bump += aligned
+        self.data[addr : addr + len(initializer)] = initializer
+        self.global_addrs[name] = addr
+        return addr
+
+    def alloca(self, size: int) -> int:
+        aligned = (size + 3) & ~3
+        self.sp -= aligned
+        if self.sp < self.STACK_TOP - 0x8_0000:
+            raise InterpError("interpreter stack overflow")
+        return self.sp
+
+    def load(self, addr: int, size: int) -> int:
+        if not 0 <= addr <= len(self.data) - size:
+            raise InterpError(f"load out of bounds: {addr:#x}")
+        return int.from_bytes(self.data[addr : addr + size], "little")
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        if not 0 <= addr <= len(self.data) - size:
+            raise InterpError(f"store out of bounds: {addr:#x}")
+        self.data[addr : addr + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        return bytes(self.data[addr : addr + size])
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        self.data[addr : addr + len(payload)] = payload
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 32) if value >> 31 else value
+
+
+def _binary_op(opcode: str, a: int, b: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    a &= mask
+    b &= mask
+    if opcode == "add":
+        return (a + b) & mask
+    if opcode == "sub":
+        return (a - b) & mask
+    if opcode == "mul":
+        return (a * b) & mask
+    if opcode == "udiv":
+        if b == 0:
+            raise InterpError("division by zero")
+        return (a // b) & mask
+    if opcode == "urem":
+        if b == 0:
+            raise InterpError("remainder by zero")
+        return (a % b) & mask
+    if opcode == "sdiv":
+        if b == 0:
+            raise InterpError("division by zero")
+        sa, sb = _signed(a), _signed(b)
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return q & mask
+    if opcode == "srem":
+        if b == 0:
+            raise InterpError("remainder by zero")
+        sa, sb = _signed(a), _signed(b)
+        r = abs(sa) % abs(sb)
+        if sa < 0:
+            r = -r
+        return r & mask
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return (a << (b & 31)) & mask
+    if opcode == "lshr":
+        return (a >> (b & 31)) & mask
+    if opcode == "ashr":
+        return (_signed(a) >> (b & 31)) & mask
+    raise InterpError(f"unknown opcode {opcode}")
+
+
+def _icmp(predicate: str, a: int, b: int) -> int:
+    sa, sb = _signed(a), _signed(b)
+    table = {
+        "eq": a == b,
+        "ne": a != b,
+        "ult": a < b,
+        "ule": a <= b,
+        "ugt": a > b,
+        "uge": a >= b,
+        "slt": sa < sb,
+        "sle": sa <= sb,
+        "sgt": sa > sb,
+        "sge": sa >= sb,
+    }
+    return int(table[predicate])
+
+
+@dataclass
+class _Frame:
+    function: Function
+    values: dict[Value, int] = field(default_factory=dict)
+    stack_mark: int = 0
+
+
+class Interpreter:
+    """Executes IR functions within one module."""
+
+    def __init__(self, module: Module, max_steps: int = 50_000_000):
+        self.module = module
+        self.memory = Memory()
+        self.max_steps = max_steps
+        self.steps = 0
+        for glob in module.globals.values():
+            self.memory.place_global(glob.name, glob.size, glob.initializer)
+
+    def run(self, function_name: str, args: list[int]) -> InterpResult:
+        func = self.module.get_function(function_name)
+        value = self._call(func, [a & WORD_MASK for a in args], depth=0)
+        return InterpResult(value, self.steps, self.memory)
+
+    def _value(self, frame: _Frame, v: Value) -> int:
+        if isinstance(v, Constant):
+            return v.value
+        if isinstance(v, Undef):
+            return 0
+        from repro.ir.module import GlobalVariable
+
+        if isinstance(v, GlobalVariable):
+            return self.memory.global_addrs[v.name]
+        return frame.values[v]
+
+    def _call(self, func: Function, args: list[int], depth: int) -> Optional[int]:
+        if depth > 200:
+            raise InterpError("call depth exceeded")
+        frame = _Frame(func, stack_mark=self.memory.sp)
+        for formal, actual in zip(func.arguments, args):
+            frame.values[formal] = actual & formal.type.mask
+        block = func.entry
+        prev_block: Optional[BasicBlock] = None
+        try:
+            while True:
+                next_block, ret = self._run_block(frame, block, prev_block, depth)
+                if next_block is None:
+                    return ret
+                prev_block, block = block, next_block
+        finally:
+            self.memory.sp = frame.stack_mark
+
+    def _run_block(
+        self,
+        frame: _Frame,
+        block: BasicBlock,
+        prev_block: Optional[BasicBlock],
+        depth: int,
+    ) -> tuple[Optional[BasicBlock], Optional[int]]:
+        # Phis are evaluated in parallel against the incoming edge.
+        phis = block.phis
+        if phis:
+            assert prev_block is not None, "phi in entry block"
+            new_values = {
+                phi: self._value(frame, phi.incoming_for(prev_block)) for phi in phis
+            }
+            frame.values.update(new_values)
+
+        for instr in block.instructions[len(phis) :]:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise InterpError("step budget exhausted")
+            if isinstance(instr, BinaryOp):
+                frame.values[instr] = _binary_op(
+                    instr.opcode,
+                    self._value(frame, instr.lhs),
+                    self._value(frame, instr.rhs),
+                    instr.type.bits,
+                )
+            elif isinstance(instr, ICmp):
+                frame.values[instr] = _icmp(
+                    instr.predicate,
+                    self._value(frame, instr.lhs),
+                    self._value(frame, instr.rhs),
+                )
+            elif isinstance(instr, Select):
+                cond = self._value(frame, instr.condition)
+                chosen = instr.true_value if cond else instr.false_value
+                frame.values[instr] = self._value(frame, chosen)
+            elif isinstance(instr, Alloca):
+                frame.values[instr] = self.memory.alloca(instr.size)
+            elif isinstance(instr, Load):
+                addr = self._value(frame, instr.pointer)
+                frame.values[instr] = self.memory.load(addr, instr.type.size_bytes)
+            elif isinstance(instr, Store):
+                addr = self._value(frame, instr.pointer)
+                self.memory.store(
+                    addr,
+                    self._value(frame, instr.value),
+                    instr.value.type.size_bytes,
+                )
+            elif isinstance(instr, PtrAdd):
+                frame.values[instr] = (
+                    self._value(frame, instr.pointer) + self._value(frame, instr.offset)
+                ) & WORD_MASK
+            elif isinstance(instr, ZExt):
+                frame.values[instr] = self._value(frame, instr.value)
+            elif isinstance(instr, Trunc):
+                frame.values[instr] = (
+                    self._value(frame, instr.value) & instr.type.mask
+                )
+            elif isinstance(instr, Call):
+                result = self._call(
+                    instr.callee,
+                    [self._value(frame, a) for a in instr.args],
+                    depth + 1,
+                )
+                if instr.type.bits:
+                    assert result is not None
+                    frame.values[instr] = result & instr.type.mask
+            elif isinstance(instr, Trap):
+                raise TrapError(instr.code)
+            elif isinstance(instr, CfiMergeIR):
+                # Models CFI detection: a mismatching merge value would
+                # desynchronise the state and trip the next check.
+                if self._value(frame, instr.value) != instr.expected:
+                    raise TrapError(3)
+            elif isinstance(instr, Ret):
+                value = (
+                    self._value(frame, instr.value) if instr.value is not None else None
+                )
+                return None, value
+            elif isinstance(instr, Br):
+                return instr.target, None
+            elif isinstance(instr, CondBr):
+                cond = self._value(frame, instr.condition)
+                return (instr.then_block if cond else instr.else_block), None
+            elif isinstance(instr, Switch):
+                value = self._value(frame, instr.value)
+                for const, target in instr.cases:
+                    if const.value == value:
+                        return target, None
+                return instr.default, None
+            else:  # pragma: no cover - defensive
+                raise InterpError(f"cannot interpret {instr.opcode}")
+        raise InterpError(f"block {block.name} fell through")

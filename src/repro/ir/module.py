@@ -1,0 +1,66 @@
+"""Modules and global variables."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.types import FunctionType, PTR
+from repro.ir.values import Value
+
+
+class GlobalVariable(Value):
+    """A statically allocated byte region with optional initializer.
+
+    ``initializer`` is raw bytes; word-typed data is little-endian, matching
+    the target.  Globals evaluate to their address (a pointer value).
+    """
+
+    def __init__(self, name: str, size: int, initializer: Optional[bytes] = None):
+        super().__init__(PTR, name)
+        if initializer is not None and len(initializer) > size:
+            raise ValueError(f"initializer for {name} exceeds size {size}")
+        self.size = size
+        self.initializer = initializer or b""
+
+    @classmethod
+    def from_words(cls, name: str, words: list[int]) -> "GlobalVariable":
+        data = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+        return cls(name, len(data), data)
+
+    @property
+    def display(self) -> str:
+        return f"@{self.name}"
+
+
+class Module:
+    """Top-level container of functions and globals."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+
+    def add_function(
+        self,
+        name: str,
+        function_type: FunctionType,
+        param_names: Optional[list[str]] = None,
+    ) -> Function:
+        if name in self.functions:
+            raise ValueError(f"duplicate function {name}")
+        func = Function(name, function_type, self, param_names)
+        self.functions[name] = func
+        return func
+
+    def add_global(self, glob: GlobalVariable) -> GlobalVariable:
+        if glob.name in self.globals:
+            raise ValueError(f"duplicate global {glob.name}")
+        self.globals[glob.name] = glob
+        return glob
+
+    def get_function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Module {self.name}: {list(self.functions)}>"

@@ -1,0 +1,133 @@
+"""Textual IR form, for tests, debugging and golden files."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    CfiMergeIR,
+    CondBr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Trap,
+    Trunc,
+    ZExt,
+)
+from repro.ir.module import Module
+from repro.ir.values import Value
+
+
+class _Namer:
+    """Assigns stable %N names to anonymous values."""
+
+    def __init__(self) -> None:
+        self.names: dict[Value, str] = {}
+        self.counter = 0
+
+    def name(self, value: Value) -> str:
+        from repro.ir.values import Argument, Constant, Undef
+        from repro.ir.module import GlobalVariable
+
+        if isinstance(value, Constant):
+            return str(value.value)
+        if isinstance(value, Undef):
+            return "undef"
+        if isinstance(value, GlobalVariable):
+            return f"@{value.name}"
+        if isinstance(value, Argument):
+            return f"%{value.name}"
+        if value not in self.names:
+            if value.name:
+                self.names[value] = f"%{value.name}"
+            else:
+                self.names[value] = f"%t{self.counter}"
+                self.counter += 1
+        return self.names[value]
+
+
+def _format_instr(instr: Instruction, namer: _Namer) -> str:
+    n = namer.name
+    if isinstance(instr, BinaryOp):
+        return f"{n(instr)} = {instr.opcode} {instr.type} {n(instr.lhs)}, {n(instr.rhs)}"
+    if isinstance(instr, ICmp):
+        return (
+            f"{n(instr)} = icmp {instr.predicate} {instr.lhs.type} "
+            f"{n(instr.lhs)}, {n(instr.rhs)}"
+        )
+    if isinstance(instr, Select):
+        return (
+            f"{n(instr)} = select {n(instr.condition)}, {instr.type} "
+            f"{n(instr.true_value)}, {n(instr.false_value)}"
+        )
+    if isinstance(instr, Alloca):
+        return f"{n(instr)} = alloca {instr.size}"
+    if isinstance(instr, Load):
+        return f"{n(instr)} = load {instr.type}, {n(instr.pointer)}"
+    if isinstance(instr, Store):
+        return f"store {instr.value.type} {n(instr.value)}, {n(instr.pointer)}"
+    if isinstance(instr, PtrAdd):
+        return f"{n(instr)} = ptradd {n(instr.pointer)}, {n(instr.offset)}"
+    if isinstance(instr, ZExt):
+        return f"{n(instr)} = zext {instr.value.type} {n(instr.value)} to {instr.type}"
+    if isinstance(instr, Trunc):
+        return f"{n(instr)} = trunc {instr.value.type} {n(instr.value)} to {instr.type}"
+    if isinstance(instr, Call):
+        args = ", ".join(n(a) for a in instr.args)
+        prefix = f"{n(instr)} = " if instr.type.bits else ""
+        return f"{prefix}call {instr.type} @{instr.callee.name}({args})"
+    if isinstance(instr, Trap):
+        return f"trap {instr.code}"
+    if isinstance(instr, CfiMergeIR):
+        return f"cfi.merge {n(instr.value)}, expected {instr.expected}"
+    if isinstance(instr, Ret):
+        return f"ret {n(instr.value)}" if instr.value is not None else "ret void"
+    if isinstance(instr, Br):
+        return f"br label %{instr.target.name}"
+    if isinstance(instr, CondBr):
+        tag = " !protected" if instr.protected else ""
+        return (
+            f"br {n(instr.condition)}, label %{instr.then_block.name}, "
+            f"label %{instr.else_block.name}{tag}"
+        )
+    if isinstance(instr, Switch):
+        cases = ", ".join(f"{c.value} -> %{b.name}" for c, b in instr.cases)
+        return f"switch {n(instr.value)}, default %{instr.default.name} [{cases}]"
+    if isinstance(instr, Phi):
+        inc = ", ".join(f"[{n(v)}, %{b.name}]" for v, b in instr.incomings)
+        return f"{n(instr)} = phi {instr.type} {inc}"
+    return f"{instr.opcode} <unknown>"  # pragma: no cover
+
+
+def print_function(func: Function) -> str:
+    namer = _Namer()
+    params = ", ".join(f"{a.type} %{a.name}" for a in func.arguments)
+    attrs = " ".join(sorted(func.attributes))
+    header = f"define {func.return_type} @{func.name}({params})"
+    if attrs:
+        header += f" {attrs}"
+    lines = [header + " {"]
+    for block in func.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"  {_format_instr(instr, namer)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts = []
+    for glob in module.globals.values():
+        parts.append(f"@{glob.name} = global [{glob.size} x i8]")
+    for func in module.functions.values():
+        parts.append(print_function(func))
+    return "\n\n".join(parts)

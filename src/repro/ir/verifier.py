@@ -1,0 +1,134 @@
+"""IR structural verifier.
+
+Catches the pass-pipeline bugs that otherwise surface three stages later as
+weird simulator behaviour: missing/multiple terminators, phi/predecessor
+mismatches, uses that are not dominated by their definitions, and type
+errors the constructors cannot see.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import predecessor_map
+from repro.ir.dominance import DominatorTree
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, Undef, Value
+
+
+class VerificationError(AssertionError):
+    """The IR violates a structural invariant."""
+
+
+def verify_module(module: Module) -> None:
+    for func in module.functions.values():
+        if func.blocks:
+            verify_function(func)
+
+
+def verify_function(func: Function) -> None:
+    _check_blocks(func)
+    _check_phis(func)
+    _check_dominance(func)
+
+
+def _fail(func: Function, message: str) -> None:
+    raise VerificationError(f"{func.name}: {message}")
+
+
+def _check_blocks(func: Function) -> None:
+    if not func.blocks:
+        _fail(func, "function has no blocks")
+    seen_names: set[str] = set()
+    for block in func.blocks:
+        if block.name in seen_names:
+            _fail(func, f"duplicate block name {block.name}")
+        seen_names.add(block.name)
+        if block.parent is not func:
+            _fail(func, f"block {block.name} has wrong parent")
+        if not block.instructions:
+            _fail(func, f"block {block.name} is empty")
+        for i, instr in enumerate(block.instructions):
+            if instr.parent is not block:
+                _fail(func, f"instr in {block.name} has wrong parent")
+            is_last = i == len(block.instructions) - 1
+            if instr.is_terminator and not is_last:
+                _fail(func, f"terminator mid-block in {block.name}")
+            if is_last and not instr.is_terminator:
+                _fail(func, f"block {block.name} lacks a terminator")
+        for succ in block.successors():
+            if succ.parent is not func:
+                _fail(func, f"{block.name} branches to foreign block")
+
+
+def _check_phis(func: Function) -> None:
+    preds = predecessor_map(func)
+    for block in func.blocks:
+        expected = preds[block]
+        past_phis = False
+        for instr in block.instructions:
+            if not isinstance(instr, Phi):
+                past_phis = True
+                continue
+            if past_phis:
+                _fail(func, f"phi after non-phi in {block.name}")
+            incoming = instr.incoming_blocks
+            if len(incoming) != len(set(id(b) for b in incoming)):
+                _fail(func, f"phi in {block.name} has duplicate incoming blocks")
+            if set(id(b) for b in incoming) != set(id(b) for b in expected):
+                got = sorted(b.name for b in incoming)
+                want = sorted(b.name for b in expected)
+                _fail(func, f"phi in {block.name}: incoming {got} != preds {want}")
+            for value in instr.operands:
+                if value.type != instr.type and not isinstance(value, Undef):
+                    _fail(func, f"phi in {block.name} mixes types")
+
+
+def _check_dominance(func: Function) -> None:
+    dom = DominatorTree(func)
+    reachable = set(dom.order)
+    positions: dict[Instruction, tuple[BasicBlock, int]] = {}
+    for block in func.blocks:
+        for i, instr in enumerate(block.instructions):
+            positions[instr] = (block, i)
+
+    def defined_ok(use_block: BasicBlock, use_index: int, value: Value) -> bool:
+        if isinstance(value, (Constant, Argument, Undef)):
+            return True
+        if not isinstance(value, Instruction):
+            return True  # globals, functions
+        if value not in positions:
+            return False
+        def_block, def_index = positions[value]
+        if def_block is use_block:
+            return def_index < use_index
+        return dom.strictly_dominates(def_block, use_block) or not (
+            def_block in reachable and use_block in reachable
+        )
+
+    for block in func.blocks:
+        if block not in reachable:
+            continue
+        for i, instr in enumerate(block.instructions):
+            if isinstance(instr, Phi):
+                for value, pred in instr.incomings:
+                    if isinstance(value, Instruction):
+                        if pred not in reachable:
+                            continue
+                        if value not in positions:
+                            _fail(func, f"phi uses erased value in {block.name}")
+                        def_block, _ = positions[value]
+                        if not dom.dominates(def_block, pred):
+                            _fail(
+                                func,
+                                f"phi incoming {value.display} does not dominate "
+                                f"edge {pred.name} -> {block.name}",
+                            )
+                continue
+            for value in instr.operands:
+                if not defined_ok(block, i, value):
+                    _fail(
+                        func,
+                        f"use of {value.display} in {block.name} "
+                        "not dominated by its definition",
+                    )

@@ -1,0 +1,50 @@
+"""ARMv7-M-subset ISA and cycle-accurate simulator (S8 in DESIGN.md).
+
+The instruction set mirrors the Thumb-2 subset the paper's prototype needs
+(Table II names ADD/SUB/UDIV/MLS explicitly), with a faithful 16/32-bit
+encoding-width model for code-size figures and a Cortex-M4-style cycle model
+(UDIV takes 2-12 data-dependent cycles) for runtime figures.
+"""
+
+from repro.isa.cpu import CPU, ExecutionResult, Status
+from repro.isa.assembler import AsmBlock, AsmFunction, CodeImage, assemble
+from repro.isa.cycles import CycleModel
+from repro.isa.mmio import MMIO
+from repro.isa.registers import (
+    LR,
+    PC,
+    SP,
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R9,
+    R12,
+    VReg,
+    reg_name,
+)
+
+__all__ = [
+    "AsmBlock",
+    "AsmFunction",
+    "CPU",
+    "CodeImage",
+    "CycleModel",
+    "ExecutionResult",
+    "LR",
+    "MMIO",
+    "PC",
+    "R0",
+    "R1",
+    "R2",
+    "R3",
+    "R4",
+    "R9",
+    "R12",
+    "SP",
+    "Status",
+    "VReg",
+    "assemble",
+    "reg_name",
+]

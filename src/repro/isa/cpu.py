@@ -1,0 +1,434 @@
+"""The CPU simulator.
+
+Executes a :class:`~repro.isa.assembler.CodeImage` with:
+
+* cycle accounting via a pluggable :class:`~repro.isa.cycles.CycleModel`,
+* MMIO (exit/console/fault report/CFI unit),
+* retire hooks (the CFI monitor observes every retired instruction and the
+  CFI-unit writes it caused),
+* fault-injection hooks (run before each instruction; may mutate state or
+  skip the instruction — the paper's instruction-skip and bit-flip models).
+
+Returning from the entry function (``BX lr`` with the magic link value)
+halts with status EXIT and the value of r0.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.isa import instructions as ins
+from repro.isa.assembler import CodeImage
+from repro.isa.cycles import CycleModel
+from repro.isa.mmio import MMIO
+from repro.isa.registers import LR, PC, SP
+
+WORD = 0xFFFFFFFF
+MAGIC_RETURN = 0xFFFF_FFFE
+STACK_TOP = 0x0010_0000
+MEM_SIZE = 0x0020_0000
+
+
+class Status(enum.Enum):
+    RUNNING = "running"
+    EXIT = "exit"
+    FAULT_DETECTED = "fault-detected"
+    CFI_VIOLATION = "cfi-violation"
+    MEM_ERROR = "memory-error"
+    DECODE_ERROR = "decode-error"
+    TIMEOUT = "timeout"
+    DIV_BY_ZERO = "div-by-zero"
+
+
+@dataclass
+class ExecutionResult:
+    status: Status
+    exit_code: int
+    cycles: int
+    instructions: int
+    detect_code: int = 0
+    console: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.EXIT
+
+
+@dataclass
+class CfiEvent:
+    """A store this instruction performed to the CFI unit."""
+
+    addr: int
+    value: int
+
+
+class CPU:
+    def __init__(
+        self,
+        image: CodeImage,
+        cycle_model: Optional[CycleModel] = None,
+        memory_size: int = MEM_SIZE,
+    ):
+        self.image = image
+        self.cycles_model = cycle_model or CycleModel()
+        self.memory = bytearray(memory_size)
+        for addr, payload in image.data_image:
+            self.memory[addr : addr + len(payload)] = payload
+        self.regs = [0] * 16
+        self.n = self.z = self.c = self.v = 0
+        self.status = Status.RUNNING
+        self.exit_code = 0
+        self.detect_code = 0
+        self.cycles = 0
+        self.retired = 0
+        self.console_chars: list[str] = []
+        #: index of the *next* dynamic instruction (used by fault hooks)
+        self.dyn_index = 0
+        #: hooks: f(cpu, instr) -> True to skip the instruction
+        self.pre_hooks: list[Callable] = []
+        #: observers: f(cpu, instr, cfi_events) after each retirement
+        self.retire_hooks: list[Callable] = []
+        self._cfi_events: list[CfiEvent] = []
+        self._pending_pc: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Setup / top-level run
+    # ------------------------------------------------------------------
+    def call(self, function: str, args: list[int] | None = None) -> None:
+        """Arrange registers/stack to start executing ``function``."""
+        args = args or []
+        if len(args) > 4:
+            raise ValueError("at most 4 register arguments supported")
+        for i, a in enumerate(args):
+            self.regs[i] = a & WORD
+        self.regs[SP] = STACK_TOP
+        self.regs[LR] = MAGIC_RETURN
+        self.regs[PC] = self.image.labels[function]
+
+    def run(self, max_cycles: int = 10_000_000) -> ExecutionResult:
+        while self.status is Status.RUNNING:
+            if self.cycles >= max_cycles:
+                self.status = Status.TIMEOUT
+                break
+            self.step()
+        return ExecutionResult(
+            status=self.status,
+            exit_code=self.exit_code,
+            cycles=self.cycles,
+            instructions=self.retired,
+            detect_code=self.detect_code,
+            console="".join(self.console_chars),
+        )
+
+    # ------------------------------------------------------------------
+    # One instruction
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        pc = self.regs[PC]
+        instr = self.image.instr_at.get(pc)
+        if instr is None:
+            self.status = Status.DECODE_ERROR
+            return
+        index = self.dyn_index
+        self.dyn_index += 1
+
+        skip = False
+        for hook in self.pre_hooks:
+            if hook(self, instr):
+                skip = True
+        if skip:
+            # Instruction skip: PC advances, nothing retires, 1 cycle burns.
+            self.regs[PC] = pc + self._width(instr)
+            self.cycles += 1
+            return
+
+        self._cfi_events.clear()
+        self._pending_pc = None
+        self.execute(instr)
+        self.retired += 1
+        if self._pending_pc is not None:
+            self.regs[PC] = self._pending_pc
+        else:
+            self.regs[PC] = pc + self._width(instr)
+        events = list(self._cfi_events)
+        for hook in self.retire_hooks:
+            hook(self, instr, events)
+
+    def _width(self, instr) -> int:
+        # Widths are immutable after assembly; cache on the instruction.
+        cached = getattr(instr, "_width_cache", None)
+        if cached is None:
+            from repro.isa.encoding import width
+
+            cached = width(instr)
+            instr._width_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Memory with MMIO
+    # ------------------------------------------------------------------
+    def load(self, addr: int, size: int) -> int:
+        addr &= WORD
+        if MMIO.is_mmio(addr):
+            return 0
+        if addr + size > len(self.memory):
+            self.status = Status.MEM_ERROR
+            return 0
+        return int.from_bytes(self.memory[addr : addr + size], "little")
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        addr &= WORD
+        value &= (1 << (8 * size)) - 1
+        if MMIO.is_mmio(addr):
+            self._mmio_store(addr, value)
+            return
+        if addr + size > len(self.memory):
+            self.status = Status.MEM_ERROR
+            return
+        self.memory[addr : addr + size] = value.to_bytes(size, "little")
+
+    def _mmio_store(self, addr: int, value: int) -> None:
+        if addr == MMIO.EXIT:
+            self.status = Status.EXIT
+            self.exit_code = value
+        elif addr == MMIO.CONSOLE:
+            self.console_chars.append(chr(value & 0xFF))
+        elif addr == MMIO.DETECT:
+            self.status = Status.FAULT_DETECTED
+            self.detect_code = value
+        elif addr in (MMIO.CFI_MERGE, MMIO.CFI_CHECK):
+            self._cfi_events.append(CfiEvent(addr, value))
+
+    def cfi_violation(self) -> None:
+        """Called by the CFI monitor when a check fails."""
+        self.status = Status.CFI_VIOLATION
+
+    # ------------------------------------------------------------------
+    # Flags
+    # ------------------------------------------------------------------
+    def set_nz(self, value: int) -> None:
+        self.n = (value >> 31) & 1
+        self.z = 1 if value == 0 else 0
+
+    def _add_with_carry(self, a: int, b: int, carry: int) -> int:
+        unsigned = a + b + carry
+        result = unsigned & WORD
+        self.c = 1 if unsigned > WORD else 0
+        sa, sb, sr = a >> 31, b >> 31, result >> 31
+        self.v = 1 if (sa == sb and sr != sa) else 0
+        self.set_nz(result)
+        return result
+
+    def condition_holds(self, cond: str) -> bool:
+        if cond == "eq":
+            return self.z == 1
+        if cond == "ne":
+            return self.z == 0
+        if cond == "hs":
+            return self.c == 1
+        if cond == "lo":
+            return self.c == 0
+        if cond == "hi":
+            return self.c == 1 and self.z == 0
+        if cond == "ls":
+            return self.c == 0 or self.z == 1
+        if cond == "lt":
+            return self.n != self.v
+        if cond == "ge":
+            return self.n == self.v
+        if cond == "gt":
+            return self.z == 0 and self.n == self.v
+        if cond == "le":
+            return self.z == 1 or self.n != self.v
+        raise ValueError(f"unknown condition {cond}")
+
+    # ------------------------------------------------------------------
+    # Execution proper
+    # ------------------------------------------------------------------
+    def execute(self, instr) -> None:  # noqa: C901 - dispatch table
+        regs = self.regs
+        model = self.cycles_model
+        if isinstance(instr, ins.MovImm):
+            regs[instr.rd] = instr.imm & WORD
+            self.set_nz(regs[instr.rd])
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.MovReg):
+            regs[instr.rd] = regs[instr.rm]
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.Movw):
+            regs[instr.rd] = instr.imm & 0xFFFF
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.Movt):
+            regs[instr.rd] = (regs[instr.rd] & 0xFFFF) | ((instr.imm & 0xFFFF) << 16)
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.Mvn):
+            regs[instr.rd] = (~regs[instr.rm]) & WORD
+            self.set_nz(regs[instr.rd])
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.Alu):
+            regs[instr.rd] = self._alu(
+                instr.op, regs[instr.rn], regs[instr.rm], instr.s
+            )
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.AluImm):
+            regs[instr.rd] = self._alu(instr.op, regs[instr.rn], instr.imm & WORD, instr.s)
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.ShiftImm):
+            regs[instr.rd] = self._shift(instr.op, regs[instr.rn], instr.amount)
+            self.set_nz(regs[instr.rd])
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.ShiftReg):
+            regs[instr.rd] = self._shift(
+                instr.op, regs[instr.rn], regs[instr.rm] & 0xFF
+            )
+            self.set_nz(regs[instr.rd])
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.Mul):
+            regs[instr.rd] = (regs[instr.rn] * regs[instr.rm]) & WORD
+            self.cycles += model.mul()
+        elif isinstance(instr, ins.Mla):
+            regs[instr.rd] = (regs[instr.ra] + regs[instr.rn] * regs[instr.rm]) & WORD
+            self.cycles += model.mla()
+        elif isinstance(instr, ins.Mls):
+            regs[instr.rd] = (regs[instr.ra] - regs[instr.rn] * regs[instr.rm]) & WORD
+            self.cycles += model.mla()
+        elif isinstance(instr, ins.Umull):
+            product = regs[instr.rn] * regs[instr.rm]
+            regs[instr.rdlo] = product & WORD
+            regs[instr.rdhi] = (product >> 32) & WORD
+            self.cycles += model.umull()
+        elif isinstance(instr, ins.Udiv):
+            dividend, divisor = regs[instr.rn], regs[instr.rm]
+            regs[instr.rd] = (dividend // divisor) & WORD if divisor else 0
+            self.cycles += model.div(dividend, divisor)
+        elif isinstance(instr, ins.Sdiv):
+            a = _signed(regs[instr.rn])
+            b = _signed(regs[instr.rm])
+            if b == 0:
+                regs[instr.rd] = 0
+            else:
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                regs[instr.rd] = q & WORD
+            self.cycles += model.div(abs(a), abs(b) or 1)
+        elif isinstance(instr, ins.Umod):
+            dividend, divisor = regs[instr.rn], regs[instr.rm]
+            regs[instr.rd] = (dividend % divisor) & WORD if divisor else 0
+            self.cycles += model.umod()
+        elif isinstance(instr, ins.CmpReg):
+            self._add_with_carry(regs[instr.rn], (~regs[instr.rm]) & WORD, 1)
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.CmpImm):
+            self._add_with_carry(regs[instr.rn], (~(instr.imm & WORD)) & WORD, 1)
+            self.cycles += model.alu()
+        elif isinstance(instr, ins.B):
+            self._pending_pc = instr.target
+            self.cycles += model.branch_taken()
+        elif isinstance(instr, ins.Bcc):
+            if self.condition_holds(instr.cond):
+                self._pending_pc = instr.target
+                self.cycles += model.branch_taken()
+            else:
+                self.cycles += model.branch_not_taken()
+        elif isinstance(instr, ins.Bl):
+            pc = self.regs[PC]
+            regs[LR] = pc + 4  # BL is always 4 bytes
+            self._pending_pc = instr.target
+            self.cycles += model.call()
+        elif isinstance(instr, ins.BxLr):
+            target = regs[LR]
+            if target == MAGIC_RETURN:
+                self.status = Status.EXIT
+                self.exit_code = regs[0]
+            else:
+                self._pending_pc = target & ~1
+            self.cycles += model.ret()
+        elif isinstance(instr, ins.LdrImm):
+            regs[instr.rt] = self.load(regs[instr.rn] + instr.imm, instr.size)
+            self.cycles += model.load()
+        elif isinstance(instr, ins.LdrReg):
+            regs[instr.rt] = self.load(regs[instr.rn] + regs[instr.rm], instr.size)
+            self.cycles += model.load()
+        elif isinstance(instr, ins.StrImm):
+            self.store(regs[instr.rn] + instr.imm, regs[instr.rt], instr.size)
+            self.cycles += model.store()
+        elif isinstance(instr, ins.StrReg):
+            self.store(regs[instr.rn] + regs[instr.rm], regs[instr.rt], instr.size)
+            self.cycles += model.store()
+        elif isinstance(instr, ins.Push):
+            for reg in reversed(instr.regs):
+                regs[SP] = (regs[SP] - 4) & WORD
+                self.store(regs[SP], regs[reg], 4)
+            self.cycles += model.push_pop(len(instr.regs))
+        elif isinstance(instr, ins.Pop):
+            for reg in instr.regs:
+                regs[reg] = self.load(regs[SP], 4)
+                regs[SP] = (regs[SP] + 4) & WORD
+            self.cycles += model.push_pop(len(instr.regs))
+        elif isinstance(instr, ins.LdrLit):
+            assert instr.resolved is not None, f"unresolved literal {instr.symbol}"
+            regs[instr.rd] = instr.resolved & WORD
+            self.cycles += model.load()
+        elif isinstance(instr, ins.Nop):
+            self.cycles += model.nop()
+        elif isinstance(instr, ins.Udf):
+            self.status = Status.FAULT_DETECTED
+            self.detect_code = instr.code
+            self.cycles += 1
+        else:  # pragma: no cover - defensive
+            self.status = Status.DECODE_ERROR
+
+    def _alu(self, op: str, a: int, b: int, s: bool) -> int:
+        if op == "add":
+            if s:
+                return self._add_with_carry(a, b, 0)
+            return (a + b) & WORD
+        if op == "sub":
+            if s:
+                return self._add_with_carry(a, (~b) & WORD, 1)
+            return (a - b) & WORD
+        if op == "rsb":
+            result = (b - a) & WORD
+            if s:
+                return self._add_with_carry(b, (~a) & WORD, 1)
+            return result
+        if op == "adc":
+            return self._add_with_carry(a, b, self.c) if s else (a + b + self.c) & WORD
+        if op == "sbc":
+            if s:
+                return self._add_with_carry(a, (~b) & WORD, self.c)
+            return (a - b - (1 - self.c)) & WORD
+        if op == "and":
+            result = a & b
+        elif op == "orr":
+            result = a | b
+        elif op == "eor":
+            result = a ^ b
+        elif op == "bic":
+            result = a & ~b & WORD
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown ALU op {op}")
+        if s:
+            self.set_nz(result)
+        return result
+
+    def _shift(self, op: str, value: int, amount: int) -> int:
+        amount &= 0xFF
+        if op == "lsl":
+            return (value << amount) & WORD if amount < 32 else 0
+        if op == "lsr":
+            return (value >> amount) if amount < 32 else 0
+        if op == "asr":
+            return (_signed(value) >> min(amount, 31)) & WORD
+        if op == "ror":
+            amount %= 32
+            return ((value >> amount) | (value << (32 - amount))) & WORD
+        raise ValueError(f"unknown shift {op}")
+
+
+def _signed(value: int) -> int:
+    value &= WORD
+    return value - (1 << 32) if value >> 31 else value

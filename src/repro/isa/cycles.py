@@ -1,0 +1,80 @@
+"""Cortex-M4-style cycle model.
+
+The figures that matter for the paper's tables:
+
+* ALU/moves/shifts/MUL: 1 cycle,
+* MLA/MLS: 2 cycles,
+* UDIV/SDIV: 2-12 cycles depending on operand magnitudes (Table II's
+  footnote: "Division on ARMv7-M requires between 2 and 12 cycles"),
+* loads/stores: 2 cycles,
+* taken branches: 1 + pipeline refill (2) = 3; non-taken: 1,
+* BL: 4, BX: 3, PUSH/POP: 1 + one per register.
+
+The model is pluggable so experiments can swap in different assumptions
+(e.g. the hardware-modulo ablation prices UMOD like a division or like a
+multiply).
+"""
+
+from __future__ import annotations
+
+from repro.isa import instructions as ins
+
+
+class CycleModel:
+    """Default Cortex-M4-flavoured timing."""
+
+    def __init__(self, umod_cycles: int = 3):
+        self.umod_cycles = umod_cycles
+
+    # -- data-processing -------------------------------------------------
+    def alu(self) -> int:
+        return 1
+
+    def mul(self) -> int:
+        return 1
+
+    def mla(self) -> int:
+        return 2
+
+    def umull(self) -> int:
+        return 1
+
+    def div(self, dividend: int, divisor: int) -> int:
+        """2-12 cycles: early-terminates on small quotients.
+
+        The hardware divides roughly 4 result bits per cycle after a 2-cycle
+        setup; the quotient width upper-bounds the iterations.
+        """
+        if divisor == 0:
+            return 12
+        quotient_bits = max(0, dividend.bit_length() - divisor.bit_length() + 1)
+        return min(12, 2 + (quotient_bits + 2) // 3)
+
+    def umod(self) -> int:
+        return self.umod_cycles
+
+    # -- memory -----------------------------------------------------------
+    def load(self) -> int:
+        return 2
+
+    def store(self) -> int:
+        return 2
+
+    def push_pop(self, count: int) -> int:
+        return 1 + count
+
+    # -- control flow -------------------------------------------------------
+    def branch_taken(self) -> int:
+        return 3
+
+    def branch_not_taken(self) -> int:
+        return 1
+
+    def call(self) -> int:
+        return 4
+
+    def ret(self) -> int:
+        return 3
+
+    def nop(self) -> int:
+        return 1

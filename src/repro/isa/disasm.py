@@ -1,0 +1,33 @@
+"""Listing helpers (disassembly is trivial: instructions carry their text)."""
+
+from __future__ import annotations
+
+from repro.isa.assembler import CodeImage
+from repro.isa.encoding import width
+
+
+def annotated_listing(image: CodeImage) -> str:
+    """Listing with addresses, widths, and function boundaries."""
+    lines = []
+    label_at: dict[int, list[str]] = {}
+    for label, addr in image.labels.items():
+        label_at.setdefault(addr, []).append(label)
+    for instr in image.instructions:
+        addr = image.addr_of[id(instr)]
+        for label in sorted(label_at.get(addr, ())):
+            lines.append(f"{label}:")
+        lines.append(f"  {addr:#08x}  ({width(instr)}B)  {instr.text()}")
+    return "\n".join(lines)
+
+
+def instruction_histogram(image: CodeImage, function: str | None = None) -> dict[str, int]:
+    """Mnemonic -> count, optionally restricted to one function."""
+    histogram: dict[str, int] = {}
+    for instr in image.instructions:
+        if function is not None:
+            addr = image.addr_of[id(instr)]
+            start, end = image.function_ranges[function]
+            if not start <= addr < end:
+                continue
+        histogram[instr.mnemonic] = histogram.get(instr.mnemonic, 0) + 1
+    return histogram

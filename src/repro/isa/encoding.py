@@ -1,0 +1,129 @@
+"""Thumb-2 encoding-width model.
+
+Code size is an evaluation metric in the paper (Tables II and III), so the
+assembler needs to know which instructions get 16-bit and which get 32-bit
+encodings.  The rules below follow the ARMv7-M ARM for the narrow (T1/T2)
+encodings; anything outside a narrow form is 32-bit.
+
+The key data points Table II relies on:
+
+* three-register ``ADDS``/``SUBS`` with low registers -> 2 bytes,
+* ``UDIV`` / ``MLS`` / ``MLA`` / ``UMULL`` / ``MOVW`` / ``MOVT`` / ``BL``
+  -> always 4 bytes,
+
+giving 2+2+4+4 = 12 bytes for the relational encoded compare and 26 bytes
+for the equality compare.
+"""
+
+from __future__ import annotations
+
+from repro.isa import instructions as ins
+from repro.isa.registers import SP, is_low
+
+
+def width(instr: ins.Instr) -> int:
+    """Encoded size in bytes (2 or 4)."""
+    if isinstance(instr, ins.MovImm):
+        return 2 if is_low(instr.rd) and 0 <= instr.imm <= 255 else 4
+    if isinstance(instr, (ins.MovReg, ins.Nop, ins.BxLr, ins.Udf)):
+        return 2
+    if isinstance(instr, ins.Mvn):
+        return 2 if is_low(instr.rd) and is_low(instr.rm) else 4
+    if isinstance(instr, (ins.Movw, ins.Movt)):
+        return 4
+    if isinstance(instr, ins.Alu):
+        if instr.op in ("add", "sub"):
+            # ADDS/SUBS rd, rn, rm (T1) — low regs, flag-setting.
+            if instr.s and is_low(instr.rd) and is_low(instr.rn) and is_low(instr.rm):
+                return 2
+            # ADD rd, rd, rm (T2) accepts high registers.
+            if instr.op == "add" and not instr.s and instr.rd == instr.rn:
+                return 2
+            return 4
+        # Two-address data processing (T1): rd == rn, low registers.
+        if (
+            instr.s
+            and instr.rd == instr.rn
+            and is_low(instr.rd)
+            and is_low(instr.rm)
+            and instr.op in ("and", "orr", "eor", "bic", "adc", "sbc")
+        ):
+            return 2
+        return 4
+    if isinstance(instr, ins.AluImm):
+        if instr.op in ("add", "sub"):
+            if instr.rn == SP:
+                # ADD rd, sp, #imm (T1): low rd, imm8*4.
+                if is_low(instr.rd) and instr.imm % 4 == 0 and instr.imm <= 1020:
+                    return 2
+                if instr.rd == SP and instr.imm % 4 == 0 and instr.imm <= 508:
+                    return 2
+                return 4
+            if instr.s and is_low(instr.rd) and is_low(instr.rn) and instr.imm <= 7:
+                return 2  # ADDS rd, rn, #imm3 (T1)
+            if instr.s and instr.rd == instr.rn and is_low(instr.rd) and instr.imm <= 255:
+                return 2  # ADDS rdn, #imm8 (T2)
+            return 4  # ADDW/SUBW imm12 or modified immediate
+        return 4
+    if isinstance(instr, (ins.ShiftImm,)):
+        return 2 if is_low(instr.rd) and is_low(instr.rn) else 4
+    if isinstance(instr, ins.ShiftReg):
+        return (
+            2
+            if instr.rd == instr.rn and is_low(instr.rd) and is_low(instr.rm)
+            else 4
+        )
+    if isinstance(instr, ins.Mul):
+        # MULS rdm, rn, rdm (T1): rd == rm, low registers.
+        return 2 if instr.rd == instr.rm and is_low(instr.rd) and is_low(instr.rn) else 4
+    if isinstance(instr, (ins.Mla, ins.Mls, ins.Umull, ins.Udiv, ins.Sdiv, ins.Umod)):
+        return 4
+    if isinstance(instr, ins.CmpReg):
+        return 2  # CMP (register) T1/T2 cover low and high registers
+    if isinstance(instr, ins.CmpImm):
+        return 2 if is_low(instr.rn) and 0 <= instr.imm <= 255 else 4
+    if isinstance(instr, ins.B):
+        return 2 if _fits(instr, 2048) else 4
+    if isinstance(instr, ins.Bcc):
+        return 2 if _fits(instr, 256) else 4
+    if isinstance(instr, ins.Bl):
+        return 4
+    if isinstance(instr, ins.LdrImm):
+        if instr.rn == SP and instr.size == 4:
+            return 2 if is_low(instr.rt) and instr.imm % 4 == 0 and instr.imm <= 1020 else 4
+        if is_low(instr.rt) and is_low(instr.rn):
+            limit = {4: (124, 4), 2: (62, 2), 1: (31, 1)}[instr.size]
+            if instr.imm % limit[1] == 0 and 0 <= instr.imm <= limit[0]:
+                return 2
+        return 4
+    if isinstance(instr, ins.StrImm):
+        if instr.rn == SP and instr.size == 4:
+            return 2 if is_low(instr.rt) and instr.imm % 4 == 0 and instr.imm <= 1020 else 4
+        if is_low(instr.rt) and is_low(instr.rn):
+            limit = {4: (124, 4), 2: (62, 2), 1: (31, 1)}[instr.size]
+            if instr.imm % limit[1] == 0 and 0 <= instr.imm <= limit[0]:
+                return 2
+        return 4
+    if isinstance(instr, (ins.LdrReg, ins.StrReg)):
+        regs = [instr.rt, instr.rn, instr.rm]
+        return 2 if all(is_low(r) for r in regs) else 4
+    if isinstance(instr, ins.LdrLit):
+        return 4  # LDR (literal) wide; the pool word lives in the data image
+    if isinstance(instr, ins.Push):
+        return 2 if all(is_low(r) or r == 14 for r in instr.regs) else 4
+    if isinstance(instr, ins.Pop):
+        return 2 if all(is_low(r) or r == 15 or r == 14 for r in instr.regs) else 4
+    raise NotImplementedError(f"width of {instr!r}")
+
+
+def _fits(instr, reach: int) -> bool:
+    """Branch narrowness: decided during layout relaxation.
+
+    Before addresses exist we optimistically assume narrow; the assembler's
+    relaxation loop re-queries after assigning addresses via the
+    ``resolved_distance`` attribute it maintains.
+    """
+    distance = getattr(instr, "resolved_distance", None)
+    if distance is None:
+        return True
+    return -reach <= distance < reach

@@ -1,0 +1,29 @@
+"""Memory-mapped IO: exit, console, fault reporting and the CFI unit.
+
+The paper's software-centred CFI design stores values "to the CFI unit";
+we model that unit as MMIO registers.  Everything at or above ``BASE`` is
+intercepted before touching RAM.
+"""
+
+from __future__ import annotations
+
+
+class MMIO:
+    BASE = 0xFFFF_0000
+
+    #: write an exit code -> clean halt
+    EXIT = 0xFFFF_0000
+    #: write a character for debug output
+    CONSOLE = 0xFFFF_0004
+    #: write -> duplicate-branch / AN check detected a fault (halt DETECTED)
+    DETECT = 0xFFFF_0008
+    #: CFI unit: merge the written value into the CFI state (Figure 2)
+    CFI_MERGE = 0xFFFF_0010
+    #: CFI unit: compare written (expected) value against the CFI state
+    CFI_CHECK = 0xFFFF_0014
+
+    ALL = (EXIT, CONSOLE, DETECT, CFI_MERGE, CFI_CHECK)
+
+    @classmethod
+    def is_mmio(cls, addr: int) -> bool:
+        return addr >= cls.BASE

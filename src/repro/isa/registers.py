@@ -1,0 +1,42 @@
+"""Register file names and virtual registers.
+
+Physical registers are plain ints 0..15.  Virtual registers (pre-register-
+allocation) are :class:`VReg` instances; the back end replaces them with
+ints before the code ever reaches the assembler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+R0, R1, R2, R3, R4, R5, R6, R7 = range(8)
+R8, R9, R10, R11, R12 = range(8, 13)
+SP, LR, PC = 13, 14, 15
+
+_NAMES = {SP: "sp", LR: "lr", PC: "pc"}
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register (pre-RA).  ``hint`` aids debugging/listings."""
+
+    id: int
+    hint: str = ""
+
+    def __str__(self) -> str:
+        suffix = f".{self.hint}" if self.hint else ""
+        return f"v{self.id}{suffix}"
+
+
+Reg = "int | VReg"  # informal alias used in annotations
+
+
+def reg_name(reg) -> str:
+    if isinstance(reg, VReg):
+        return str(reg)
+    return _NAMES.get(reg, f"r{reg}")
+
+
+def is_low(reg) -> bool:
+    """Low registers r0-r7 qualify for most 16-bit encodings."""
+    return isinstance(reg, int) and reg < 8

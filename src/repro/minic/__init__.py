@@ -1,0 +1,21 @@
+"""MiniC front end (S4 in DESIGN.md).
+
+A small C subset sufficient for the paper's benchmarks (integer compare,
+memcmp, the secure bootloader with SHA-256 and ECDSA): ``u32``/``u8``
+scalars, arrays and pointers, functions with up to four parameters, the
+usual statements and operators, and a ``protect`` function qualifier that
+maps onto the paper's ``protect_branches`` attribute.
+"""
+
+from repro.minic.driver import compile_source, parse_to_ir
+from repro.minic.lexer import LexError
+from repro.minic.parser import ParseError
+from repro.minic.lower import SemanticError
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "compile_source",
+    "parse_to_ir",
+]

@@ -1,0 +1,168 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# -- types -------------------------------------------------------------------
+@dataclass(frozen=True)
+class CType:
+    base: str  # 'u32' | 'u8' | 'void'
+    pointer: bool = False
+
+    def __str__(self) -> str:
+        return self.base + ("*" if self.pointer else "")
+
+
+U32 = CType("u32")
+U8 = CType("u8")
+VOID = CType("void")
+
+
+# -- expressions ---------------------------------------------------------------
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class NumberExpr(Expr):
+    value: int = 0
+
+
+@dataclass
+class NameExpr(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    lhs: Expr = None
+    rhs: Expr = None
+
+
+@dataclass
+class TernaryExpr(Expr):
+    cond: Expr = None
+    then: Expr = None
+    els: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class AddressOfExpr(Expr):
+    operand: Expr = None
+
+
+# -- statements ---------------------------------------------------------------
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    type: CType = U32
+    name: str = ""
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr = None  # NameExpr or IndexExpr or UnaryExpr('*')
+    op: str = "="  # '=', '+=', ...
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None
+    then_body: list = field(default_factory=list)
+    else_body: list = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# -- top level -------------------------------------------------------------
+@dataclass
+class Param:
+    type: CType
+    name: str
+
+
+@dataclass
+class FunctionDecl:
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: list
+    protected: bool = False
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    type: CType
+    name: str
+    array_size: Optional[int] = None
+    init_values: Optional[list[int]] = None
+    line: int = 0
+
+
+@dataclass
+class Program:
+    functions: list[FunctionDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)

@@ -1,0 +1,44 @@
+"""MiniC compilation driver: source text -> IR module -> compiled program."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.driver import CompiledProgram, compile_ir
+from repro.core.params import ProtectionParams
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.minic.lower import lower_program
+from repro.minic.parser import parse
+
+
+def parse_to_ir(source: str, module_name: str = "minic") -> Module:
+    """Front end only: MiniC source -> verified IR module."""
+    module = lower_program(parse(source), module_name)
+    verify_module(module)
+    return module
+
+
+def compile_source(
+    source: str,
+    scheme: str = "ancode",
+    params: Optional[ProtectionParams] = None,
+    cfi: bool = True,
+    duplication_order: int = 6,
+    hw_modulo: bool = False,
+    operand_checks: bool = False,
+    cfi_policy: str = "merge",
+    module_name: str = "minic",
+) -> CompiledProgram:
+    """Compile MiniC source through the full Figure 3 pipeline."""
+    module = parse_to_ir(source, module_name)
+    return compile_ir(
+        module,
+        scheme=scheme,
+        params=params,
+        cfi=cfi,
+        duplication_order=duplication_order,
+        hw_modulo=hw_modulo,
+        operand_checks=operand_checks,
+        cfi_policy=cfi_policy,
+    )

@@ -1,0 +1,103 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "u32",
+    "u8",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "protect",
+}
+
+#: Multi-character operators, longest first.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ";", "?", ":",
+]
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'keyword' | operator literal | 'eof'
+    text: str
+    line: int
+
+    @property
+    def value(self) -> int:
+        assert self.kind == "number"
+        return int(self.text, 0)
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i + 1
+            if ch == "0" and j < n and source[j] in "xX":
+                j += 1
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+            tokens.append(Token("number", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,529 @@
+"""MiniC AST -> IR lowering (with light semantic checking)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir import (
+    Constant,
+    FunctionType,
+    GlobalVariable,
+    I8,
+    I32,
+    IRBuilder,
+    Module,
+    PTR,
+    Trap,
+    VOID,
+)
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.ir.function import BasicBlock, Function
+from repro.ir.values import Value
+from repro.minic import ast
+
+
+class SemanticError(ValueError):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_BINOP_IR = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "udiv",
+    "%": "urem",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "lshr",
+}
+
+_CMP_IR = {"==": "eq", "!=": "ne", "<": "ult", "<=": "ule", ">": "ugt", ">=": "uge"}
+
+
+def _element_size(ctype: ast.CType) -> int:
+    return 1 if ctype.base == "u8" else 4
+
+
+def _ir_scalar_type(ctype: ast.CType):
+    if ctype.pointer:
+        return PTR
+    if ctype.base == "u8":
+        return I8
+    if ctype.base == "void":
+        return VOID
+    return I32
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.entries: dict[str, tuple] = {}
+
+    def define(self, name: str, entry: tuple, line: int) -> None:
+        if name in self.entries:
+            raise SemanticError(f"redefinition of {name}", line)
+        self.entries[name] = entry
+
+    def lookup(self, name: str):
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.entries:
+                return scope.entries[name]
+            scope = scope.parent
+        return None
+
+
+class Lowerer:
+    """Lowers one parsed program into a fresh IR module."""
+
+    def __init__(self, program: ast.Program, module_name: str = "minic"):
+        self.program = program
+        self.module = Module(module_name)
+        self.globals_scope = _Scope()
+        self._block_counter = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> Module:
+        for decl in self.program.globals:
+            self._lower_global(decl)
+        # Declare all functions first so forward calls resolve.
+        for fdecl in self.program.functions:
+            if len(fdecl.params) > 4:
+                raise SemanticError(
+                    f"{fdecl.name}: more than 4 parameters unsupported", fdecl.line
+                )
+            ftype = FunctionType(
+                _ir_scalar_type(fdecl.return_type),
+                tuple(
+                    PTR if p.type.pointer else I32  # u8 params promote to u32
+                    for p in fdecl.params
+                ),
+            )
+            func = self.module.add_function(
+                fdecl.name, ftype, [p.name for p in fdecl.params]
+            )
+            if fdecl.protected:
+                func.attributes.add("protect_branches")
+            self.globals_scope.define(fdecl.name, ("function", func, fdecl), fdecl.line)
+        for fdecl in self.program.functions:
+            self._lower_function(fdecl)
+        return self.module
+
+    # ------------------------------------------------------------------
+    def _lower_global(self, decl: ast.GlobalDecl) -> None:
+        elem = _element_size(decl.type)
+        if decl.type.pointer:
+            raise SemanticError("global pointers unsupported", decl.line)
+        count = decl.array_size if decl.array_size is not None else 1
+        size = elem * count
+        data = b""
+        if decl.init_values is not None:
+            if len(decl.init_values) > count:
+                raise SemanticError(f"too many initializers for {decl.name}", decl.line)
+            data = b"".join(
+                (v & ((1 << (8 * elem)) - 1)).to_bytes(elem, "little")
+                for v in decl.init_values
+            )
+        glob = GlobalVariable(decl.name, size, data)
+        self.module.add_global(glob)
+        self.globals_scope.define(decl.name, ("global", glob, decl), decl.line)
+
+    # ------------------------------------------------------------------
+    def _lower_function(self, fdecl: ast.FunctionDecl) -> None:
+        func = self.module.get_function(fdecl.name)
+        ctx = _FunctionContext(self, func, fdecl)
+        ctx.lower()
+
+
+class _FunctionContext:
+    def __init__(self, owner: Lowerer, func: Function, decl: ast.FunctionDecl):
+        self.owner = owner
+        self.module = owner.module
+        self.func = func
+        self.decl = decl
+        self.builder = IRBuilder()
+        self.scope = _Scope(owner.globals_scope)
+        self.loop_stack: list[tuple[BasicBlock, BasicBlock]] = []  # (continue, break)
+
+    # -- helpers -----------------------------------------------------------
+    def new_block(self, hint: str) -> BasicBlock:
+        return self.func.add_block(hint)
+
+    def ensure_open_block(self) -> None:
+        """Statements after a terminator land in a fresh dead block."""
+        if self.builder.block.terminator is not None:
+            self.builder.position_at_end(self.new_block("dead"))
+
+    def const(self, value: int) -> Constant:
+        return Constant(I32, value & 0xFFFFFFFF)
+
+    # -- entry -------------------------------------------------------------
+    def lower(self) -> None:
+        entry = self.func.add_block("entry")
+        self.builder.position_at_end(entry)
+        for param, arg in zip(self.decl.params, self.func.arguments):
+            slot = self.builder.alloca(4, f"{param.name}.addr")
+            self.builder.store(arg, slot)
+            self.scope.define(param.name, ("local", slot, param.type, False), self.decl.line)
+        self.lower_body(self.decl.body, self.scope)
+        if self.builder.block.terminator is None:
+            if self.func.return_type is VOID:
+                self.builder.ret()
+            else:
+                self.builder.ret(self.const(0))
+        remove_unreachable_blocks(self.func)
+
+    def lower_body(self, statements: list, parent_scope: _Scope) -> None:
+        scope = _Scope(parent_scope)
+        old, self.scope = self.scope, scope
+        for stmt in statements:
+            self.ensure_open_block()
+            self.lower_statement(stmt)
+        self.scope = old
+
+    # -- statements ---------------------------------------------------------
+    def lower_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            self.lower_decl(stmt)
+        elif isinstance(stmt, ast.AssignStmt):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self.lower_return(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self.loop_stack:
+                raise SemanticError("break outside loop", stmt.line)
+            self.builder.br(self.loop_stack[-1][1])
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self.loop_stack:
+                raise SemanticError("continue outside loop", stmt.line)
+            self.builder.br(self.loop_stack[-1][0])
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"cannot lower {type(stmt).__name__}", stmt.line)
+
+    def lower_decl(self, stmt: ast.DeclStmt) -> None:
+        if stmt.array_size is not None:
+            size = _element_size(stmt.type) * stmt.array_size
+            slot = self.builder.alloca(size, stmt.name, _ir_scalar_type(stmt.type))
+            self.scope.define(stmt.name, ("local", slot, stmt.type, True), stmt.line)
+            return
+        slot = self.builder.alloca(4, stmt.name)
+        self.scope.define(stmt.name, ("local", slot, stmt.type, False), stmt.line)
+        if stmt.init is not None:
+            value, _ = self.lower_expr(stmt.init)
+            self.builder.store(value, slot)
+
+    def lower_assign(self, stmt: ast.AssignStmt) -> None:
+        addr, elem_type, ctype = self.lower_lvalue(stmt.target)
+        if stmt.op == "=":
+            value, _ = self.lower_expr(stmt.value)
+        else:
+            current = self._load(addr, elem_type)
+            rhs, _ = self.lower_expr(stmt.value)
+            value = self.builder.binary(_BINOP_IR[stmt.op[:-1]], current, rhs)
+        self._store(value, addr, elem_type)
+
+    def lower_if(self, stmt: ast.IfStmt) -> None:
+        then_block = self.new_block("if.then")
+        else_block = self.new_block("if.else") if stmt.else_body else None
+        join = self.new_block("if.end")
+        self.lower_condition(stmt.cond, then_block, else_block or join)
+        self.builder.position_at_end(then_block)
+        self.lower_body(stmt.then_body, self.scope)
+        if self.builder.block.terminator is None:
+            self.builder.br(join)
+        if else_block is not None:
+            self.builder.position_at_end(else_block)
+            self.lower_body(stmt.else_body, self.scope)
+            if self.builder.block.terminator is None:
+                self.builder.br(join)
+        self.builder.position_at_end(join)
+
+    def lower_while(self, stmt: ast.WhileStmt) -> None:
+        header = self.new_block("while.cond")
+        body = self.new_block("while.body")
+        exit_ = self.new_block("while.end")
+        self.builder.br(header)
+        self.builder.position_at_end(header)
+        self.lower_condition(stmt.cond, body, exit_)
+        self.builder.position_at_end(body)
+        self.loop_stack.append((header, exit_))
+        self.lower_body(stmt.body, self.scope)
+        self.loop_stack.pop()
+        if self.builder.block.terminator is None:
+            self.builder.br(header)
+        self.builder.position_at_end(exit_)
+
+    def lower_for(self, stmt: ast.ForStmt) -> None:
+        scope = _Scope(self.scope)
+        old, self.scope = self.scope, scope
+        if stmt.init is not None:
+            self.lower_statement(stmt.init)
+        header = self.new_block("for.cond")
+        body = self.new_block("for.body")
+        step_block = self.new_block("for.step")
+        exit_ = self.new_block("for.end")
+        self.builder.br(header)
+        self.builder.position_at_end(header)
+        if stmt.cond is not None:
+            self.lower_condition(stmt.cond, body, exit_)
+        else:
+            self.builder.br(body)
+        self.builder.position_at_end(body)
+        self.loop_stack.append((step_block, exit_))
+        self.lower_body(stmt.body, self.scope)
+        self.loop_stack.pop()
+        if self.builder.block.terminator is None:
+            self.builder.br(step_block)
+        self.builder.position_at_end(step_block)
+        if stmt.step is not None:
+            self.lower_statement(stmt.step)
+        self.builder.br(header)
+        self.builder.position_at_end(exit_)
+        self.scope = old
+
+    def lower_return(self, stmt: ast.ReturnStmt) -> None:
+        if stmt.value is None:
+            if self.func.return_type is not VOID:
+                raise SemanticError("missing return value", stmt.line)
+            self.builder.ret()
+            return
+        value, _ = self.lower_expr(stmt.value)
+        self.builder.ret(value)
+
+    # -- lvalues -------------------------------------------------------------
+    def lower_lvalue(self, expr: ast.Expr):
+        """Returns (address_value, element_ir_type, ctype_of_element)."""
+        if isinstance(expr, ast.NameExpr):
+            entry = self.scope.lookup(expr.name)
+            if entry is None:
+                raise SemanticError(f"undefined name {expr.name}", expr.line)
+            kind = entry[0]
+            if kind == "local":
+                _, slot, ctype, is_array = entry
+                if is_array:
+                    raise SemanticError("cannot assign to an array", expr.line)
+                return slot, _lvalue_elem_type(ctype), ctype
+            if kind == "global":
+                _, glob, decl = entry
+                if decl.array_size is not None:
+                    raise SemanticError("cannot assign to an array", expr.line)
+                return glob, _ir_scalar_type(decl.type), decl.type
+            raise SemanticError(f"cannot assign to {expr.name}", expr.line)
+        if isinstance(expr, ast.IndexExpr):
+            base, base_ctype = self.lower_expr(expr.base)
+            index, _ = self.lower_expr(expr.index)
+            elem = _element_size(_pointee(base_ctype, expr.line))
+            offset = (
+                index
+                if elem == 1
+                else self.builder.mul(index, self.const(elem))
+            )
+            addr = self.builder.ptradd(base, offset)
+            pointee = _pointee(base_ctype, expr.line)
+            return addr, _ir_scalar_type(pointee), pointee
+        if isinstance(expr, ast.UnaryExpr) and expr.op == "*":
+            base, base_ctype = self.lower_expr(expr.operand)
+            pointee = _pointee(base_ctype, expr.line)
+            return base, _ir_scalar_type(pointee), pointee
+        raise SemanticError("expression is not assignable", expr.line)
+
+    def _load(self, addr: Value, elem_type) -> Value:
+        if elem_type is I8:
+            return self.builder.zext(self.builder.load(I8, addr), I32)
+        return self.builder.load(elem_type, addr)
+
+    def _store(self, value: Value, addr: Value, elem_type) -> None:
+        if elem_type is I8:
+            self.builder.store(self.builder.trunc(value, I8), addr)
+        else:
+            self.builder.store(value, addr)
+
+    # -- conditions ---------------------------------------------------------
+    def lower_condition(
+        self, expr: ast.Expr, true_block: BasicBlock, false_block: BasicBlock
+    ) -> None:
+        if isinstance(expr, ast.BinaryExpr) and expr.op in _CMP_IR:
+            lhs, _ = self.lower_expr(expr.lhs)
+            rhs, _ = self.lower_expr(expr.rhs)
+            cond = self.builder.icmp(_CMP_IR[expr.op], lhs, rhs)
+            self.builder.condbr(cond, true_block, false_block)
+            return
+        if isinstance(expr, ast.BinaryExpr) and expr.op == "&&":
+            mid = self.new_block("and.rhs")
+            self.lower_condition(expr.lhs, mid, false_block)
+            self.builder.position_at_end(mid)
+            self.lower_condition(expr.rhs, true_block, false_block)
+            return
+        if isinstance(expr, ast.BinaryExpr) and expr.op == "||":
+            mid = self.new_block("or.rhs")
+            self.lower_condition(expr.lhs, true_block, mid)
+            self.builder.position_at_end(mid)
+            self.lower_condition(expr.rhs, true_block, false_block)
+            return
+        if isinstance(expr, ast.UnaryExpr) and expr.op == "!":
+            self.lower_condition(expr.operand, false_block, true_block)
+            return
+        value, _ = self.lower_expr(expr)
+        cond = self.builder.icmp("ne", value, self.const(0))
+        self.builder.condbr(cond, true_block, false_block)
+
+    # -- expressions ---------------------------------------------------------
+    def lower_expr(self, expr: ast.Expr):
+        """Returns (ir_value, ctype)."""
+        if isinstance(expr, ast.NumberExpr):
+            return self.const(expr.value), ast.U32
+        if isinstance(expr, ast.NameExpr):
+            return self.lower_name(expr)
+        if isinstance(expr, ast.UnaryExpr):
+            return self.lower_unary(expr)
+        if isinstance(expr, ast.BinaryExpr):
+            return self.lower_binary(expr)
+        if isinstance(expr, ast.TernaryExpr):
+            return self.lower_ternary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self.lower_call(expr)
+        if isinstance(expr, ast.IndexExpr):
+            addr, elem_type, ctype = self.lower_lvalue(expr)
+            return self._load(addr, elem_type), ctype
+        if isinstance(expr, ast.AddressOfExpr):
+            return self.lower_address_of(expr)
+        raise SemanticError(f"cannot lower {type(expr).__name__}", expr.line)
+
+    def lower_name(self, expr: ast.NameExpr):
+        entry = self.scope.lookup(expr.name)
+        if entry is None:
+            raise SemanticError(f"undefined name {expr.name}", expr.line)
+        kind = entry[0]
+        if kind == "local":
+            _, slot, ctype, is_array = entry
+            if is_array:
+                return slot, ast.CType(ctype.base, True)  # array decays
+            if ctype.pointer:
+                return self.builder.load(PTR, slot), ctype
+            return self._load(slot, _lvalue_elem_type(ctype)), ctype
+        if kind == "global":
+            _, glob, decl = entry
+            if decl.array_size is not None:
+                return glob, ast.CType(decl.type.base, True)
+            return self._load(glob, _ir_scalar_type(decl.type)), decl.type
+        raise SemanticError(f"{expr.name} is not a value", expr.line)
+
+    def lower_unary(self, expr: ast.UnaryExpr):
+        if expr.op == "*":
+            addr, elem_type, ctype = self.lower_lvalue(expr)
+            return self._load(addr, elem_type), ctype
+        value, ctype = self.lower_expr(expr.operand)
+        if expr.op == "-":
+            return self.builder.sub(self.const(0), value), ast.U32
+        if expr.op == "~":
+            return self.builder.xor(value, self.const(0xFFFFFFFF)), ast.U32
+        if expr.op == "!":
+            cond = self.builder.icmp("eq", value, self.const(0))
+            return self.builder.zext(cond, I32), ast.U32
+        raise SemanticError(f"unknown unary {expr.op}", expr.line)
+
+    def lower_binary(self, expr: ast.BinaryExpr):
+        if expr.op in _CMP_IR:
+            lhs, _ = self.lower_expr(expr.lhs)
+            rhs, _ = self.lower_expr(expr.rhs)
+            cond = self.builder.icmp(_CMP_IR[expr.op], lhs, rhs)
+            return self.builder.zext(cond, I32), ast.U32
+        if expr.op in ("&&", "||"):
+            return self.lower_short_circuit(expr)
+        lhs, lhs_type = self.lower_expr(expr.lhs)
+        rhs, rhs_type = self.lower_expr(expr.rhs)
+        if lhs_type.pointer and expr.op in ("+", "-"):
+            elem = _element_size(ast.CType(lhs_type.base))
+            scaled = (
+                rhs if elem == 1 else self.builder.mul(rhs, self.const(elem))
+            )
+            if expr.op == "-":
+                scaled = self.builder.sub(self.const(0), scaled)
+            return self.builder.ptradd(lhs, scaled), lhs_type
+        return self.builder.binary(_BINOP_IR[expr.op], lhs, rhs), ast.U32
+
+    def lower_short_circuit(self, expr: ast.BinaryExpr):
+        true_block = self.new_block("sc.true")
+        false_block = self.new_block("sc.false")
+        join = self.new_block("sc.end")
+        self.lower_condition(expr, true_block, false_block)
+        self.builder.position_at_end(true_block)
+        self.builder.br(join)
+        self.builder.position_at_end(false_block)
+        self.builder.br(join)
+        self.builder.position_at_end(join)
+        phi = self.builder.phi(I32, "sc")
+        phi.add_incoming(self.const(1), true_block)
+        phi.add_incoming(self.const(0), false_block)
+        return phi, ast.U32
+
+    def lower_ternary(self, expr: ast.TernaryExpr):
+        cond_value, _ = self.lower_expr(expr.cond)
+        cond = self.builder.icmp("ne", cond_value, self.const(0))
+        then_value, then_type = self.lower_expr(expr.then)
+        else_value, _ = self.lower_expr(expr.els)
+        return self.builder.select(cond, then_value, else_value), then_type
+
+    def lower_call(self, expr: ast.CallExpr):
+        if expr.callee == "__trap":
+            code = expr.args[0].value if expr.args else 1
+            self.builder._insert(Trap(code))
+            # continuation lands in a dead block
+            self.builder.position_at_end(self.new_block("after.trap"))
+            return self.const(0), ast.U32
+        entry = self.scope.lookup(expr.callee)
+        if entry is None or entry[0] != "function":
+            raise SemanticError(f"undefined function {expr.callee}", expr.line)
+        _, func, fdecl = entry
+        if len(expr.args) != len(fdecl.params):
+            raise SemanticError(
+                f"{expr.callee} expects {len(fdecl.params)} arguments", expr.line
+            )
+        args = [self.lower_expr(a)[0] for a in expr.args]
+        result = self.builder.call(func, args)
+        return result, fdecl.return_type
+
+    def lower_address_of(self, expr: ast.AddressOfExpr):
+        operand = expr.operand
+        if isinstance(operand, ast.IndexExpr):
+            addr, _, ctype = self.lower_lvalue(operand)
+            return addr, ast.CType(ctype.base, True)
+        if isinstance(operand, ast.NameExpr):
+            entry = self.scope.lookup(operand.name)
+            if entry is None:
+                raise SemanticError(f"undefined name {operand.name}", expr.line)
+            if entry[0] == "local":
+                _, slot, ctype, _ = entry
+                return slot, ast.CType(ctype.base, True)
+            if entry[0] == "global":
+                _, glob, decl = entry
+                return glob, ast.CType(decl.type.base, True)
+        raise SemanticError("cannot take address of expression", expr.line)
+
+
+def _pointee(ctype: ast.CType, line: int) -> ast.CType:
+    if not ctype.pointer:
+        raise SemanticError(f"cannot index non-pointer {ctype}", line)
+    return ast.CType(ctype.base, False)
+
+
+def _lvalue_elem_type(ctype: ast.CType):
+    if ctype.pointer:
+        return PTR  # pointers are 32-bit words with pointer type
+    return _ir_scalar_type(ctype)
+
+
+def lower_program(program: ast.Program, module_name: str = "minic") -> Module:
+    return Lowerer(program, module_name).run()

@@ -1,0 +1,318 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.minic import ast
+from repro.minic.lexer import Token, tokenize
+
+#: Binary operator precedence (larger binds tighter), C-like.
+PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (got {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check(self, kind: str) -> bool:
+        return self.current.kind == kind
+
+    def check_keyword(self, word: str) -> bool:
+        return self.current.kind == "keyword" and self.current.text == word
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.check(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        if not self.check(kind):
+            raise ParseError(f"expected {kind!r}", self.current)
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.check_keyword(word):
+            raise ParseError(f"expected {word!r}", self.current)
+        return self.advance()
+
+    # -- top level ---------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check("eof"):
+            protected = False
+            if self.check_keyword("protect"):
+                self.advance()
+                protected = True
+            ctype = self.parse_type()
+            name = self.expect("ident").text
+            if self.check("("):
+                program.functions.append(self.parse_function(ctype, name, protected))
+            else:
+                if protected:
+                    raise ParseError("protect applies to functions", self.current)
+                program.globals.append(self.parse_global(ctype, name))
+        return program
+
+    def parse_type(self) -> ast.CType:
+        token = self.current
+        if token.kind == "keyword" and token.text in ("u32", "u8", "void"):
+            self.advance()
+            pointer = bool(self.accept("*"))
+            return ast.CType(token.text, pointer)
+        raise ParseError("expected a type", token)
+
+    def parse_function(self, return_type, name, protected) -> ast.FunctionDecl:
+        line = self.current.line
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.check(")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident").text
+                params.append(ast.Param(ptype, pname))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return ast.FunctionDecl(name, return_type, params, body, protected, line)
+
+    def parse_global(self, ctype, name) -> ast.GlobalDecl:
+        line = self.current.line
+        array_size = None
+        init_values = None
+        if self.accept("["):
+            array_size = self.expect("number").value
+            self.expect("]")
+        if self.accept("="):
+            if self.accept("{"):
+                init_values = []
+                if not self.check("}"):
+                    while True:
+                        init_values.append(self.parse_constant())
+                        if not self.accept(","):
+                            break
+                self.expect("}")
+            else:
+                init_values = [self.parse_constant()]
+        self.expect(";")
+        return ast.GlobalDecl(ctype, name, array_size, init_values, line)
+
+    def parse_constant(self) -> int:
+        negative = bool(self.accept("-"))
+        value = self.expect("number").value
+        return (-value) & 0xFFFFFFFF if negative else value
+
+    # -- statements ---------------------------------------------------------
+    def parse_block(self) -> list:
+        self.expect("{")
+        body = []
+        while not self.check("}"):
+            body.append(self.parse_statement())
+        self.expect("}")
+        return body
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind == "keyword":
+            if token.text in ("u32", "u8"):
+                return self.parse_declaration()
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "for":
+                return self.parse_for()
+            if token.text == "return":
+                self.advance()
+                value = None if self.check(";") else self.parse_expression()
+                self.expect(";")
+                return ast.ReturnStmt(token.line, value)
+            if token.text == "break":
+                self.advance()
+                self.expect(";")
+                return ast.BreakStmt(token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect(";")
+                return ast.ContinueStmt(token.line)
+        stmt = self.parse_simple_statement()
+        self.expect(";")
+        return stmt
+
+    def parse_declaration(self) -> ast.DeclStmt:
+        line = self.current.line
+        ctype = self.parse_type()
+        name = self.expect("ident").text
+        array_size = None
+        init = None
+        if self.accept("["):
+            array_size = self.expect("number").value
+            self.expect("]")
+        elif self.accept("="):
+            init = self.parse_expression()
+        self.expect(";")
+        return ast.DeclStmt(line, ctype, name, array_size, init)
+
+    def parse_simple_statement(self) -> ast.Stmt:
+        """Assignment or expression statement (no trailing ';')."""
+        line = self.current.line
+        expr = self.parse_expression()
+        if self.current.kind in ASSIGN_OPS:
+            op = self.advance().kind
+            value = self.parse_expression()
+            return ast.AssignStmt(line, expr, op, value)
+        return ast.ExprStmt(line, expr)
+
+    def parse_if(self) -> ast.IfStmt:
+        line = self.expect_keyword("if").line
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then_body = self.parse_block()
+        else_body = []
+        if self.check_keyword("else"):
+            self.advance()
+            if self.check_keyword("if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.IfStmt(line, cond, then_body, else_body)
+
+    def parse_while(self) -> ast.WhileStmt:
+        line = self.expect_keyword("while").line
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        return ast.WhileStmt(line, cond, self.parse_block())
+
+    def parse_for(self) -> ast.ForStmt:
+        line = self.expect_keyword("for").line
+        self.expect("(")
+        init = None
+        if not self.check(";"):
+            if self.check("keyword") and self.current.text in ("u32", "u8"):
+                init = self.parse_declaration()  # consumes its ';'
+            else:
+                init = self.parse_simple_statement()
+                self.expect(";")
+        else:
+            self.expect(";")
+        cond = None if self.check(";") else self.parse_expression()
+        self.expect(";")
+        step = None if self.check(")") else self.parse_simple_statement()
+        self.expect(")")
+        return ast.ForStmt(line, init, cond, step, self.parse_block())
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            then = self.parse_expression()
+            self.expect(":")
+            els = self.parse_expression()
+            return ast.TernaryExpr(cond.line, cond, then, els)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            op = self.current.kind
+            prec = PRECEDENCE.get(op)
+            if prec is None or prec < min_prec:
+                return lhs
+            self.advance()
+            rhs = self.parse_binary(prec + 1)
+            lhs = ast.BinaryExpr(lhs.line, op, lhs, rhs)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind in ("!", "~", "-"):
+            self.advance()
+            return ast.UnaryExpr(token.line, token.kind, self.parse_unary())
+        if token.kind == "*":
+            self.advance()
+            return ast.UnaryExpr(token.line, "*", self.parse_unary())
+        if token.kind == "&":
+            self.advance()
+            return ast.AddressOfExpr(token.line, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                expr = ast.IndexExpr(expr.line, expr, index)
+            elif self.check("(") and isinstance(expr, ast.NameExpr):
+                self.advance()
+                args = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = ast.CallExpr(expr.line, expr.name, args)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberExpr(token.line, token.value)
+        if token.kind == "ident":
+            self.advance()
+            return ast.NameExpr(token.line, token.text)
+        if self.accept("("):
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse(source: str) -> ast.Program:
+    return Parser(source).parse_program()

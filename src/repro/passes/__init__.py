@@ -1,0 +1,31 @@
+"""Middle-end passes (Figure 3 of the paper).
+
+The pipeline mirrors the paper's modified LLVM flow:
+
+    front end -> IR optimizers -> Loop Decoupler -> Lower Select ->
+    Lower Switch -> AN Coder -> (back end)
+
+plus the state-of-the-art *duplication* baseline used in Table III.
+"""
+
+from repro.passes.constfold import constant_fold
+from repro.passes.dce import dead_code_elimination
+from repro.passes.duplication import DuplicationPass
+from repro.passes.loop_decoupler import LoopDecoupler
+from repro.passes.lower_select import lower_selects
+from repro.passes.lower_switch import lower_switches
+from repro.passes.mem2reg import promote_memory_to_registers
+from repro.passes.pipeline import PassPipeline, optimize, standard_pipeline
+
+__all__ = [
+    "DuplicationPass",
+    "LoopDecoupler",
+    "PassPipeline",
+    "constant_fold",
+    "dead_code_elimination",
+    "lower_selects",
+    "lower_switches",
+    "optimize",
+    "promote_memory_to_registers",
+    "standard_pipeline",
+]

@@ -1,0 +1,99 @@
+"""Constant folding + trivial algebraic simplification + branch folding."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.ir.function import Function
+from repro.ir.instructions import BinaryOp, Br, CondBr, ICmp, Select
+from repro.ir.interp import _binary_op, _icmp
+from repro.ir.module import Module
+from repro.ir.values import Constant
+
+
+def constant_fold(module: Module) -> int:
+    """Fold constants module-wide; returns number of folded instructions."""
+    total = 0
+    for func in module.functions.values():
+        if func.blocks:
+            total += _fold_function(func)
+    return total
+
+
+def _fold_function(func: Function) -> int:
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for instr in list(func.instructions()):
+            replacement = None
+            if isinstance(instr, BinaryOp):
+                replacement = _fold_binary(instr)
+            elif isinstance(instr, ICmp):
+                if isinstance(instr.lhs, Constant) and isinstance(instr.rhs, Constant):
+                    replacement = Constant(
+                        instr.type, _icmp(instr.predicate, instr.lhs.value, instr.rhs.value)
+                    )
+            elif isinstance(instr, Select):
+                if isinstance(instr.condition, Constant):
+                    replacement = (
+                        instr.true_value if instr.condition.value else instr.false_value
+                    )
+            if replacement is not None:
+                instr.replace_all_uses_with(replacement)
+                instr.erase_from_parent()
+                folded += 1
+                changed = True
+        folded += _fold_branches(func)
+    return folded
+
+
+def _fold_binary(instr: BinaryOp):
+    lhs, rhs = instr.lhs, instr.rhs
+    if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+        if instr.opcode in ("udiv", "sdiv", "urem", "srem") and rhs.value == 0:
+            return None  # preserve the runtime trap semantics
+        return Constant(
+            instr.type, _binary_op(instr.opcode, lhs.value, rhs.value, instr.type.bits)
+        )
+    # Algebraic identities with a constant on one side.
+    if isinstance(rhs, Constant):
+        if rhs.value == 0 and instr.opcode in ("add", "sub", "or", "xor", "shl", "lshr", "ashr"):
+            return lhs
+        if rhs.value == 1 and instr.opcode in ("mul", "udiv"):
+            return lhs
+        if rhs.value == 0 and instr.opcode in ("mul", "and"):
+            return Constant(instr.type, 0)
+    if isinstance(lhs, Constant):
+        if lhs.value == 0 and instr.opcode in ("add", "or", "xor"):
+            return rhs
+        if lhs.value == 1 and instr.opcode == "mul":
+            return rhs
+        if lhs.value == 0 and instr.opcode in ("mul", "and"):
+            return Constant(instr.type, 0)
+    return None
+
+
+def _fold_branches(func: Function) -> int:
+    """Turn ``condbr const, a, b`` into an unconditional branch."""
+    folded = 0
+    for block in list(func.blocks):
+        term = block.terminator
+        if not isinstance(term, CondBr):
+            continue
+        if term.protected is not None:
+            continue  # never fold away a protected branch
+        if not isinstance(term.condition, Constant):
+            continue
+        taken = term.then_block if term.condition.value else term.else_block
+        dropped = term.else_block if term.condition.value else term.then_block
+        if dropped is not taken:
+            for phi in dropped.phis:
+                if block in phi.incoming_blocks:
+                    phi.remove_incoming(block)
+        term.users.clear()
+        term.erase_from_parent()
+        block.append(Br(taken))
+        folded += 1
+    if folded:
+        remove_unreachable_blocks(func)
+    return folded

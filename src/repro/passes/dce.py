@@ -1,0 +1,52 @@
+"""Dead code elimination: drop unused side-effect-free instructions."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    ICmp,
+    Load,
+    Phi,
+    PtrAdd,
+    Select,
+    Trunc,
+    ZExt,
+)
+from repro.ir.module import Module
+
+_PURE = (BinaryOp, ICmp, Select, PtrAdd, ZExt, Trunc, Load, Phi, Alloca)
+
+
+def dead_code_elimination(module: Module) -> int:
+    total = 0
+    for func in module.functions.values():
+        if func.blocks:
+            total += _dce_function(func)
+    return total
+
+
+def _is_dead(instr) -> bool:
+    if not isinstance(instr, _PURE):
+        return False
+    users = {u for u in instr.users if u is not instr}
+    if isinstance(instr, Alloca):
+        # An alloca only read (never stored) can still matter; be safe and
+        # only drop completely unused ones.
+        return not users
+    return not users
+
+
+def _dce_function(func: Function) -> int:
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for instr in list(func.instructions()):
+            if _is_dead(instr):
+                instr.users.clear()
+                instr.erase_from_parent()
+                removed += 1
+                changed = True
+    return removed

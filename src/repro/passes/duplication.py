@@ -1,0 +1,144 @@
+"""Branch duplication baseline (Section II-C / Table III "Duplication").
+
+State-of-the-art countermeasure the paper compares against: each protected
+conditional branch is replicated ``order`` times consecutively, forming a
+comparison tree.  On the taken path the condition is re-checked ``order-1``
+times; on the not-taken path the negated condition is re-checked.  Any
+disagreement jumps to a fault handler (a ``trap``).
+
+A single fault flips at most one of the checks and is detected; *repeating
+the same fault* at every duplicated branch defeats the scheme (the paper's
+criticism, quantified by experiment E6).
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import split_critical_edges
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Br, CondBr, ICmp, Trap
+from repro.ir.module import Module
+
+#: Matches the paper: six-fold duplication gives "comparable single bit
+#: fault tolerance" to the 6-bit Hamming distance of the AN code.
+DEFAULT_ORDER = 6
+
+#: Negation map for re-checking on the not-taken path.
+_NEGATE = {
+    "eq": "ne",
+    "ne": "eq",
+    "ult": "uge",
+    "uge": "ult",
+    "ule": "ugt",
+    "ugt": "ule",
+    "slt": "sge",
+    "sge": "slt",
+    "sle": "sgt",
+    "sgt": "sle",
+}
+
+
+class DuplicationPass:
+    """Replicates eligible conditional branches ``order`` times."""
+
+    def __init__(self, order: int = DEFAULT_ORDER, only_protected: bool = True):
+        if order < 1:
+            raise ValueError("duplication order must be >= 1")
+        self.order = order
+        self.only_protected = only_protected
+
+    def __call__(self, module: Module) -> int:
+        total = 0
+        for func in module.functions.values():
+            if not func.blocks:
+                continue
+            if self.only_protected and not func.is_protected:
+                continue
+            total += self._run_function(func)
+        return total
+
+    def _run_function(self, func: Function) -> int:
+        split_critical_edges(func)
+        duplicated = 0
+        for block in list(func.blocks):
+            term = block.terminator
+            if not isinstance(term, CondBr):
+                continue
+            if not isinstance(term.condition, ICmp):
+                continue
+            if term.condition.parent is not block:
+                continue  # keep it simple: condition computed in-block
+            self._duplicate_branch(func, term)
+            duplicated += 1
+        return duplicated
+
+    def _duplicate_branch(self, func: Function, branch: CondBr) -> None:
+        if self.order == 1:
+            return
+        cmp = branch.condition
+        assert isinstance(cmp, ICmp)
+        lhs, rhs = cmp.lhs, cmp.rhs
+        fault = self._fault_block(func)
+
+        branch.then_block = self._chain(
+            func, branch.then_block, branch.parent, cmp.predicate, lhs, rhs, fault, "dupt"
+        )
+        branch.else_block = self._chain(
+            func,
+            branch.else_block,
+            branch.parent,
+            _NEGATE[cmp.predicate],
+            lhs,
+            rhs,
+            fault,
+            "dupf",
+        )
+
+    def _chain(
+        self,
+        func: Function,
+        final: BasicBlock,
+        branch_block: BasicBlock,
+        predicate: str,
+        lhs,
+        rhs,
+        fault: BasicBlock,
+        tag: str,
+    ) -> BasicBlock:
+        """Build order-1 re-check blocks ending at ``final``; returns head."""
+        head = final
+        for i in range(self.order - 1):
+            check = func.add_block(f"{branch_block.name}.{tag}{i}")
+            recheck = ICmp(predicate, lhs, rhs, f"{tag}{i}")
+            check.append(recheck)
+            check.append(CondBr(recheck, head, fault))
+            head = check
+        # Retarget phis in the final block: its predecessor changes from the
+        # branch block to the last check block in the chain.
+        if head is not final:
+            last_check = head
+            # walk to the check block that directly precedes `final`
+            for phi in final.phis:
+                if branch_block in phi.incoming_blocks:
+                    chain_pred = self._chain_pred(final, branch_block, head)
+                    phi.replace_incoming_block(branch_block, chain_pred)
+        return head
+
+    @staticmethod
+    def _chain_pred(final: BasicBlock, branch_block: BasicBlock, head: BasicBlock) -> BasicBlock:
+        block = head
+        while True:
+            term = block.terminator
+            assert isinstance(term, CondBr)
+            nxt = term.then_block
+            if nxt is final:
+                return block
+            block = nxt
+
+    def _fault_block(self, func: Function) -> BasicBlock:
+        for block in func.blocks:
+            if block.name == "fault.detected":
+                return block
+        block = func.add_block("fault.detected")
+        # Trap code 2: duplication comparison tree disagreement.
+        block.append(Trap(2))
+        return block

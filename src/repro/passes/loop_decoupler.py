@@ -1,0 +1,151 @@
+"""Loop Decoupler pass (Figure 3).
+
+The paper: *"a custom Loop Decoupler pass which separates loop induction
+variables from the use in arithmetic expressions or memory accesses"*.
+
+Why: a loop counter is typically used both to index memory (must stay a
+plain integer — addresses are not AN-encoded) and in the loop-exit
+comparison (should be AN-encoded so the trip count is protected).  Encoding
+one shared SSA value for both purposes would force decode operations on the
+address path.  This pass clones the induction variable: the *clone* feeds
+the comparisons (and will be encoded by the AN Coder); the original keeps
+feeding address arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.dominance import DominatorTree
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import BinaryOp, CondBr, ICmp, Phi
+from repro.ir.module import Module
+from repro.ir.values import Constant, Value
+
+
+@dataclass
+class _Loop:
+    header: BasicBlock
+    latches: list[BasicBlock]
+    blocks: set[BasicBlock]
+
+
+def find_natural_loops(func: Function) -> list[_Loop]:
+    """Back edges (tail dominated by head) and their natural loop bodies."""
+    dom = DominatorTree(func)
+    loops: dict[BasicBlock, _Loop] = {}
+    for block in dom.order:
+        for succ in block.successors():
+            if succ in dom.idom and dom.dominates(succ, block):
+                loop = loops.setdefault(succ, _Loop(succ, [], {succ}))
+                loop.latches.append(block)
+                # Collect the loop body by walking predecessors from the latch.
+                work = [block]
+                while work:
+                    current = work.pop()
+                    if current in loop.blocks:
+                        continue
+                    loop.blocks.add(current)
+                    work.extend(p for p in dom.preds[current] if p in dom.idom)
+    return list(loops.values())
+
+
+def decouple_loops(module: Module, only_protected: bool = True) -> int:
+    total = 0
+    for func in module.functions.values():
+        if not func.blocks:
+            continue
+        if only_protected and not func.is_protected:
+            continue
+        total += _decouple_function(func)
+    return total
+
+
+class LoopDecoupler:
+    """Callable pass object (pipeline style)."""
+
+    def __init__(self, only_protected: bool = True):
+        self.only_protected = only_protected
+
+    def __call__(self, module: Module) -> int:
+        return decouple_loops(module, self.only_protected)
+
+
+def _decouple_function(func: Function) -> int:
+    decoupled = 0
+    for loop in find_natural_loops(func):
+        for phi in list(loop.header.phis):
+            if _decouple_phi(func, loop, phi):
+                decoupled += 1
+    return decoupled
+
+
+def _comparison_users(phi: Phi, loop: _Loop) -> list[ICmp]:
+    """ICmps inside the loop that use the phi and feed a conditional branch."""
+    cmps = []
+    for user in phi.users:
+        if not isinstance(user, ICmp) or user.parent not in loop.blocks:
+            continue
+        if any(isinstance(u, CondBr) for u in user.users):
+            cmps.append(user)
+    return cmps
+
+
+def _step_instruction(phi: Phi, loop: _Loop) -> BinaryOp | None:
+    """The simple induction update ``phi +/- invariant`` from a latch."""
+    for value, pred in phi.incomings:
+        if pred not in loop.latches:
+            continue
+        if (
+            isinstance(value, BinaryOp)
+            and value.opcode in ("add", "sub")
+            and value.parent in loop.blocks
+        ):
+            operands = value.operands
+            if phi in operands:
+                other = operands[1] if operands[0] is phi else operands[0]
+                if _loop_invariant(other, loop):
+                    return value
+    return None
+
+
+def _loop_invariant(value: Value, loop: _Loop) -> bool:
+    from repro.ir.instructions import Instruction
+
+    if not isinstance(value, Instruction):
+        return True
+    return value.parent not in loop.blocks
+
+
+def _decouple_phi(func: Function, loop: _Loop, phi: Phi) -> bool:
+    cmps = _comparison_users(phi, loop)
+    if not cmps:
+        return False
+    step = _step_instruction(phi, loop)
+    if step is None:
+        return False
+    other_users = {
+        u for u in phi.users if u not in cmps and u is not phi and u is not step
+    }
+    if not other_users and step.users <= {phi}:
+        return False  # nothing to decouple: the IV only feeds its comparison
+
+    # Clone the phi and its update chain for comparison use.
+    clone = Phi(phi.type, f"{phi.name or 'iv'}.cmp")
+    loop.header.insert(0, clone)
+    step_clone = BinaryOp(step.opcode, clone, _step_other(step, phi), f"{step.name}.cmp")
+    step_block = step.parent
+    assert step_block is not None
+    step_clone.parent = None
+    step_block.insert(step_block.instructions.index(step) + 1, step_clone)
+
+    for value, pred in phi.incomings:
+        clone.add_incoming(step_clone if value is step else value, pred)
+
+    for cmp in cmps:
+        cmp.replace_operand(phi, clone)
+    return True
+
+
+def _step_other(step: BinaryOp, phi: Phi) -> Value:
+    return step.operands[1] if step.operands[0] is phi else step.operands[0]

@@ -1,0 +1,70 @@
+"""Lower Select pass (Figure 3).
+
+The AN Coder protects *branches*; a ``select`` hides its condition in a data
+move.  This pass rewrites every select in protected functions (and,
+optionally, everywhere) into an explicit diamond so the decision becomes a
+conditional branch the AN Coder can see.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Br, CondBr, Phi, Select
+from repro.ir.module import Module
+
+
+def lower_selects(module: Module, only_protected: bool = True) -> int:
+    total = 0
+    for func in module.functions.values():
+        if not func.blocks:
+            continue
+        if only_protected and not func.is_protected:
+            continue
+        total += _lower_function(func)
+    return total
+
+
+def _lower_function(func: Function) -> int:
+    lowered = 0
+    for block in list(func.blocks):
+        selects = [i for i in block.instructions if isinstance(i, Select)]
+        for select in selects:
+            _lower_one(func, select)
+            lowered += 1
+    return lowered
+
+
+def _lower_one(func: Function, select: Select) -> None:
+    block = select.parent
+    assert block is not None
+    index = block.instructions.index(select)
+
+    # Split the block at the select (the select itself leaves the block).
+    tail = func.add_block(f"{block.name}.tail", after=block)
+    tail.instructions = block.instructions[index + 1 :]
+    for instr in tail.instructions:
+        instr.parent = tail
+    block.instructions = block.instructions[:index]
+    select.parent = None
+
+    # Successor phis must now reference the tail block.
+    for succ in tail.successors():
+        for phi in succ.phis:
+            phi.replace_incoming_block(block, tail)
+
+    then_block = func.add_block(f"{block.name}.selt", after=block)
+    else_block = func.add_block(f"{block.name}.self", after=then_block)
+    then_block.append(Br(tail))
+    else_block.append(Br(tail))
+
+    cond = select.condition
+    tv, fv = select.true_value, select.false_value
+
+    phi = Phi(select.type, select.name or "sel")
+    tail.insert(0, phi)
+    select.replace_all_uses_with(phi)
+    select.drop_operands()
+    phi.add_incoming(tv, then_block)
+    phi.add_incoming(fv, else_block)
+
+    block.append(CondBr(cond, then_block, else_block))

@@ -1,0 +1,69 @@
+"""Lower Switch pass (Figure 3).
+
+Rewrites ``switch`` into a chain of equality compare+branch pairs, so every
+multi-way decision becomes a sequence of conditional branches the AN Coder
+can protect individually.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import CondBr, ICmp, Switch
+from repro.ir.module import Module
+
+
+def lower_switches(module: Module, only_protected: bool = False) -> int:
+    total = 0
+    for func in module.functions.values():
+        if not func.blocks:
+            continue
+        if only_protected and not func.is_protected:
+            continue
+        total += _lower_function(func)
+    return total
+
+
+def _lower_function(func: Function) -> int:
+    lowered = 0
+    for block in list(func.blocks):
+        term = block.terminator
+        if isinstance(term, Switch):
+            _lower_one(func, term)
+            lowered += 1
+    return lowered
+
+
+def _lower_one(func: Function, switch: Switch) -> None:
+    block = switch.parent
+    assert block is not None
+    value = switch.value
+    default = switch.default
+    cases = list(switch.cases)
+
+    switch.users.clear()
+    switch.erase_from_parent()
+
+    if not cases:
+        from repro.ir.instructions import Br
+
+        block.append(Br(default))
+        return
+
+    current = block
+    for i, (const, target) in enumerate(cases):
+        is_last = i == len(cases) - 1
+        cmp = ICmp("eq", value, const, f"swcase{i}")
+        current.append(cmp)
+        if is_last:
+            next_block = default
+        else:
+            next_block = func.add_block(f"{block.name}.sw{i}", after=current)
+        current.append(CondBr(cmp, target, next_block))
+        # Phi incomings: the edge into `target` now originates from `current`;
+        # the edge into `default` originates from the last chain block.
+        for phi in target.phis:
+            phi.replace_incoming_block(block, current)
+        if is_last:
+            for phi in default.phis:
+                phi.replace_incoming_block(block, current)
+        current = next_block

@@ -1,0 +1,122 @@
+"""SSA construction: promote word-sized allocas to registers.
+
+Standard algorithm: phi placement on the iterated dominance frontier of the
+store blocks, then a rename walk over the dominator tree.  The MiniC front
+end emits every local variable as an alloca; this pass turns them into
+proper SSA values so the protection passes see real data flow.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dominance import DominatorTree
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Alloca, Load, Phi, Store
+from repro.ir.module import Module
+from repro.ir.types import I32
+from repro.ir.values import Undef, Value
+
+
+def promote_memory_to_registers(module: Module) -> int:
+    """Promote in every function; returns number of promoted allocas."""
+    total = 0
+    for func in module.functions.values():
+        if func.blocks:
+            total += _promote_function(func)
+    return total
+
+
+def _promotable(alloca: Alloca) -> bool:
+    if not alloca.is_scalar_word:
+        return False
+    for user in alloca.users:
+        if isinstance(user, Load):
+            if user.type is not I32:
+                return False
+        elif isinstance(user, Store):
+            # The alloca must be the *pointer*, never the stored value.
+            if user.value is alloca:
+                return False
+        else:
+            return False
+    return True
+
+
+def _promote_function(func: Function) -> int:
+    allocas = [
+        instr
+        for instr in func.entry.instructions
+        if isinstance(instr, Alloca) and _promotable(instr)
+    ]
+    if not allocas:
+        return 0
+
+    dom = DominatorTree(func)
+    reachable = set(dom.order)
+
+    # -- phi placement ---------------------------------------------------
+    phi_for: dict[Phi, Alloca] = {}
+    for alloca in allocas:
+        def_blocks = {
+            u.parent
+            for u in alloca.users
+            if isinstance(u, Store) and u.parent in reachable
+        }
+        placed: set[BasicBlock] = set()
+        work = list(def_blocks)
+        while work:
+            block = work.pop()
+            for frontier_block in dom.frontiers.get(block, ()):
+                if frontier_block in placed:
+                    continue
+                placed.add(frontier_block)
+                phi = Phi(I32, alloca.name or "mem")
+                frontier_block.insert(0, phi)
+                phi_for[phi] = alloca
+                if frontier_block not in def_blocks:
+                    work.append(frontier_block)
+
+    # -- rename walk -------------------------------------------------------
+    alloca_set = set(allocas)
+    undef = Undef(I32)
+
+    def rename(block: BasicBlock, incoming: dict[Alloca, Value]) -> None:
+        current = dict(incoming)
+        for instr in list(block.instructions):
+            if isinstance(instr, Phi) and instr in phi_for:
+                current[phi_for[instr]] = instr
+            elif isinstance(instr, Load) and instr.pointer in alloca_set:
+                value = current.get(instr.pointer, undef)
+                instr.replace_all_uses_with(value)
+                instr.erase_from_parent()
+            elif isinstance(instr, Store) and instr.pointer in alloca_set:
+                current[instr.pointer] = instr.value
+                instr.erase_from_parent()
+        for succ in block.successors():
+            for phi in succ.phis:
+                if phi in phi_for and block not in phi.incoming_blocks:
+                    phi.add_incoming(current.get(phi_for[phi], undef), block)
+        for child in dom.children.get(block, ()):
+            rename(child, current)
+
+    rename(func.entry, {})
+
+    for alloca in allocas:
+        assert not alloca.users, f"alloca {alloca.display} still used"
+        alloca.erase_from_parent()
+
+    _prune_dead_phis(phi_for)
+    return len(allocas)
+
+
+def _prune_dead_phis(phi_for: dict[Phi, "Alloca"]) -> None:
+    """Remove placed phis that ended up unused (semi-pruned cleanup)."""
+    changed = True
+    while changed:
+        changed = False
+        for phi in list(phi_for):
+            users = {u for u in phi.users if u is not phi}
+            if not users and phi.parent is not None:
+                phi.users.clear()
+                phi.erase_from_parent()
+                del phi_for[phi]
+                changed = True

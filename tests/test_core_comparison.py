@@ -1,0 +1,222 @@
+"""Tests for the encoded comparison algorithms (repro.core.comparison)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ancode import ANCode
+from repro.core import EncodedComparator, Predicate, ProtectionParams
+from repro.core.comparison import ConditionFault
+
+FUNCTIONAL = st.integers(min_value=0, max_value=(1 << 16) - 1)
+ALL_PREDICATES = list(Predicate)
+RELATIONAL = [p for p in ALL_PREDICATES if not p.is_equality]
+EQUALITY = [p for p in ALL_PREDICATES if p.is_equality]
+
+
+@pytest.fixture(scope="module")
+def cmp():
+    return EncodedComparator()
+
+
+class TestAlgorithm1:
+    """Algorithm 1: relational predicates."""
+
+    @pytest.mark.parametrize("pred", RELATIONAL)
+    @pytest.mark.parametrize(
+        "x,y", [(0, 0), (0, 1), (1, 0), (5, 5), (65535, 0), (0, 65535), (65535, 65535)]
+    )
+    def test_matches_ground_truth(self, cmp, pred, x, y):
+        assert cmp.compare_plain(pred, x, y) == pred.evaluate(x, y)
+
+    @given(FUNCTIONAL, FUNCTIONAL, st.sampled_from(RELATIONAL))
+    def test_matches_ground_truth_random(self, x, y, pred):
+        cmp = EncodedComparator()
+        assert cmp.compare_plain(pred, x, y) == pred.evaluate(x, y)
+
+    @given(FUNCTIONAL, FUNCTIONAL, st.sampled_from(RELATIONAL))
+    def test_result_is_always_a_valid_symbol(self, x, y, pred):
+        cmp = EncodedComparator()
+        an = cmp.params.an
+        cond = cmp.compare(pred, an.encode(x), an.encode(y))
+        assert cond in cmp.symbols.valid_symbols(pred)
+
+    def test_rejects_equality_predicate(self, cmp):
+        with pytest.raises(ValueError):
+            cmp.compare_relational(Predicate.EQ, 0, 0)
+
+    def test_paper_example_values(self, cmp):
+        an = cmp.params.an
+        # x < y -> wrap residue appears: symbol = R + C = 35552.
+        assert cmp.compare(Predicate.LT, an.encode(1), an.encode(2)) == 35552
+        # x >= y -> plain C = 29982.
+        assert cmp.compare(Predicate.LT, an.encode(2), an.encode(1)) == 29982
+
+
+class TestAlgorithm2:
+    """Algorithm 2: equality predicates."""
+
+    @pytest.mark.parametrize("pred", EQUALITY)
+    @pytest.mark.parametrize("x,y", [(0, 0), (0, 1), (7, 7), (65535, 65534)])
+    def test_matches_ground_truth(self, cmp, pred, x, y):
+        assert cmp.compare_plain(pred, x, y) == pred.evaluate(x, y)
+
+    @given(FUNCTIONAL, FUNCTIONAL, st.sampled_from(EQUALITY))
+    def test_matches_ground_truth_random(self, x, y, pred):
+        cmp = EncodedComparator()
+        assert cmp.compare_plain(pred, x, y) == pred.evaluate(x, y)
+
+    def test_equal_gives_two_c(self, cmp):
+        an = cmp.params.an
+        assert cmp.compare(Predicate.EQ, an.encode(9), an.encode(9)) == 2 * 14991
+
+    def test_unequal_gives_residue_plus_two_c(self, cmp):
+        an = cmp.params.an
+        assert cmp.compare(Predicate.EQ, an.encode(9), an.encode(8)) == 5570 + 2 * 14991
+
+    def test_rejects_relational_predicate(self, cmp):
+        with pytest.raises(ValueError):
+            cmp.compare_equality(Predicate.LT, 0, 0)
+
+
+class TestFaultDetection:
+    """Fault-direction guarantees of the encoded comparison.
+
+    * Relational predicates: a single-bit operand fault can never produce a
+      valid symbol at all (the residue trick only tolerates offsets that are
+      multiples of A, which need >= dmin flipped bits).
+    * Equality predicates: Algorithm 2's remainder *sum* structurally cancels
+      operand faults modulo A, so a corrupted operand frequently yields the
+      "unequal" symbol — the fail-safe direction (a corrupted word genuinely
+      differs).  What must never happen is a fault forging the *equal*
+      symbol for actually-unequal data: that is the security-critical
+      direction (password checks, signature checks).
+    """
+
+    @given(
+        FUNCTIONAL,
+        FUNCTIONAL,
+        st.sampled_from(RELATIONAL),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_relational_single_bit_operand_fault_detected(self, x, y, pred, bit):
+        cmp = EncodedComparator()
+        an = cmp.params.an
+        xc = an.encode(x) ^ (1 << bit)
+        cond = cmp.compare(pred, xc, an.encode(y))
+        assert cond not in cmp.symbols.valid_symbols(pred)
+
+    @given(
+        FUNCTIONAL,
+        FUNCTIONAL,
+        st.integers(min_value=0, max_value=31),
+        st.booleans(),
+    )
+    def test_equality_operand_fault_characterisation(self, x, y, bit, fault_x):
+        # An operand fault delta shifts the signed difference d = A*(x-y) by
+        # +/-delta.  Algorithm 2 yields the EQUAL symbol iff |d| < C, the
+        # UNEQUAL symbol iff the +C additions do not wrap asymmetrically, and
+        # an invalid word otherwise.  This pins down exactly which operand
+        # faults the comparison can and cannot see — operand integrity is
+        # the data encoding's job (paper, Section III).
+        cmp = EncodedComparator()
+        an = cmp.params.an
+        c = cmp.params.c_eq
+        mask = an.word_mask
+        xc, yc = an.encode(x), an.encode(y)
+        if fault_x:
+            xc ^= 1 << bit
+        else:
+            yc ^= 1 << bit
+        cond = cmp.compare(Predicate.EQ, xc, yc)
+        d = (xc - yc) & mask
+        d_signed = d - (1 << 32) if d >> 31 else d
+        if abs(d_signed) < c:
+            assert cond == cmp.symbols.true_value(Predicate.EQ)
+        elif cond in cmp.symbols.valid_symbols(Predicate.EQ):
+            assert cond == cmp.symbols.false_value(Predicate.EQ)
+
+    def test_single_bit_equality_forge_exists_for_operand_faults(self):
+        # Documented limitation (consistent with the paper's threat split):
+        # 2^16 - A = 1659 < C, so flipping bit 16 of xc=encode(0) against
+        # yc=encode(1) forges the EQUAL symbol.  The *data* encoding flags
+        # xc as invalid; the comparison alone cannot.
+        cmp = EncodedComparator()
+        an = cmp.params.an
+        forged = cmp.compare(Predicate.EQ, 0 ^ (1 << 16), an.encode(1))
+        assert forged == cmp.symbols.true_value(Predicate.EQ)
+        assert not an.is_valid(0 ^ (1 << 16))
+
+    def test_equality_operand_fault_fails_safe_midbit(self):
+        # Equal inputs, bit-14 fault: d = 16384 > C, result is the (valid)
+        # "unequal" symbol — deny, never grant.
+        cmp = EncodedComparator()
+        an = cmp.params.an
+        cond = cmp.compare(Predicate.EQ, an.encode(5) ^ (1 << 14), an.encode(5))
+        assert cond == cmp.symbols.false_value(Predicate.EQ)
+
+    def test_equality_operand_fault_masked_lsb(self):
+        # Equal inputs, LSB fault: |d| = 1 < C, the fault is masked and the
+        # (semantically correct) EQUAL symbol survives.
+        cmp = EncodedComparator()
+        an = cmp.params.an
+        cond = cmp.compare(Predicate.EQ, an.encode(5) ^ 1, an.encode(5))
+        assert cond == cmp.symbols.true_value(Predicate.EQ)
+
+    @given(
+        FUNCTIONAL,
+        FUNCTIONAL,
+        st.sampled_from(ALL_PREDICATES),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_single_bit_condition_fault_always_detected(self, x, y, pred, bit):
+        # Flipping the final condition symbol itself needs D=15 specific
+        # bits; one bit always lands outside the symbol set.
+        cmp = EncodedComparator()
+        an = cmp.params.an
+        cond = cmp.compare(pred, an.encode(x), an.encode(y)) ^ (1 << bit)
+        assert cond not in cmp.symbols.valid_symbols(pred)
+
+    def test_classify_raises_on_garbage(self, cmp):
+        with pytest.raises(ConditionFault):
+            cmp.classify(Predicate.EQ, 12345)
+
+    def test_classify_accepts_symbols(self, cmp):
+        t, f = cmp.symbols.valid_symbols(Predicate.GE)
+        assert cmp.classify(Predicate.GE, t) is True
+        assert cmp.classify(Predicate.GE, f) is False
+
+
+class TestTraces:
+    def test_relational_trace_locations(self, cmp):
+        an = cmp.params.an
+        trace = cmp.traced_compare(Predicate.LT, an.encode(3), an.encode(4))
+        assert [name for name, _ in trace.intermediates] == ["diff", "cond"]
+        assert trace.condition == 35552
+
+    def test_equality_trace_locations(self, cmp):
+        an = cmp.params.an
+        trace = cmp.traced_compare(Predicate.EQ, an.encode(3), an.encode(3))
+        names = [name for name, _ in trace.intermediates]
+        assert names == ["diff1", "rem1", "diff2", "rem2", "cond"]
+
+
+class TestAlternativeParameters:
+    """The construction is generic over A and C (Section III: modularity)."""
+
+    def test_derived_params_still_correct(self):
+        params = ProtectionParams.derive(ANCode(A=58659, functional_bits=8))
+        cmp = EncodedComparator(params)
+        for x, y in [(0, 0), (1, 2), (200, 100), (255, 255)]:
+            for pred in Predicate:
+                assert cmp.compare_plain(pred, x, y) == pred.evaluate(x, y)
+
+    def test_derived_distance_reasonable(self):
+        params = ProtectionParams.derive(ANCode(A=58659, functional_bits=8))
+        assert params.security_level >= 10
+
+    def test_paper_c_values_are_optimal_for_paper_a(self):
+        from repro.core.params import max_symbol_distance
+
+        assert max_symbol_distance(63877, 32, scale=1) == 15
+        assert max_symbol_distance(63877, 32, scale=2) == 15

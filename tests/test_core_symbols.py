@@ -1,0 +1,73 @@
+"""Tests for condition symbols / Table I (repro.core.symbols)."""
+
+import pytest
+
+from repro.core import Predicate, ProtectionParams
+
+
+@pytest.fixture(scope="module")
+def table():
+    return ProtectionParams.paper().symbols
+
+
+class TestPredicate:
+    def test_negations_are_involutions(self):
+        for p in Predicate:
+            assert p.negated.negated is p
+
+    def test_swap(self):
+        assert Predicate.LT.swapped is Predicate.GT
+        assert Predicate.LE.swapped is Predicate.GE
+        assert Predicate.EQ.swapped is Predicate.EQ
+
+    def test_evaluate(self):
+        assert Predicate.LT.evaluate(1, 2)
+        assert not Predicate.LT.evaluate(2, 2)
+        assert Predicate.LE.evaluate(2, 2)
+        assert Predicate.NE.evaluate(1, 2)
+
+    def test_is_equality(self):
+        assert Predicate.EQ.is_equality and Predicate.NE.is_equality
+        assert not Predicate.LT.is_equality
+
+
+class TestTableI:
+    """Reproduces Table I of the paper for the 32-bit parameter set."""
+
+    def test_residue(self, table):
+        assert table.residue == 5570
+
+    @pytest.mark.parametrize(
+        "pred,subtraction,true_value,false_value",
+        [
+            (Predicate.GT, "yx", 5570 + 29982, 29982),
+            (Predicate.GE, "xy", 29982, 5570 + 29982),
+            (Predicate.LT, "xy", 5570 + 29982, 29982),
+            (Predicate.LE, "yx", 29982, 5570 + 29982),
+        ],
+    )
+    def test_relational_rows(self, table, pred, subtraction, true_value, false_value):
+        row = table.row(pred)
+        assert row.subtraction == subtraction
+        assert row.true_value == true_value
+        assert row.false_value == false_value
+
+    def test_equality_rows(self, table):
+        eq = table.row(Predicate.EQ)
+        assert eq.true_value == 2 * 14991 == 29982
+        assert eq.false_value == 5570 + 2 * 14991 == 35552
+        ne = table.row(Predicate.NE)
+        assert (ne.true_value, ne.false_value) == (eq.false_value, eq.true_value)
+
+    def test_paper_distance_d15(self, table):
+        # Section IV-a: both constants reach the maximum distance D = 15.
+        assert table.min_distance() == 15
+        for row in table.rows():
+            assert row.distance == 15
+
+    def test_symbols_never_zero_or_allones(self, table):
+        # Design requirement: avoid all-zero / all-one condition words.
+        for row in table.rows():
+            for symbol in (row.true_value, row.false_value):
+                assert symbol != 0
+                assert symbol != (1 << 32) - 1

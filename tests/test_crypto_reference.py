@@ -1,0 +1,120 @@
+"""Host-side crypto reference tests (SHA-256, curves, ECDSA)."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    TOY20,
+    build_signed_image,
+    generate_keypair,
+    sha256,
+    sha256_words,
+    sign,
+    verify,
+)
+from repro.crypto.curves import INFINITY, P256, CurvePoint
+from repro.crypto.ecdsa import hash_to_int
+
+
+class TestSha256:
+    @pytest.mark.parametrize(
+        "message",
+        [b"", b"abc", b"a" * 55, b"a" * 56, b"a" * 64, b"a" * 1000, bytes(range(256))],
+    )
+    def test_matches_hashlib(self, message):
+        assert sha256(message) == hashlib.sha256(message).digest()
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=40)
+    def test_matches_hashlib_random(self, message):
+        assert sha256(message) == hashlib.sha256(message).digest()
+
+    def test_words_form(self):
+        words = sha256_words(b"abc")
+        assert words[0] == 0xBA7816BF
+        assert len(words) == 8
+
+
+class TestToyCurve:
+    def test_generator_on_curve(self):
+        assert TOY20.is_on_curve(TOY20.generator)
+
+    def test_order_annihilates_generator(self):
+        # multiply() reduces k mod n, so call the raw double-and-add chain
+        # (n-1)G + G to actually exercise the full order.
+        near = TOY20.multiply(TOY20.n - 1, TOY20.generator)
+        assert TOY20.add(near, TOY20.generator).is_infinity
+
+    def test_group_law_basics(self):
+        g = TOY20.generator
+        g2 = TOY20.add(g, g)
+        g3 = TOY20.add(g2, g)
+        assert TOY20.is_on_curve(g2)
+        assert TOY20.is_on_curve(g3)
+        assert TOY20.add(g, INFINITY) == g
+        neg_g = CurvePoint(g.x, (-g.y) % TOY20.p)
+        assert TOY20.add(g, neg_g).is_infinity
+
+    def test_multiply_matches_repeated_add(self):
+        g = TOY20.generator
+        acc = INFINITY
+        for k in range(1, 8):
+            acc = TOY20.add(acc, g)
+            assert TOY20.multiply(k, g) == acc
+
+    def test_p256_generator_on_curve(self):
+        assert P256.is_on_curve(P256.generator)
+
+
+class TestEcdsa:
+    def test_sign_verify_roundtrip(self):
+        kp = generate_keypair(TOY20)
+        sig = sign(b"boot image", kp)
+        assert verify(b"boot image", sig, kp.public, TOY20)
+
+    def test_wrong_message_rejected(self):
+        kp = generate_keypair(TOY20)
+        sig = sign(b"boot image", kp)
+        assert not verify(b"evil image", sig, kp.public, TOY20)
+
+    def test_wrong_key_rejected(self):
+        kp = generate_keypair(TOY20)
+        other = generate_keypair(TOY20, seed=b"other")
+        sig = sign(b"boot image", kp)
+        assert not verify(b"boot image", sig, other.public, TOY20)
+
+    def test_degenerate_signatures_rejected(self):
+        kp = generate_keypair(TOY20)
+        assert not verify(b"x", (0, 5), kp.public, TOY20)
+        assert not verify(b"x", (5, 0), kp.public, TOY20)
+        assert not verify(b"x", (TOY20.n, 5), kp.public, TOY20)
+
+    def test_p256_sign_verify(self):
+        kp = generate_keypair(P256)
+        sig = sign(b"reference check", kp)
+        assert verify(b"reference check", sig, kp.public, P256)
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_random_messages(self, message):
+        kp = generate_keypair(TOY20)
+        assert verify(message, sign(message, kp), kp.public, TOY20)
+
+    def test_hash_to_int_range(self):
+        e = hash_to_int(b"whatever", TOY20)
+        assert 0 <= e < TOY20.n
+
+
+class TestBootImage:
+    def test_build(self):
+        image = build_signed_image(b"firmware v1.2")
+        assert image.payload == b"firmware v1.2"
+        r, s = image.signature
+        assert 0 < r < TOY20.n and 0 < s < TOY20.n
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            build_signed_image(b"x" * 2000)

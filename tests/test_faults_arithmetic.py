@@ -1,0 +1,91 @@
+"""Tests for the Section VI arithmetic fault simulation (E5)."""
+
+import pytest
+
+from repro.core import Predicate
+from repro.faults.arithmetic import (
+    detectability_profile,
+    exhaustive_campaign,
+    sampled_campaign,
+)
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("pred", [Predicate.LT, Predicate.EQ])
+    def test_single_bit_never_flips(self, pred):
+        result = exhaustive_campaign(pred, 1)
+        assert result.flipped == 0
+        assert result.trials > 0
+
+    def test_two_bits_never_flip_relational(self):
+        result = exhaustive_campaign(Predicate.LT, 2)
+        assert result.flipped == 0
+
+    def test_two_bits_equality_never_forge_true(self):
+        # The dangerous direction (forging "equal") needs more redundancy
+        # to break; two bits can only push equal inputs to the fail-safe
+        # "unequal" symbol (see test below).
+        result = exhaustive_campaign(Predicate.EQ, 2)
+        assert result.flipped_to_true == 0
+
+    def test_equality_bit31_pair_is_failsafe_channel(self):
+        # Measured property of Algorithm 2: flipping bit 31 of both
+        # differences shifts each remainder by 2^31 mod A, and
+        # 2*(2^31 mod A) = 2^32 mod A = R — exactly the spacing between the
+        # two symbols.  Equal inputs then read "unequal" (deny; fail-safe).
+        result = exhaustive_campaign(Predicate.EQ, 2, operand_pairs=((9, 9),))
+        assert result.flipped_to_false == 4  # d1/d1c x d2/d2c bit-31 pairs
+        assert result.flipped_to_true == 0
+
+    def test_three_bits_relational(self):
+        # Paper: detectability holds up to 3 bits spread over the
+        # computation.
+        result = exhaustive_campaign(Predicate.LT, 3)
+        assert result.flipped == 0
+
+    def test_counts_are_consistent(self):
+        result = exhaustive_campaign(Predicate.LT, 1)
+        assert result.detected + result.masked + result.flipped == result.trials
+
+    def test_single_bit_on_cond_always_detected(self):
+        # Flipping only the final condition word can never reach the other
+        # symbol (D=15): everything is detected, nothing masked.
+        result = exhaustive_campaign(Predicate.LT, 1, operand_pairs=((3, 5),))
+        # sites on cond: last 32 of the 96; all must be detected, so masked
+        # can only come from upstream locations (it cannot here either: a
+        # 1-bit flip on diff/diffc shifts the residue).
+        assert result.masked == 0
+
+
+class TestSampled:
+    def test_four_bits_rare_flips(self):
+        # Paper: ~0.0002% at 4 bits. Give the estimate an order-of-magnitude
+        # band: positive but far below 0.01%.
+        result = sampled_campaign(Predicate.LT, 4, samples=900_000, seed=7)
+        assert result.trials >= 899_000
+        assert result.flip_rate < 1e-4
+
+    def test_flip_rate_grows_with_bits(self):
+        r4 = sampled_campaign(Predicate.LT, 4, samples=300_000, seed=1)
+        r8 = sampled_campaign(Predicate.LT, 8, samples=300_000, seed=1)
+        assert r8.flip_rate >= r4.flip_rate
+
+    def test_deterministic_seed(self):
+        a = sampled_campaign(Predicate.EQ, 4, samples=50_000, seed=3)
+        b = sampled_campaign(Predicate.EQ, 4, samples=50_000, seed=3)
+        assert (a.detected, a.masked, a.flipped) == (b.detected, b.masked, b.flipped)
+
+
+class TestProfile:
+    def test_profile_shape(self):
+        profile = detectability_profile(
+            Predicate.LT, max_bits=4, exhaustive_up_to=2, samples=60_000
+        )
+        assert [r.bits for r in profile] == [1, 2, 3, 4]
+        assert profile[0].flipped == 0
+        assert profile[1].flipped == 0
+
+    def test_include_operands_widens_fault_space(self):
+        narrow = exhaustive_campaign(Predicate.LT, 1)
+        wide = exhaustive_campaign(Predicate.LT, 1, include_operands=True)
+        assert wide.trials > narrow.trials

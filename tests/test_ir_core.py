@@ -1,0 +1,228 @@
+"""Tests for IR construction, use-lists, printing and verification."""
+
+import pytest
+
+from repro.ir import (
+    Constant,
+    FunctionType,
+    GlobalVariable,
+    I1,
+    I32,
+    IRBuilder,
+    Module,
+    VerificationError,
+    print_function,
+    verify_function,
+)
+from repro.ir.instructions import Phi
+
+
+def build_max_function():
+    """u32 max(u32 a, u32 b) via a diamond CFG with a phi."""
+    module = Module("t")
+    func = module.add_function("max", FunctionType(I32, (I32, I32)), ["a", "b"])
+    entry = func.add_block("entry")
+    then = func.add_block("then")
+    els = func.add_block("else")
+    join = func.add_block("join")
+    b = IRBuilder(entry)
+    a, bb = func.arguments
+    cond = b.icmp("ugt", a, bb, "cond")
+    b.condbr(cond, then, els)
+    b.position_at_end(then)
+    b.br(join)
+    b.position_at_end(els)
+    b.br(join)
+    b.position_at_end(join)
+    phi = b.phi(I32, "result")
+    phi.add_incoming(a, then)
+    phi.add_incoming(bb, els)
+    b.ret(phi)
+    return module, func
+
+
+class TestConstruction:
+    def test_build_and_verify(self):
+        _, func = build_max_function()
+        verify_function(func)
+
+    def test_use_lists(self):
+        _, func = build_max_function()
+        a = func.arguments[0]
+        users = {type(u).__name__ for u in a.users}
+        assert users == {"ICmp", "Phi"}
+
+    def test_rauw(self):
+        module, func = build_max_function()
+        a = func.arguments[0]
+        c = Constant(I32, 42)
+        a.replace_all_uses_with(c)
+        assert not a.users
+        verify_function(func)
+        text = print_function(func)
+        assert "42" in text
+
+    def test_type_mismatch_rejected(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, (I32,)))
+        entry = func.add_block("entry")
+        b = IRBuilder(entry)
+        with pytest.raises(TypeError):
+            b.add(func.arguments[0], Constant(I1, 1))
+
+    def test_call_arity_checked(self):
+        module = Module("t")
+        callee = module.add_function("callee", FunctionType(I32, (I32, I32)))
+        caller = module.add_function("caller", FunctionType(I32, ()))
+        entry = caller.add_block("entry")
+        b = IRBuilder(entry)
+        with pytest.raises(TypeError):
+            b.call(callee, [Constant(I32, 1)])
+
+    def test_erase_requires_no_users(self):
+        _, func = build_max_function()
+        cond = func.entry.instructions[0]
+        with pytest.raises(AssertionError):
+            cond.erase_from_parent()
+
+    def test_global_from_words(self):
+        g = GlobalVariable.from_words("tbl", [1, 0x01020304])
+        assert g.size == 8
+        assert g.initializer == bytes([1, 0, 0, 0, 4, 3, 2, 1])
+
+    def test_printer_smoke(self):
+        _, func = build_max_function()
+        text = print_function(func)
+        assert "define i32 @max(i32 %a, i32 %b)" in text
+        assert "icmp ugt" in text
+        assert "phi i32" in text
+
+
+class TestVerifier:
+    def test_missing_terminator(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, (I32,)))
+        entry = func.add_block("entry")
+        b = IRBuilder(entry)
+        b.add(func.arguments[0], Constant(I32, 1))
+        with pytest.raises(VerificationError, match="lacks a terminator"):
+            verify_function(func)
+
+    def test_phi_pred_mismatch(self):
+        _, func = build_max_function()
+        join = func.blocks[-1]
+        phi = join.instructions[0]
+        assert isinstance(phi, Phi)
+        phi.remove_incoming(func.blocks[1])
+        with pytest.raises(VerificationError, match="incoming"):
+            verify_function(func)
+
+    def test_use_not_dominated(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, (I32,)), ["a"])
+        entry = func.add_block("entry")
+        then = func.add_block("then")
+        els = func.add_block("else")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", func.arguments[0], Constant(I32, 0))
+        b.condbr(cond, then, els)
+        b.position_at_end(then)
+        x = b.add(func.arguments[0], Constant(I32, 1), "x")
+        b.ret(x)
+        b.position_at_end(els)
+        b.ret(x)  # use of %x not dominated by 'then'
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_function(func)
+
+    def test_phi_after_non_phi(self):
+        from repro.ir.instructions import BinaryOp
+
+        _, func = build_max_function()
+        join = func.blocks[-1]
+        filler = BinaryOp("add", Constant(I32, 1), Constant(I32, 2))
+        join.insert(1, filler)
+        stray = Phi(I32, "stray")
+        for pred in (func.blocks[1], func.blocks[2]):
+            stray.add_incoming(Constant(I32, 0), pred)
+        join.insert(2, stray)
+        with pytest.raises(VerificationError, match="phi after non-phi"):
+            verify_function(func)
+
+
+class TestDominance:
+    def test_diamond_idoms(self):
+        from repro.ir.dominance import DominatorTree
+
+        _, func = build_max_function()
+        dom = DominatorTree(func)
+        entry, then, els, join = func.blocks
+        assert dom.idom[join] is entry
+        assert dom.idom[then] is entry
+        assert dom.dominates(entry, join)
+        assert not dom.dominates(then, join)
+        assert dom.frontiers[then] == {join}
+        assert dom.frontiers[els] == {join}
+
+    def test_loop_frontier(self):
+        from repro.ir.dominance import DominatorTree
+
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, (I32,)), ["n"])
+        entry = func.add_block("entry")
+        header = func.add_block("header")
+        body = func.add_block("body")
+        exit_ = func.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        cond = b.icmp("ult", func.arguments[0], Constant(I32, 10))
+        b.condbr(cond, body, exit_)
+        b.position_at_end(body)
+        b.br(header)
+        b.position_at_end(exit_)
+        b.ret(Constant(I32, 0))
+        dom = DominatorTree(func)
+        # The loop header is its own frontier member (back edge).
+        assert header in dom.frontiers[body]
+        assert dom.idom[exit_] is header
+
+
+class TestCFGUtils:
+    def test_split_edge_retargets_phi(self):
+        from repro.ir.cfg import split_edge
+
+        _, func = build_max_function()
+        entry, then, els, join = func.blocks
+        mid = split_edge(then, join)
+        verify_function(func)
+        assert mid in then.successors()
+        phi = join.instructions[0]
+        assert mid in phi.incoming_blocks
+        assert then not in phi.incoming_blocks
+
+    def test_split_critical_edges(self):
+        from repro.ir.cfg import split_critical_edges
+
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, (I32,)), ["a"])
+        entry = func.add_block("entry")
+        join = func.add_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", func.arguments[0], Constant(I32, 0))
+        b.condbr(cond, join, join)
+        b.position_at_end(join)
+        b.ret(Constant(I32, 1))
+        n = split_critical_edges(func)
+        assert n >= 1
+        verify_function(func)
+
+    def test_remove_unreachable(self):
+        from repro.ir.cfg import remove_unreachable_blocks
+
+        _, func = build_max_function()
+        dead = func.add_block("dead")
+        b = IRBuilder(dead)
+        b.ret(Constant(I32, 9))
+        assert remove_unreachable_blocks(func) == 1
+        assert all(block.name != "dead" for block in func.blocks)
+        verify_function(func)

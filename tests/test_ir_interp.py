@@ -1,0 +1,231 @@
+"""Tests for the IR interpreter (the differential-testing oracle)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import (
+    Constant,
+    FunctionType,
+    GlobalVariable,
+    I8,
+    I32,
+    IRBuilder,
+    Module,
+)
+from repro.ir.interp import Interpreter, InterpError
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def single_block_function(module, name, build_body, params=2):
+    func = module.add_function(name, FunctionType(I32, (I32,) * params))
+    entry = func.add_block("entry")
+    b = IRBuilder(entry)
+    build_body(b, func.arguments)
+    return func
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "opcode,a,b,expected",
+        [
+            ("add", 2, 3, 5),
+            ("add", 0xFFFFFFFF, 1, 0),
+            ("sub", 3, 5, 0xFFFFFFFE),
+            ("mul", 0x10000, 0x10000, 0),
+            ("udiv", 7, 2, 3),
+            ("urem", 7, 2, 1),
+            ("sdiv", 0xFFFFFFF9, 2, 0xFFFFFFFD),  # -7 / 2 = -3 (trunc)
+            ("srem", 0xFFFFFFF9, 2, 0xFFFFFFFF),  # -7 % 2 = -1
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 33, 2),  # shift masked to 5 bits
+            ("lshr", 0x80000000, 31, 1),
+            ("ashr", 0x80000000, 31, 0xFFFFFFFF),
+        ],
+    )
+    def test_binary_ops(self, opcode, a, b, expected):
+        module = Module("t")
+        single_block_function(
+            module, "f", lambda b_, args: b_.ret(b_.binary(opcode, *args))
+        )
+        result = Interpreter(module).run("f", [a, b])
+        assert result.value == expected
+
+    def test_division_by_zero_raises(self):
+        module = Module("t")
+        single_block_function(
+            module, "f", lambda b_, args: b_.ret(b_.udiv(args[0], args[1]))
+        )
+        with pytest.raises(InterpError, match="zero"):
+            Interpreter(module).run("f", [1, 0])
+
+    @given(U32, U32)
+    def test_udiv_urem_invariant(self, a, b):
+        module = Module("t")
+
+        def body(b_, args):
+            q = b_.udiv(args[0], args[1])
+            r = b_.urem(args[0], args[1])
+            b_.ret(b_.add(b_.mul(q, args[1]), r))
+
+        single_block_function(module, "f", body)
+        if b == 0:
+            return
+        assert Interpreter(module).run("f", [a, b]).value == a
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        # sum of 0..n-1 with a header/body/exit loop and phis.
+        module = Module("t")
+        func = module.add_function("sum", FunctionType(I32, (I32,)), ["n"])
+        entry = func.add_block("entry")
+        header = func.add_block("header")
+        body = func.add_block("body")
+        exit_ = func.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        i = b.phi(I32, "i")
+        acc = b.phi(I32, "acc")
+        cond = b.icmp("ult", i, func.arguments[0])
+        b.condbr(cond, body, exit_)
+        b.position_at_end(body)
+        acc2 = b.add(acc, i)
+        i2 = b.add(i, Constant(I32, 1))
+        b.br(header)
+        b.position_at_end(exit_)
+        b.ret(acc)
+        i.add_incoming(Constant(I32, 0), entry)
+        i.add_incoming(i2, body)
+        acc.add_incoming(Constant(I32, 0), entry)
+        acc.add_incoming(acc2, body)
+        result = Interpreter(module).run("sum", [10])
+        assert result.value == 45
+
+    def test_switch(self):
+        module = Module("t")
+        func = module.add_function("sw", FunctionType(I32, (I32,)), ["x"])
+        entry = func.add_block("entry")
+        c1 = func.add_block("case1")
+        c2 = func.add_block("case2")
+        default = func.add_block("default")
+        b = IRBuilder(entry)
+        b.switch(
+            func.arguments[0],
+            default,
+            [(Constant(I32, 1), c1), (Constant(I32, 2), c2)],
+        )
+        for block, val in ((c1, 100), (c2, 200), (default, 300)):
+            b.position_at_end(block)
+            b.ret(Constant(I32, val))
+        interp = Interpreter(module)
+        assert interp.run("sw", [1]).value == 100
+        assert interp.run("sw", [2]).value == 200
+        assert interp.run("sw", [7]).value == 300
+
+    def test_select(self):
+        module = Module("t")
+
+        def body(b_, args):
+            cond = b_.icmp("ult", args[0], args[1])
+            b_.ret(b_.select(cond, args[0], args[1]))
+
+        single_block_function(Module("t2"), "min", body)  # constructibility
+        module = Module("t")
+        single_block_function(module, "min", body)
+        interp = Interpreter(module)
+        assert interp.run("min", [3, 9]).value == 3
+        assert interp.run("min", [9, 3]).value == 3
+
+    def test_call_and_recursion(self):
+        module = Module("t")
+        fib = module.add_function("fib", FunctionType(I32, (I32,)), ["n"])
+        entry = fib.add_block("entry")
+        base = fib.add_block("base")
+        rec = fib.add_block("rec")
+        b = IRBuilder(entry)
+        cond = b.icmp("ult", fib.arguments[0], Constant(I32, 2))
+        b.condbr(cond, base, rec)
+        b.position_at_end(base)
+        b.ret(fib.arguments[0])
+        b.position_at_end(rec)
+        n1 = b.sub(fib.arguments[0], Constant(I32, 1))
+        n2 = b.sub(fib.arguments[0], Constant(I32, 2))
+        f1 = b.call(fib, [n1])
+        f2 = b.call(fib, [n2])
+        b.ret(b.add(f1, f2))
+        assert Interpreter(module).run("fib", [10]).value == 55
+
+
+class TestMemory:
+    def test_alloca_store_load(self):
+        module = Module("t")
+
+        def body(b_, args):
+            slot = b_.alloca(4)
+            b_.store(args[0], slot)
+            b_.ret(b_.load(I32, slot))
+
+        single_block_function(module, "f", body, params=1)
+        assert Interpreter(module).run("f", [77]).value == 77
+
+    def test_global_access(self):
+        module = Module("t")
+        module.add_global(GlobalVariable.from_words("tbl", [10, 20, 30]))
+
+        def body(b_, args):
+            base = module.globals["tbl"]
+            offset = b_.mul(args[0], Constant(I32, 4))
+            ptr = b_.ptradd(base, offset)
+            b_.ret(b_.load(I32, ptr))
+
+        single_block_function(module, "f", body, params=1)
+        interp = Interpreter(module)
+        assert interp.run("f", [0]).value == 10
+        assert interp.run("f", [2]).value == 30
+
+    def test_byte_access(self):
+        module = Module("t")
+        module.add_global(GlobalVariable("buf", 4, bytes([0xAA, 0xBB, 0xCC, 0xDD])))
+
+        def body(b_, args):
+            base = module.globals["buf"]
+            ptr = b_.ptradd(base, args[0])
+            byte = b_.load(I8, ptr)
+            b_.ret(b_.zext(byte, I32))
+
+        single_block_function(module, "f", body, params=1)
+        interp = Interpreter(module)
+        assert interp.run("f", [1]).value == 0xBB
+
+    def test_stack_restored_after_call(self):
+        module = Module("t")
+        inner = module.add_function("inner", FunctionType(I32, ()))
+        b = IRBuilder(inner.add_block("entry"))
+        slot = b.alloca(64)
+        b.store(Constant(I32, 5), slot)
+        b.ret(b.load(I32, slot))
+        outer = module.add_function("outer", FunctionType(I32, ()))
+        b = IRBuilder(outer.add_block("entry"))
+        r1 = b.call(inner, [])
+        r2 = b.call(inner, [])
+        b.ret(b.add(r1, r2))
+        interp = Interpreter(module)
+        sp_before = interp.memory.sp
+        assert interp.run("outer", []).value == 10
+        assert interp.memory.sp == sp_before
+
+    def test_out_of_bounds_load(self):
+        module = Module("t")
+
+        def body(b_, args):
+            b_.ret(b_.load(I32, b_.ptradd(module.globals["g"], Constant(I32, 0x7FFFFF00))))
+
+        module.add_global(GlobalVariable("g", 4))
+        single_block_function(module, "f", body, params=0)
+        with pytest.raises(InterpError, match="out of bounds"):
+            Interpreter(module).run("f", [])

@@ -1,0 +1,428 @@
+"""Tests for the ISA: assembler layout, encoding widths, CPU semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import AsmBlock, AsmFunction, CPU, Status, assemble
+from repro.isa import instructions as ins
+from repro.isa.assembler import AsmError, DataSegment
+from repro.isa.encoding import width
+from repro.isa.mmio import MMIO
+from repro.isa.registers import LR, R0, R1, R2, R3, R4, R9, R12, SP
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run_fragment(instrs, args=(), max_cycles=100_000, data=None):
+    """Assemble one function around `instrs` (plus bx lr) and run it."""
+    func = AsmFunction("f", [AsmBlock("f", list(instrs) + [ins.BxLr()])])
+    image = assemble([func], data=data)
+    cpu = CPU(image)
+    cpu.call("f", list(args))
+    return cpu, cpu.run(max_cycles)
+
+
+class TestEncodingWidths:
+    """The width model behind Table II's byte counts."""
+
+    def test_narrow_add_sub(self):
+        assert width(ins.Alu("add", R0, R1, R2, s=True)) == 2
+        assert width(ins.Alu("sub", R0, R1, R2, s=True)) == 2
+
+    def test_wide_alu_high_regs(self):
+        assert width(ins.Alu("add", R0, R9, R2, s=True)) == 4
+        assert width(ins.Alu("sub", R0, R1, R9, s=True)) == 4
+
+    def test_div_mls_always_wide(self):
+        assert width(ins.Udiv(R0, R1, R2)) == 4
+        assert width(ins.Mls(R0, R1, R2, R3)) == 4
+        assert width(ins.Umull(R0, R1, R2, R3)) == 4
+
+    def test_table2_relational_sequence_is_12_bytes(self):
+        # SUBS + ADDS + UDIV + MLS = 2+2+4+4 = 12 (Table II row 1).
+        seq = [
+            ins.Alu("sub", R0, R1, R2, s=True),
+            ins.Alu("add", R0, R0, R3, s=True),
+            ins.Udiv(R4, R0, R12),
+            ins.Mls(R0, R4, R12, R0),
+        ]
+        assert sum(width(i) for i in seq) == 12
+
+    def test_table2_equality_sequence_is_26_bytes(self):
+        # 3 ADD + 2 SUB + 2 UDIV + 2 MLS = 3*2+2*2+2*4+2*4 = 26 (row 2).
+        seq = (
+            [ins.Alu("add", R0, R0, R3, s=True)] * 3
+            + [ins.Alu("sub", R0, R1, R2, s=True)] * 2
+            + [ins.Udiv(R4, R0, R12)] * 2
+            + [ins.Mls(R0, R4, R12, R0)] * 2
+        )
+        assert sum(width(i) for i in seq) == 26
+
+    def test_mov_imm(self):
+        assert width(ins.MovImm(R0, 255)) == 2
+        assert width(ins.MovImm(R0, 256)) == 4
+        assert width(ins.MovImm(R9, 1)) == 4
+
+    def test_movw_movt(self):
+        assert width(ins.Movw(R0, 0xFFFF)) == 4
+        assert width(ins.Movt(R0, 0xFFFF)) == 4
+
+    def test_ldr_str(self):
+        assert width(ins.LdrImm(R0, R1, 124)) == 2
+        assert width(ins.LdrImm(R0, R1, 128)) == 4
+        assert width(ins.LdrImm(R0, SP, 1020)) == 2
+        assert width(ins.StrImm(R0, R1, 0, size=1)) == 2
+        assert width(ins.LdrReg(R0, R1, R2)) == 2
+        assert width(ins.LdrReg(R0, R9, R2)) == 4
+
+    def test_branches(self):
+        assert width(ins.B("x")) == 2  # optimistic before layout
+        assert width(ins.Bl("x")) == 4
+        assert width(ins.BxLr()) == 2
+
+    def test_push_pop(self):
+        assert width(ins.Push((R4, LR))) == 2
+        assert width(ins.Push((R4, R9, LR))) == 4
+
+
+class TestAssembler:
+    def test_layout_addresses(self):
+        func = AsmFunction(
+            "f",
+            [
+                AsmBlock("f", [ins.MovImm(R0, 1), ins.BxLr()]),
+            ],
+        )
+        image = assemble([func])
+        assert image.labels["f"] == image.code_base
+        assert image.code_size == 4
+        assert image.function_sizes["f"] == 4
+
+    def test_branch_resolution(self):
+        func = AsmFunction(
+            "f",
+            [
+                AsmBlock("f", [ins.B("end")]),
+                AsmBlock("mid", [ins.MovImm(R0, 9), ins.BxLr()]),
+                AsmBlock("end", [ins.MovImm(R0, 7), ins.BxLr()]),
+            ],
+        )
+        image = assemble([func])
+        branch = func.blocks[0].instructions[0]
+        assert branch.target == image.labels["end"]
+
+    def test_undefined_label(self):
+        func = AsmFunction("f", [AsmBlock("f", [ins.B("nowhere"), ins.BxLr()])])
+        with pytest.raises(AsmError, match="undefined label"):
+            assemble([func])
+
+    def test_duplicate_label(self):
+        funcs = [
+            AsmFunction("f", [AsmBlock("f", [ins.BxLr()])]),
+            AsmFunction("g", [AsmBlock("f", [ins.BxLr()])]),
+        ]
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble(funcs)
+
+    def test_branch_relaxation_widens_long_bcc(self):
+        # 200 wide instructions (~800 bytes) exceed Bcc's ±256B short reach.
+        filler = [ins.Udiv(R0, R0, R1) for _ in range(200)]
+        func = AsmFunction(
+            "f",
+            [
+                AsmBlock("f", [ins.CmpImm(R0, 0), ins.Bcc("eq", "end")] + filler),
+                AsmBlock("end", [ins.BxLr()]),
+            ],
+        )
+        image = assemble([func])
+        bcc = func.blocks[0].instructions[1]
+        assert width(bcc) == 4
+
+    def test_data_segment_placement(self):
+        func = AsmFunction("f", [AsmBlock("f", [ins.BxLr()])])
+        image = assemble([func], data=[DataSegment("tbl", 8, b"\x01\x02")])
+        addr = image.data_addrs["tbl"]
+        assert addr >= image.code_base + image.code_size
+        cpu = CPU(image)
+        assert cpu.load(addr, 2) == 0x0201
+
+
+class TestCPUSemantics:
+    def test_mov_and_exit_value(self):
+        _, result = run_fragment([ins.MovImm(R0, 42)])
+        assert result.status is Status.EXIT
+        assert result.exit_code == 42
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 2, 3, 5),
+            ("add", 0xFFFFFFFF, 1, 0),
+            ("sub", 3, 5, 0xFFFFFFFE),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("orr", 0b1100, 0b1010, 0b1110),
+            ("eor", 0b1100, 0b1010, 0b0110),
+            ("bic", 0b1111, 0b0101, 0b1010),
+            ("rsb", 3, 10, 7),
+        ],
+    )
+    def test_alu(self, op, a, b, expected):
+        _, result = run_fragment([ins.Alu(op, R0, R0, R1, s=True)], args=[a, b])
+        assert result.exit_code == expected
+
+    def test_movw_movt_pair(self):
+        _, result = run_fragment([ins.Movw(R0, 0xBEEF), ins.Movt(R0, 0xDEAD)])
+        assert result.exit_code == 0xDEADBEEF
+
+    @given(U32, st.integers(min_value=1, max_value=0xFFFFFFFF))
+    def test_udiv_mls_computes_remainder(self, a, b):
+        # The Table II remainder idiom: q = a/b; r = a - q*b.
+        _, result = run_fragment(
+            [ins.Udiv(R2, R0, R1), ins.Mls(R0, R2, R1, R0)], args=[a, b]
+        )
+        assert result.exit_code == a % b
+
+    def test_udiv_by_zero_yields_zero(self):
+        _, result = run_fragment([ins.Udiv(R0, R0, R1)], args=[5, 0])
+        assert result.exit_code == 0
+
+    def test_umull(self):
+        _, result = run_fragment(
+            [ins.Umull(R2, R3, R0, R1), ins.MovReg(R0, R3)],
+            args=[0x10000, 0x10000],
+        )
+        assert result.exit_code == 1  # high word of 2^32
+
+    @pytest.mark.parametrize(
+        "op,a,amt,expected",
+        [
+            ("lsl", 1, 4, 16),
+            ("lsr", 16, 4, 1),
+            ("asr", 0x80000000, 31, 0xFFFFFFFF),
+            ("ror", 1, 1, 0x80000000),
+        ],
+    )
+    def test_shifts(self, op, a, amt, expected):
+        _, result = run_fragment([ins.ShiftImm(op, R0, R0, amt)], args=[a])
+        assert result.exit_code == expected
+
+    @pytest.mark.parametrize(
+        "cond,a,b,taken",
+        [
+            ("eq", 5, 5, True),
+            ("ne", 5, 5, False),
+            ("lo", 3, 5, True),
+            ("lo", 5, 3, False),
+            ("hs", 5, 5, True),
+            ("hi", 5, 5, False),
+            ("ls", 5, 5, True),
+            ("lt", 0xFFFFFFFF, 0, True),  # signed -1 < 0
+            ("gt", 0xFFFFFFFF, 0, False),
+        ],
+    )
+    def test_conditional_branches(self, cond, a, b, taken):
+        func = AsmFunction(
+            "f",
+            [
+                AsmBlock(
+                    "f",
+                    [
+                        ins.CmpReg(R0, R1),
+                        ins.Bcc(cond, "yes"),
+                        ins.MovImm(R0, 0),
+                        ins.BxLr(),
+                    ],
+                ),
+                AsmBlock("yes", [ins.MovImm(R0, 1), ins.BxLr()]),
+            ],
+        )
+        image = assemble([func])
+        cpu = CPU(image)
+        cpu.call("f", [a, b])
+        assert cpu.run().exit_code == (1 if taken else 0)
+
+    def test_call_and_return(self):
+        callee = AsmFunction(
+            "double",
+            [AsmBlock("double", [ins.Alu("add", R0, R0, R0), ins.BxLr()])],
+        )
+        caller = AsmFunction(
+            "f",
+            [
+                AsmBlock(
+                    "f",
+                    [
+                        ins.Push((R4, LR)),
+                        ins.Bl("double"),
+                        ins.Pop((R4, LR)),
+                        ins.BxLr(),
+                    ],
+                )
+            ],
+        )
+        image = assemble([caller, callee])
+        cpu = CPU(image)
+        cpu.call("f", [21])
+        assert cpu.run().exit_code == 42
+
+    def test_memory_roundtrip(self):
+        _, result = run_fragment(
+            [
+                ins.StrImm(R0, SP, -8),
+                ins.LdrImm(R0, SP, -8),
+            ],
+            args=[0xCAFE],
+        )
+        assert result.exit_code == 0xCAFE
+
+    def test_byte_halfword_access(self):
+        _, result = run_fragment(
+            [
+                ins.Movw(R1, 0xBBAA),
+                ins.Movt(R1, 0xDDCC),
+                ins.StrImm(R1, SP, -8),
+                ins.LdrImm(R0, SP, -8, size=1),  # 0xAA
+                ins.LdrImm(R2, SP, -6, size=2),  # 0xDDCC
+                ins.Alu("add", R0, R0, R2),
+            ],
+        )
+        assert result.exit_code == 0xAA + 0xDDCC
+
+    def test_push_pop_roundtrip(self):
+        _, result = run_fragment(
+            [
+                ins.MovImm(R4, 7),
+                ins.Push((R4,)),
+                ins.MovImm(R4, 0),
+                ins.Pop((R4,)),
+                ins.MovReg(R0, R4),
+            ]
+        )
+        assert result.exit_code == 7
+
+    def test_udf_reports_fault(self):
+        _, result = run_fragment([ins.Udf(2)])
+        assert result.status is Status.FAULT_DETECTED
+        assert result.detect_code == 2
+
+    def test_mmio_exit(self):
+        _, result = run_fragment(
+            [
+                ins.Movw(R1, MMIO.EXIT & 0xFFFF),
+                ins.Movt(R1, MMIO.EXIT >> 16),
+                ins.MovImm(R0, 3),
+                ins.StrImm(R0, R1, 0),
+                ins.MovImm(R0, 99),  # never executes
+            ]
+        )
+        assert result.status is Status.EXIT
+        assert result.exit_code == 3
+
+    def test_mmio_console(self):
+        _, result = run_fragment(
+            [
+                ins.Movw(R1, MMIO.CONSOLE & 0xFFFF),
+                ins.Movt(R1, MMIO.CONSOLE >> 16),
+                ins.MovImm(R0, ord("h")),
+                ins.StrImm(R0, R1, 0),
+                ins.MovImm(R0, ord("i")),
+                ins.StrImm(R0, R1, 0),
+            ]
+        )
+        assert result.console == "hi"
+
+    def test_timeout(self):
+        func = AsmFunction("f", [AsmBlock("f", [ins.B("f")])])
+        image = assemble([func])
+        cpu = CPU(image)
+        cpu.call("f")
+        assert cpu.run(max_cycles=100).status is Status.TIMEOUT
+
+    def test_mem_error(self):
+        _, result = run_fragment(
+            [ins.Movw(R1, 0), ins.Movt(R1, 0x0100), ins.LdrImm(R0, R1, 0)]
+        )
+        assert result.status is Status.MEM_ERROR
+
+
+class TestCycleModel:
+    def test_udiv_cycles_data_dependent(self):
+        # Small quotient: near the 2-cycle floor; huge quotient: capped at 12.
+        _, fast = run_fragment([ins.Udiv(R0, R0, R1)], args=[5, 4])
+        _, slow = run_fragment([ins.Udiv(R0, R0, R1)], args=[0xFFFFFFFF, 1])
+        base_overhead = fast.cycles - 3  # minus the div's own cycles
+        assert slow.cycles - fast.cycles >= 8  # 12 vs <=4
+
+    def test_relational_compare_cycle_range(self):
+        # Table II: the 4-instruction relational sequence runs in 6-16 cycles.
+        seq = [
+            ins.Alu("sub", R0, R0, R1, s=True),
+            ins.Alu("add", R0, R0, R2, s=True),
+            ins.Udiv(R3, R0, R2),
+            ins.Mls(R0, R3, R2, R0),
+        ]
+        _, result = run_fragment(seq, args=[63877 * 5, 63877 * 2, 29982])
+        seq_cycles = result.cycles - 3  # subtract the BxLr
+        assert 6 <= seq_cycles <= 16
+
+    def test_instruction_count(self):
+        _, result = run_fragment([ins.MovImm(R0, 1), ins.Nop()])
+        assert result.instructions == 3  # mov, nop, bx
+
+
+class TestFaultHooks:
+    def test_instruction_skip_hook(self):
+        func = AsmFunction(
+            "f",
+            [AsmBlock("f", [ins.MovImm(R0, 1), ins.MovImm(R0, 2), ins.BxLr()])],
+        )
+        image = assemble([func])
+        cpu = CPU(image)
+        cpu.call("f")
+
+        def skip_second(c, instr):
+            return c.dyn_index == 2  # dyn_index incremented before hooks run
+
+        cpu.pre_hooks.append(skip_second)
+        result = cpu.run()
+        assert result.exit_code == 1  # second mov skipped
+
+    def test_register_corruption_hook(self):
+        func = AsmFunction("f", [AsmBlock("f", [ins.MovImm(R0, 5), ins.BxLr()])])
+        image = assemble([func])
+        cpu = CPU(image)
+        cpu.call("f")
+
+        def flip_bit(c, instr):
+            if isinstance(instr, ins.BxLr):
+                c.regs[R0] ^= 0x10
+            return False
+
+        cpu.pre_hooks.append(flip_bit)
+        assert cpu.run().exit_code == 5 ^ 0x10
+
+    def test_retire_hook_sees_cfi_events(self):
+        events = []
+        func = AsmFunction(
+            "f",
+            [
+                AsmBlock(
+                    "f",
+                    [
+                        ins.Movw(R1, MMIO.CFI_MERGE & 0xFFFF),
+                        ins.Movt(R1, MMIO.CFI_MERGE >> 16),
+                        ins.MovImm(R0, 77),
+                        ins.StrImm(R0, R1, 0),
+                        ins.BxLr(),
+                    ],
+                )
+            ],
+        )
+        image = assemble([func])
+        cpu = CPU(image)
+        cpu.call("f")
+        cpu.retire_hooks.append(lambda c, i, ev: events.extend(ev))
+        cpu.run()
+        assert len(events) == 1
+        assert events[0].value == 77

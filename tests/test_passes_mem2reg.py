@@ -1,0 +1,221 @@
+"""Tests for SSA construction (mem2reg), constant folding and DCE."""
+
+import pytest
+
+from repro.ir import (
+    Constant,
+    FunctionType,
+    I32,
+    IRBuilder,
+    Module,
+    verify_function,
+)
+from repro.ir.instructions import Alloca, Load, Phi, Store
+from repro.ir.interp import Interpreter
+from repro.passes import (
+    constant_fold,
+    dead_code_elimination,
+    promote_memory_to_registers,
+)
+
+
+def build_abs_diff():
+    """|a-b| via a local variable written on both sides of a diamond."""
+    module = Module("t")
+    func = module.add_function("absdiff", FunctionType(I32, (I32, I32)), ["a", "b"])
+    entry = func.add_block("entry")
+    then = func.add_block("then")
+    els = func.add_block("else")
+    join = func.add_block("join")
+    b = IRBuilder(entry)
+    a, bb = func.arguments
+    slot = b.alloca(4, "result")
+    cond = b.icmp("ugt", a, bb)
+    b.condbr(cond, then, els)
+    b.position_at_end(then)
+    b.store(b.sub(a, bb), slot)
+    b.br(join)
+    b.position_at_end(els)
+    b.store(b.sub(bb, a), slot)
+    b.br(join)
+    b.position_at_end(join)
+    b.ret(b.load(I32, slot))
+    return module, func
+
+
+def build_loop_counter():
+    """Counts down from n to 0 using a mutable local."""
+    module = Module("t")
+    func = module.add_function("count", FunctionType(I32, (I32,)), ["n"])
+    entry = func.add_block("entry")
+    header = func.add_block("header")
+    body = func.add_block("body")
+    exit_ = func.add_block("exit")
+    b = IRBuilder(entry)
+    i = b.alloca(4, "i")
+    total = b.alloca(4, "total")
+    b.store(func.arguments[0], i)
+    b.store(Constant(I32, 0), total)
+    b.br(header)
+    b.position_at_end(header)
+    iv = b.load(I32, i)
+    cond = b.icmp("ugt", iv, Constant(I32, 0))
+    b.condbr(cond, body, exit_)
+    b.position_at_end(body)
+    iv2 = b.load(I32, i)
+    b.store(b.sub(iv2, Constant(I32, 1)), i)
+    tv = b.load(I32, total)
+    b.store(b.add(tv, Constant(I32, 1)), total)
+    b.br(header)
+    b.position_at_end(exit_)
+    b.ret(b.load(I32, total))
+    return module, func
+
+
+class TestMem2Reg:
+    def test_diamond_promotion_inserts_phi(self):
+        module, func = build_abs_diff()
+        promoted = promote_memory_to_registers(module)
+        assert promoted == 1
+        verify_function(func)
+        join = func.blocks[-1]
+        assert isinstance(join.instructions[0], Phi)
+        assert not any(isinstance(i, (Alloca, Load, Store)) for i in func.instructions())
+
+    def test_diamond_semantics_preserved(self):
+        module, func = build_abs_diff()
+        before = [Interpreter(module).run("absdiff", [a, b]).value for a, b in
+                  [(5, 3), (3, 5), (7, 7)]]
+        promote_memory_to_registers(module)
+        after = [Interpreter(module).run("absdiff", [a, b]).value for a, b in
+                 [(5, 3), (3, 5), (7, 7)]]
+        assert before == after == [2, 2, 0]
+
+    def test_loop_promotion(self):
+        module, func = build_loop_counter()
+        promote_memory_to_registers(module)
+        verify_function(func)
+        assert Interpreter(module).run("count", [7]).value == 7
+        header = func.blocks[1]
+        assert any(isinstance(i, Phi) for i in header.instructions)
+
+    def test_non_promotable_alloca_kept(self):
+        # An alloca whose address escapes into arithmetic must stay.
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, ()))
+        entry = func.add_block("entry")
+        b = IRBuilder(entry)
+        slot = b.alloca(4, "s")
+        b.store(Constant(I32, 3), slot)
+        ptr = b.ptradd(slot, Constant(I32, 0))
+        b.ret(b.load(I32, ptr))
+        promote_memory_to_registers(module)
+        assert any(isinstance(i, Alloca) for i in func.instructions())
+        assert Interpreter(module).run("f", []).value == 3
+
+    def test_array_alloca_not_promoted(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, ()))
+        entry = func.add_block("entry")
+        b = IRBuilder(entry)
+        arr = b.alloca(16, "arr")
+        b.store(Constant(I32, 9), arr)
+        b.ret(b.load(I32, arr))
+        assert promote_memory_to_registers(module) == 0
+
+
+class TestConstFold:
+    def test_folds_arithmetic(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, ()))
+        b = IRBuilder(func.add_block("entry"))
+        x = b.add(Constant(I32, 2), Constant(I32, 3))
+        y = b.mul(x, Constant(I32, 4))
+        b.ret(y)
+        constant_fold(module)
+        from repro.ir.instructions import Ret
+
+        assert len(func.entry.instructions) == 1
+        ret = func.entry.instructions[0]
+        assert isinstance(ret, Ret)
+        assert isinstance(ret.value, Constant) and ret.value.value == 20
+
+    def test_identities(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, (I32,)), ["a"])
+        b = IRBuilder(func.add_block("entry"))
+        x = b.add(func.arguments[0], Constant(I32, 0))
+        y = b.mul(x, Constant(I32, 1))
+        b.ret(y)
+        constant_fold(module)
+        from repro.ir.instructions import Ret
+
+        ret = func.entry.instructions[-1]
+        assert isinstance(ret, Ret) and ret.value is func.arguments[0]
+
+    def test_division_by_zero_not_folded(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, ()))
+        b = IRBuilder(func.add_block("entry"))
+        b.ret(b.udiv(Constant(I32, 1), Constant(I32, 0)))
+        constant_fold(module)
+        assert len(func.entry.instructions) == 2  # udiv + ret survive
+
+    def test_branch_folding_removes_dead_arm(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, ()))
+        entry = func.add_block("entry")
+        live = func.add_block("live")
+        dead = func.add_block("dead")
+        b = IRBuilder(entry)
+        b.condbr(Constant(I32, 1).__class__(I32, 1) and Constant(I32, 1), live, dead)
+        b.position_at_end(live)
+        b.ret(Constant(I32, 1))
+        b.position_at_end(dead)
+        b.ret(Constant(I32, 0))
+        constant_fold(module)
+        assert len(func.blocks) == 2
+        assert Interpreter(module).run("f", []).value == 1
+
+    def test_icmp_folding(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, ()))
+        entry = func.add_block("entry")
+        t = func.add_block("t")
+        f_ = func.add_block("f")
+        b = IRBuilder(entry)
+        cond = b.icmp("ult", Constant(I32, 3), Constant(I32, 5))
+        b.condbr(cond, t, f_)
+        b.position_at_end(t)
+        b.ret(Constant(I32, 10))
+        b.position_at_end(f_)
+        b.ret(Constant(I32, 20))
+        constant_fold(module)
+        assert Interpreter(module).run("f", []).value == 10
+
+
+class TestDCE:
+    def test_removes_unused_chain(self):
+        module = Module("t")
+        func = module.add_function("f", FunctionType(I32, (I32,)), ["a"])
+        b = IRBuilder(func.add_block("entry"))
+        x = b.add(func.arguments[0], Constant(I32, 1))
+        y = b.mul(x, Constant(I32, 3))  # dead
+        z = b.xor(y, Constant(I32, 7))  # dead
+        b.ret(x)
+        removed = dead_code_elimination(module)
+        assert removed == 2
+        assert len(func.entry.instructions) == 2
+
+    def test_keeps_stores_and_calls(self):
+        module = Module("t")
+        callee = module.add_function("g", FunctionType(I32, ()))
+        b = IRBuilder(callee.add_block("entry"))
+        b.ret(Constant(I32, 0))
+        func = module.add_function("f", FunctionType(I32, ()))
+        b = IRBuilder(func.add_block("entry"))
+        slot = b.alloca(4)
+        b.store(Constant(I32, 1), slot)
+        b.call(callee, [])
+        b.ret(Constant(I32, 0))
+        assert dead_code_elimination(module) == 0
