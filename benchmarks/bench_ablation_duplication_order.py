@@ -8,22 +8,22 @@ growth and locates where the prototype's constant cost beats it.
 import pytest
 
 from repro.bench import format_table, measure, save_table
-from repro.minic import compile_source
 from repro.programs import load_source
+from repro.toolchain import CompileConfig
 
 ORDERS = (1, 2, 3, 4, 6, 8)
 
 
 @pytest.fixture(scope="module")
-def sweep():
+def sweep(workbench):
     source = load_source("integer_compare")
     rows = {}
     for order in ORDERS:
-        program = compile_source(
-            source, scheme="duplication", duplication_order=order, cfi_policy="edge"
+        program = workbench.compile(
+            source, CompileConfig.duplication(duplication_order=order)
         )
         rows[order] = measure(program, "integer_compare", [41, 41])
-    proto = compile_source(source, scheme="ancode", cfi_policy="edge")
+    proto = workbench.compile(source, CompileConfig.paper())
     rows["prototype"] = measure(proto, "integer_compare", [41, 41])
     return rows
 

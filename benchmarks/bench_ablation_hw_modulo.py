@@ -9,12 +9,12 @@ runtime of the protected micro-benchmarks.
 import pytest
 
 from repro.bench import format_table, measure, overhead_pct, save_table
-from repro.minic import compile_source
 from repro.programs import load_source
+from repro.toolchain import CompileConfig
 
 
 @pytest.fixture(scope="module")
-def variants():
+def variants(workbench):
     out = {}
     for name, fn, args, sizefns in (
         ("integer_compare", "integer_compare", [41, 41], None),
@@ -23,9 +23,7 @@ def variants():
         source = load_source(name)
         out[name] = {}
         for hw in (False, True):
-            program = compile_source(
-                source, scheme="ancode", hw_modulo=hw, cfi_policy="edge"
-            )
+            program = workbench.compile(source, CompileConfig.paper(hw_modulo=hw))
             out[name][hw] = measure(
                 program, fn, args, size_functions=sizefns
             )

@@ -17,30 +17,33 @@ from repro.faults.isa_campaign import (
     repeated_branch_flip,
     skip_sweep,
 )
-from repro.minic import compile_source
 from repro.programs import load_source
+from repro.toolchain import CampaignBuilder, CompileConfig, table3_schemes
 
-SCHEMES = ("none", "duplication", "ancode")
+SCHEMES = table3_schemes()
 ARGS = [7, 7]
 
 
 @pytest.fixture(scope="module")
-def programs():
+def programs(workbench):
     source = load_source("integer_compare")
-    return {scheme: compile_source(source, scheme=scheme) for scheme in SCHEMES}
+    return {
+        scheme: workbench.compile(source, CompileConfig(scheme=scheme))
+        for scheme in SCHEMES
+    }
 
 
 def run_campaign(programs):
     table = {}
     for scheme in SCHEMES:
-        program = programs[scheme]
-        table[scheme] = {
-            "single-flip": branch_flip_sweep(
-                program, "integer_compare", ARGS, max_branches=1
-            ),
-            "repeated-flip": repeated_branch_flip(program, "integer_compare", ARGS),
-            "skip-sweep": skip_sweep(program, "integer_compare", ARGS),
-        }
+        report = (
+            CampaignBuilder(programs[scheme], "integer_compare", ARGS)
+            .attack(branch_flip_sweep, name="single-flip", max_branches=1)
+            .attack(repeated_branch_flip, name="repeated-flip")
+            .attack(skip_sweep, name="skip-sweep")
+            .run()
+        )
+        table[scheme] = report.attacks
     return table
 
 

@@ -14,6 +14,7 @@ from repro.bench import format_table, save_table
 from repro.isa import instructions as ins
 from repro.isa.encoding import width
 from repro.minic import compile_source
+from repro.toolchain import CompileConfig
 
 RELATIONAL_SRC = "protect u32 f(u32 a, u32 b) { if (a < b) { return 1; } return 0; }"
 EQUALITY_SRC = "protect u32 f(u32 a, u32 b) { if (a == b) { return 1; } return 0; }"
@@ -32,7 +33,7 @@ def compare_sequence(source):
     (MOVW for A/C) sits outside the sequence, mirroring the paper's
     registers-hold-the-constants accounting.
     """
-    program = compile_source(source, scheme="ancode")
+    program = compile_source(source, config=CompileConfig(scheme="ancode"))
     mf = next(m for m in program.machine_functions if m.name == "f")
     sequence = []
     for instr in mf.instructions():

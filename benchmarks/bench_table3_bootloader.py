@@ -13,6 +13,7 @@ from repro.backend import compile_ir
 from repro.bench import format_table, measure, overhead_pct, save_table
 from repro.crypto import build_signed_image
 from repro.crypto.image import BOOT_OK, bootloader_params, prepare_bootloader_module
+from repro.toolchain import CompileConfig
 
 PAYLOAD = b"FIRMWARE-IMG-1.0" * 8  # 128-byte image
 
@@ -20,9 +21,10 @@ PAYLOAD = b"FIRMWARE-IMG-1.0" * 8  # 128-byte image
 def compile_bootloader(scheme):
     image = build_signed_image(PAYLOAD)
     module = prepare_bootloader_module(image)
-    return compile_ir(
-        module, scheme=scheme, params=bootloader_params(), cfi_policy="edge"
+    config = CompileConfig(
+        scheme=scheme, params=bootloader_params(), cfi_policy="edge"
     )
+    return compile_ir(module, config=config)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,53 @@
+"""Workbench compile-time bench: cold pipeline vs LRU cache.
+
+The fault-evaluation loop re-compiles the same programs under many
+configurations; this bench quantifies what the Workbench cache saves per
+Table III column (schemes enumerated from the registry) on the
+'integer compare' micro.
+"""
+
+import pytest
+
+from repro.bench import format_table, save_table, table3_configs, time_compile
+from repro.programs import load_source
+from repro.toolchain import Workbench
+
+
+@pytest.fixture(scope="module")
+def timings():
+    # A private Workbench: the shared session one may already hold these
+    # programs, which would invalidate the cold timings.
+    workbench = Workbench()
+    source = load_source("integer_compare")
+    return {
+        scheme: time_compile(workbench, source, config)
+        for scheme, config in table3_configs().items()
+    }
+
+
+def test_cache_eliminates_recompilation(benchmark, timings):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for scheme, timing in timings.items():
+        # A cache hit must be far cheaper than the real pipeline (in
+        # practice it is thousands of times cheaper; 5x keeps the bench
+        # robust on noisy CI machines).
+        assert timing.cached_seconds < timing.cold_seconds / 5, (
+            f"{scheme}: cached {timing.cached_seconds:.6f}s vs "
+            f"cold {timing.cold_seconds:.6f}s"
+        )
+
+    rows = [
+        [
+            scheme,
+            f"{timing.cold_seconds * 1e3:.2f}",
+            f"{timing.cached_seconds * 1e6:.1f}",
+            f"{timing.speedup:,.0f}x",
+        ]
+        for scheme, timing in timings.items()
+    ]
+    text = format_table(
+        "Workbench — compile time per Table III column, cold vs cached",
+        ["Scheme", "Cold / ms", "Cached / us", "Speedup"],
+        rows,
+    )
+    save_table("workbench_compile_cache", text)

@@ -1,31 +1,41 @@
-"""Shared fixtures for the experiment benches."""
+"""Shared fixtures for the experiment benches.
+
+The scheme columns are enumerated from the :mod:`repro.toolchain`
+registry: any scheme registered with ``table3=True`` shows up in every
+Table III-style bench (plain registrations stay out of the paper
+comparison, like the shipped ``duplication-hardened`` variant).  All
+compilation goes through one session-scoped :class:`Workbench`, so a
+program compiled for one bench is free for the next.
+"""
 
 import pytest
 
-from repro.minic import compile_source
+from repro.bench import table3_configs
 from repro.programs import load_source
-
-
-#: Table III uses the paper-style per-edge CFI justification policy (see
-#: repro.backend.cfi_instrumentation.POLICIES).
-TABLE3_CFI_POLICY = "edge"
+from repro.toolchain import Workbench
 
 
 @pytest.fixture(scope="session")
-def integer_compare_programs():
-    """The Table III 'integer compare' micro under all three schemes."""
+def workbench():
+    """The session's compile service: every bench shares its cache."""
+    return Workbench()
+
+
+@pytest.fixture(scope="session")
+def integer_compare_programs(workbench):
+    """The Table III 'integer compare' micro under every registry column."""
     source = load_source("integer_compare")
     return {
-        scheme: compile_source(source, scheme=scheme, cfi_policy=TABLE3_CFI_POLICY)
-        for scheme in ("none", "duplication", "ancode")
+        scheme: workbench.compile(source, config)
+        for scheme, config in table3_configs().items()
     }
 
 
 @pytest.fixture(scope="session")
-def memcmp_programs():
+def memcmp_programs(workbench):
     """The Table III 'memcmp' micro (128 equal elements) under all schemes."""
     source = load_source("memcmp")
     return {
-        scheme: compile_source(source, scheme=scheme, cfi_policy=TABLE3_CFI_POLICY)
-        for scheme in ("none", "duplication", "ancode")
+        scheme: workbench.compile(source, config)
+        for scheme, config in table3_configs().items()
     }

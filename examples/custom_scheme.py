@@ -1,0 +1,70 @@
+"""Plug a third-party protection scheme into the toolchain.
+
+The scenario space of branch protection is wide (SCRAMBLE-CFI and EC-CFI
+are essentially alternative schemes over the same compile/fault-evaluate
+loop).  This example registers a brand-new scheme — triple-order
+duplication with a post-cleanup — without touching any repro internals,
+then drives it through the Workbench and a fault campaign exactly like
+the builtin Table III columns.
+
+Run:  python examples/custom_scheme.py
+"""
+
+from repro.faults.isa_campaign import branch_flip_sweep, repeated_branch_flip
+from repro.passes.dce import dead_code_elimination
+from repro.passes.duplication import DuplicationPass
+from repro.passes.lower_select import lower_selects
+from repro.passes.lower_switch import lower_switches
+from repro.toolchain import CompileConfig, Workbench, list_schemes, register_scheme
+
+SOURCE = """
+protect u32 authorize(u32 token, u32 expected) {
+    if (token == expected) { return 1; }
+    return 0;
+}
+"""
+
+
+@register_scheme(
+    "duplication-x3",
+    label="Duplication 3x",
+    description="Example third-party scheme: triple-order comparison tree.",
+)
+def build_duplication_x3(pipeline, config):
+    pipeline.add("lower-select", lambda m: lower_selects(m))
+    pipeline.add("lower-switch", lambda m: lower_switches(m))
+    pipeline.add("duplication", DuplicationPass(3 * config.duplication_order))
+    pipeline.add("dce-post", dead_code_elimination)
+
+
+def main() -> None:
+    print(f"registered schemes: {', '.join(list_schemes())}")
+    assert "duplication-x3" in list_schemes()
+
+    workbench = Workbench()
+    config = CompileConfig(scheme="duplication-x3", cfi_policy="edge")
+    program = workbench.compile(SOURCE, config)
+    print(f"\ncompiled authorize under duplication-x3: "
+          f"{program.size_of('authorize')} bytes")
+    print(f"clean run: exit {program.run('authorize', [7, 7]).exit_code}")
+
+    report = (
+        workbench.campaign(program, "authorize", [1, 7])
+        .attack(branch_flip_sweep, max_branches=1)
+        .attack(repeated_branch_flip)
+        .run()
+    )
+    print(f"\nfault campaign against scheme {report.scheme!r}:")
+    for name, result in report.attacks.items():
+        outcomes = ", ".join(f"{k.value}:{v}" for k, v in sorted(
+            result.outcomes.items(), key=lambda e: e[0].value))
+        print(f"  {name:22s} trials={result.trials}  {outcomes}")
+    single = report.attacks["branch-flip"]
+    print("\na single flipped branch is trapped by the comparison tree;")
+    print("repeating the flip still defeats it — duplication scales the")
+    print("order, not the principle (the paper's Section II-C argument).")
+    assert single.undetected_wrong == 0
+
+
+if __name__ == "__main__":
+    main()

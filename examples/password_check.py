@@ -18,8 +18,7 @@ from repro.faults.models import (
     RegisterBitFlip,
     RepeatedBranchDirectionFlip,
 )
-from repro.minic import compile_source
-from repro.programs import load_source
+from repro.toolchain import CompileConfig, Workbench, get_scheme, list_schemes
 
 SOURCE = """
 u32 password[4] = {0xDEAD, 0xBEEF, 0xCAFE, 0xF00D};
@@ -49,13 +48,13 @@ def attack(program, model, name):
 
 
 def main() -> None:
-    for scheme, label in (
-        ("none", "CFI only"),
-        ("duplication", "6x duplication"),
-        ("ancode", "prototype (AN + CFI linking)"),
-    ):
-        program = compile_source(SOURCE, scheme=scheme)
+    # The scheme columns come from the registry — register a new scheme
+    # anywhere and it is attacked here too.
+    workbench = Workbench()
+    for scheme in list_schemes():
+        program = workbench.compile(SOURCE, CompileConfig(scheme=scheme))
         span = program.image.function_ranges["check_password"]
+        label = get_scheme(scheme).label
         print(f"\n{label}  ({program.size_of('check_password')} bytes)")
         attack(program, BranchDirectionFlip(1), "single branch flip")
         attack(program, RepeatedBranchDirectionFlip(span), "repeated branch flips")

@@ -2,7 +2,8 @@
 
 Walks the whole public API surface in one page:
 1. encoded comparisons on plain values,
-2. compiling MiniC through the protected pipeline,
+2. compiling MiniC through the protected pipeline with a typed
+   CompileConfig via the caching Workbench,
 3. running on the ARMv7-M-like simulator with the CFI monitor,
 4. injecting the classic branch-flip fault.
 
@@ -11,7 +12,7 @@ Run:  python examples/quickstart.py
 
 from repro import EncodedComparator, Predicate, ProtectionParams
 from repro.faults.models import BranchDirectionFlip
-from repro.minic import compile_source
+from repro.toolchain import CompileConfig, Workbench, list_schemes
 
 SOURCE = """
 protect u32 check_pin(u32 entered, u32 stored) {
@@ -36,8 +37,16 @@ def main() -> None:
     print(f"   symbol Hamming distance D = {params.security_level}")
 
     # --- 2. compile a protected PIN check ---------------------------------
-    program = compile_source(SOURCE, scheme="ancode")
-    print(f"\ncompiled check_pin: {program.size_of('check_pin')} bytes")
+    workbench = Workbench()
+    config = CompileConfig.paper()  # the Table III prototype column
+    program = workbench.compile(SOURCE, config)
+    print(f"\nregistered schemes: {', '.join(list_schemes())}")
+    print(f"compiled check_pin under {config.scheme!r}: "
+          f"{program.size_of('check_pin')} bytes")
+    # A repeated compile of the same (source, config) pair is free:
+    again = workbench.compile(SOURCE, config)
+    assert again is program
+    print(f"workbench cache: {workbench.hits} hit(s), {workbench.misses} miss(es)")
 
     # --- 3. clean runs ------------------------------------------------------
     ok = program.run("check_pin", [1234, 1234])

@@ -22,15 +22,19 @@ from repro.crypto.image import (
     prepare_bootloader_module,
 )
 from repro.faults.models import BranchDirectionFlip
+from repro.toolchain import CompileConfig
 
 FIRMWARE = b"FIRMWARE v2.1 " * 9  # 126 bytes of "code"
+
+#: The paper's prototype, with parameters sized for the bootloader's
+#: 20-bit signature words.  (No module_name: compile_ir consumes an
+#: already-built module, whose name prepare_bootloader_module set.)
+BOOT_CONFIG = CompileConfig.paper(params=bootloader_params())
 
 
 def compile_boot(image, tamper=None):
     module = prepare_bootloader_module(image, tamper=tamper)
-    return compile_ir(
-        module, scheme="ancode", params=bootloader_params(), cfi_policy="edge"
-    )
+    return compile_ir(module, config=BOOT_CONFIG)
 
 
 def main() -> None:

@@ -4,6 +4,14 @@ Fault Attacks" (Schilling, Werner, Mangard; DATE 2018).
 Public API highlights
 ---------------------
 
+* :class:`repro.toolchain.CompileConfig` — every pipeline knob as one
+  frozen, serialisable value object (presets: ``.paper()``,
+  ``.baseline()``, ``.duplication()``).
+* :func:`repro.toolchain.register_scheme` /
+  :func:`repro.toolchain.list_schemes` — the pluggable branch-protection
+  scheme registry behind every driver, bench, and campaign report.
+* :class:`repro.toolchain.Workbench` — cached batch compilation plus a
+  fluent fault-campaign builder.
 * :class:`repro.ancode.ANCode` — AN-code arithmetic encoding.
 * :class:`repro.core.ProtectionParams` / :class:`repro.core.EncodedComparator`
   — the paper's encoded comparison (Algorithms 1 and 2, Table I).
@@ -18,7 +26,17 @@ See README.md for a quickstart and DESIGN.md for the system inventory.
 from repro.ancode import ANCode, ANCodeError
 from repro.core import EncodedComparator, Predicate, ProtectionParams, SymbolTable
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Toolchain names re-exported lazily (the compiler stack is heavy; the
+#: arithmetic API above must stay importable without it).
+_TOOLCHAIN_EXPORTS = (
+    "CompileConfig",
+    "Workbench",
+    "register_scheme",
+    "get_scheme",
+    "list_schemes",
+)
 
 __all__ = [
     "ANCode",
@@ -28,15 +46,30 @@ __all__ = [
     "ProtectionParams",
     "SymbolTable",
     "__version__",
+    *_TOOLCHAIN_EXPORTS,
 ]
 
 
-def compile_minic(source, **kwargs):
+def __getattr__(name):
+    if name in _TOOLCHAIN_EXPORTS:
+        import repro.toolchain
+
+        return getattr(repro.toolchain, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def compile_minic(source, config=None, **kwargs):
     """Compile MiniC source text; see :func:`repro.minic.driver.compile_source`.
 
-    Imported lazily so the lightweight arithmetic API does not pull in the
-    whole compiler stack.
+    Prefer ``compile_minic(source, config=CompileConfig(...))``; bare
+    keyword arguments are the deprecated legacy style.  Imported lazily so
+    the lightweight arithmetic API does not pull in the whole compiler
+    stack.
     """
     from repro.minic.driver import compile_source
+    from repro.toolchain.config import coerce_config
 
-    return compile_source(source, **kwargs)
+    # Resolve the shim here so the DeprecationWarning points at *our*
+    # caller, not at this forwarding frame.
+    config = coerce_config(config, kwargs, "compile_minic")
+    return compile_source(source, config=config)

@@ -36,6 +36,7 @@ from repro.cfi.signatures import signature
 from repro.isa import instructions as ins
 from repro.isa.mmio import MMIO
 from repro.isa.registers import R9, R12
+from repro.toolchain.config import CFI_POLICIES
 
 MERGE_OFF = MMIO.CFI_MERGE - MMIO.BASE
 CHECK_OFF = MMIO.CFI_CHECK - MMIO.BASE
@@ -64,7 +65,9 @@ class CfiTables:
 #:   state", Section II-A).  This is the policy the Table III comparison
 #:   uses: it prices each conditional branch, which is exactly what makes
 #:   six-fold duplication expensive.
-POLICIES = ("merge", "edge")
+#: The tuple lives in :mod:`repro.toolchain.config` (``CFI_POLICIES``) so
+#: config validation stays independent of the back end.
+POLICIES = CFI_POLICIES
 
 
 def instrument_function(

@@ -27,6 +27,7 @@ from repro.isa.cycles import CycleModel
 from repro.cfi.monitor import CfiMonitor
 from repro.passes.lower_select import lower_selects
 from repro.passes.lower_switch import lower_switches
+from repro.toolchain.config import CompileConfig, coerce_config
 
 
 @dataclass
@@ -39,6 +40,12 @@ class CompiledProgram:
     scheme: str
     cfi: bool
     stats: dict = field(default_factory=dict)
+    #: The configuration this program was *requested* under (None only for
+    #: hand-assembled programs built outside compile_ir).  Recompiling
+    #: with it reproduces the program exactly; note a scheme may derive
+    #: its effective knobs from these (e.g. ``duplication-hardened``
+    #: builds its tree at twice ``duplication_order``).
+    config: Optional[CompileConfig] = None
 
     def size_of(self, function: str) -> int:
         return self.image.function_sizes[function]
@@ -92,24 +99,42 @@ class CompiledProgram:
 
 def compile_ir(
     module: Module,
-    scheme: str = "ancode",
+    scheme: Optional[str] = None,
     params: Optional[ProtectionParams] = None,
-    cfi: bool = True,
-    duplication_order: int = 6,
-    hw_modulo: bool = False,
-    operand_checks: bool = False,
-    cfi_policy: str = "merge",
+    cfi: Optional[bool] = None,
+    duplication_order: Optional[int] = None,
+    hw_modulo: Optional[bool] = None,
+    operand_checks: Optional[bool] = None,
+    cfi_policy: Optional[str] = None,
+    *,
+    config: Optional[CompileConfig] = None,
 ) -> CompiledProgram:
     """Full pipeline: middle-end protection + back end + assembly.
 
-    ``scheme`` selects the Table III column: ``none`` (CFI-only baseline),
-    ``duplication`` or ``ancode`` (the prototype).  ``operand_checks``
-    additionally merges operand residues into the CFI state (extension).
-    ``cfi_policy`` picks the state-justification strategy: ``merge``
-    (optimised; corrections only at joins) or ``edge`` (the paper's
-    per-transfer updates — used for the Table III comparison).
+    ``config`` (a :class:`~repro.toolchain.config.CompileConfig`) selects
+    the Table III column via its registered ``scheme`` (``none`` = CFI-only
+    baseline, ``duplication``, ``ancode`` = the prototype, plus anything
+    third parties registered), whether to ``operand_check`` (merge operand
+    residues into the CFI state — extension), and the ``cfi_policy``
+    state-justification strategy: ``merge`` (optimised; corrections only
+    at joins) or ``edge`` (the paper's per-transfer updates — used for the
+    Table III comparison).  The individual keyword arguments are a
+    deprecated shim producing byte-identical output.
     """
-    stats = protect_module(module, scheme, params, duplication_order, operand_checks)
+    config = coerce_config(
+        config,
+        {
+            "scheme": scheme,
+            "params": params,
+            "cfi": cfi,
+            "duplication_order": duplication_order,
+            "hw_modulo": hw_modulo,
+            "operand_checks": operand_checks,
+            "cfi_policy": cfi_policy,
+        },
+        "compile_ir",
+    )
+    stats = protect_module(module, config=config)
 
     # Back-end legalisation for *all* functions.
     lower_selects(module, only_protected=False)
@@ -119,7 +144,7 @@ def compile_ir(
             split_critical_edges(func)
     verify_module(module)
 
-    machine_functions = select_module(module, hw_modulo)
+    machine_functions = select_module(module, config.hw_modulo)
     for mf in machine_functions:
         hoist_constants(mf)
         allocate(mf)
@@ -131,10 +156,10 @@ def compile_ir(
         DataSegment(g.name, g.size, g.initializer)
         for g in module.globals.values()
     ]
-    if cfi:
+    if config.cfi:
         cfi_tables = CfiTables()
         for mf in machine_functions:
-            instrument_function(mf, cfi_tables, policy=cfi_policy)
+            instrument_function(mf, cfi_tables, policy=config.cfi_policy)
         for symbol, pool in cfi_tables.pools.items():
             data.append(
                 DataSegment(symbol, max(4, 4 * len(pool)), cfi_tables.pool_bytes(symbol))
@@ -155,7 +180,8 @@ def compile_ir(
         image=image,
         machine_functions=machine_functions,
         cfi_tables=cfi_tables,
-        scheme=scheme,
-        cfi=cfi,
+        scheme=config.scheme,
+        cfi=config.cfi,
         stats=stats,
+        config=config,
     )

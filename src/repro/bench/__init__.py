@@ -1,6 +1,24 @@
 """Benchmark harness utilities (S12): measurement + paper-style tables."""
 
-from repro.bench.harness import Measurement, measure, overhead_pct
+from repro.bench.harness import (
+    TABLE3_CFI_POLICY,
+    CompileTiming,
+    Measurement,
+    measure,
+    overhead_pct,
+    table3_configs,
+    time_compile,
+)
 from repro.bench.tables import format_table, save_table
 
-__all__ = ["Measurement", "format_table", "measure", "overhead_pct", "save_table"]
+__all__ = [
+    "TABLE3_CFI_POLICY",
+    "CompileTiming",
+    "Measurement",
+    "format_table",
+    "measure",
+    "overhead_pct",
+    "save_table",
+    "table3_configs",
+    "time_compile",
+]

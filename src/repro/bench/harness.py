@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.backend.driver import CompiledProgram
 from repro.isa.cpu import Status
+from repro.toolchain.config import CompileConfig
+from repro.toolchain.registry import table3_schemes
+
+#: Table III uses the paper-style per-edge CFI justification policy.
+TABLE3_CFI_POLICY = "edge"
+
+
+def table3_configs(**overrides) -> dict[str, CompileConfig]:
+    """One CompileConfig per Table III column, derived from the registry."""
+    overrides.setdefault("cfi_policy", TABLE3_CFI_POLICY)
+    return {
+        scheme: CompileConfig(scheme=scheme, **overrides)
+        for scheme in table3_schemes()
+    }
 
 
 class MeasurementError(RuntimeError):
@@ -57,3 +72,44 @@ def overhead_pct(value: float, baseline: float) -> float:
     if baseline == 0:
         return float("inf")
     return 100.0 * (value - baseline) / baseline
+
+
+@dataclass(frozen=True)
+class CompileTiming:
+    """Wall-clock cost of one (source, config) compilation, cold vs cached."""
+
+    scheme: str
+    cold_seconds: float
+    cached_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.cached_seconds == 0:
+            return float("inf")
+        return self.cold_seconds / self.cached_seconds
+
+
+def time_compile(workbench, source: str, config, cached_rounds: int = 5) -> CompileTiming:
+    """Measure compile time without and with the Workbench cache.
+
+    The first ``workbench.compile`` for a fresh (source, config) pair does
+    the real compilation; the pair must not already be cached (the miss
+    counter guards against silently timing two hits).  The cached figure
+    is the best of ``cached_rounds`` lookups, insulating it from scheduler
+    noise.
+    """
+    misses_before = workbench.misses
+    start = time.perf_counter()
+    workbench.compile(source, config)
+    cold = time.perf_counter() - start
+    if workbench.misses != misses_before + 1:
+        raise MeasurementError(
+            f"{config.scheme}: (source, config) pair was already cached; "
+            "cold timing would be meaningless"
+        )
+    cached = float("inf")
+    for _ in range(max(1, cached_rounds)):
+        start = time.perf_counter()
+        workbench.compile(source, config)
+        cached = min(cached, time.perf_counter() - start)
+    return CompileTiming(config.scheme, cold, cached)

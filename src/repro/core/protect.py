@@ -1,30 +1,50 @@
 """One-call protection facade.
 
-``protect_module(module)`` runs the paper's middle-end pipeline over a
-module in place; the back end (:mod:`repro.backend.driver`) then completes
-compilation including CFI instrumentation.
+``protect_module(module, config=CompileConfig(...))`` runs the configured
+middle-end pipeline over a module in place; the back end
+(:mod:`repro.backend.driver`) then completes compilation including CFI
+instrumentation.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.params import ProtectionParams
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
-from repro.passes.pipeline import standard_pipeline
+from repro.toolchain.config import CompileConfig, coerce_config
 
 
 def protect_module(
     module: Module,
-    scheme: str = "ancode",
-    params: ProtectionParams | None = None,
-    duplication_order: int = 6,
-    operand_checks: bool = False,
+    scheme: Optional[str] = None,
+    params: Optional[ProtectionParams] = None,
+    duplication_order: Optional[int] = None,
+    operand_checks: Optional[bool] = None,
+    *,
+    config: Optional[CompileConfig] = None,
 ) -> dict[str, object]:
     """Apply branch protection to every ``protect_branches`` function.
 
-    Returns the per-pass statistics (e.g. how many branches were protected).
+    The scheme comes from ``config`` (looked up in the
+    :mod:`repro.toolchain.registry`); the individual keyword arguments are
+    a deprecated shim.  Returns the per-pass statistics (e.g. how many
+    branches were protected).
     """
-    pipeline = standard_pipeline(scheme, params, duplication_order, operand_checks)
+    from repro.toolchain.registry import build_pipeline
+
+    config = coerce_config(
+        config,
+        {
+            "scheme": scheme,
+            "params": params,
+            "duplication_order": duplication_order,
+            "operand_checks": operand_checks,
+        },
+        "protect_module",
+    )
+    pipeline = build_pipeline(config)
     stats = pipeline.run(module)
     verify_module(module)
     return stats

@@ -10,6 +10,7 @@ from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.minic.lower import lower_program
 from repro.minic.parser import parse
+from repro.toolchain.config import CompileConfig, coerce_config
 
 
 def parse_to_ir(source: str, module_name: str = "minic") -> Module:
@@ -21,24 +22,36 @@ def parse_to_ir(source: str, module_name: str = "minic") -> Module:
 
 def compile_source(
     source: str,
-    scheme: str = "ancode",
+    scheme: Optional[str] = None,
     params: Optional[ProtectionParams] = None,
-    cfi: bool = True,
-    duplication_order: int = 6,
-    hw_modulo: bool = False,
-    operand_checks: bool = False,
-    cfi_policy: str = "merge",
-    module_name: str = "minic",
+    cfi: Optional[bool] = None,
+    duplication_order: Optional[int] = None,
+    hw_modulo: Optional[bool] = None,
+    operand_checks: Optional[bool] = None,
+    cfi_policy: Optional[str] = None,
+    module_name: Optional[str] = None,
+    *,
+    config: Optional[CompileConfig] = None,
 ) -> CompiledProgram:
-    """Compile MiniC source through the full Figure 3 pipeline."""
-    module = parse_to_ir(source, module_name)
-    return compile_ir(
-        module,
-        scheme=scheme,
-        params=params,
-        cfi=cfi,
-        duplication_order=duplication_order,
-        hw_modulo=hw_modulo,
-        operand_checks=operand_checks,
-        cfi_policy=cfi_policy,
+    """Compile MiniC source through the full Figure 3 pipeline.
+
+    The configuration is one :class:`~repro.toolchain.config.CompileConfig`;
+    the individual keyword arguments are a deprecated shim kept for older
+    callers and produce byte-identical output.
+    """
+    config = coerce_config(
+        config,
+        {
+            "scheme": scheme,
+            "params": params,
+            "cfi": cfi,
+            "duplication_order": duplication_order,
+            "hw_modulo": hw_modulo,
+            "operand_checks": operand_checks,
+            "cfi_policy": cfi_policy,
+            "module_name": module_name,
+        },
+        "compile_source",
     )
+    module = parse_to_ir(source, config.module_name)
+    return compile_ir(module, config=config)

@@ -5,19 +5,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.an_coder import ANCoderPass
 from repro.core.params import ProtectionParams
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.passes.constfold import constant_fold
 from repro.passes.dce import dead_code_elimination
-from repro.passes.duplication import DEFAULT_ORDER, DuplicationPass
-from repro.passes.loop_decoupler import decouple_loops
-from repro.passes.lower_select import lower_selects
-from repro.passes.lower_switch import lower_switches
+from repro.passes.duplication import DEFAULT_ORDER
 from repro.passes.mem2reg import promote_memory_to_registers
 
-#: Branch-protection schemes available to the driver (Table III columns).
+#: The paper's built-in Table III columns.  Deprecated as an enumeration
+#: source: the authoritative, extensible set lives in
+#: :mod:`repro.toolchain.registry` (``list_schemes()`` /
+#: ``table3_schemes()``); this tuple remains only for older callers.
 SCHEMES = ("none", "duplication", "ancode")
 
 
@@ -57,24 +56,23 @@ def standard_pipeline(
 ) -> PassPipeline:
     """Figure 3's middle end for the chosen protection scheme.
 
+    Thin wrapper over the scheme registry: the builtin columns are
+
     ``none``         -> plain optimized IR (the CFI-only Table III column),
     ``duplication``  -> the 6x comparison-tree baseline,
-    ``ancode``       -> Loop Decoupler + Lower Select/Switch + AN Coder.
+    ``ancode``       -> Loop Decoupler + Lower Select/Switch + AN Coder,
+
+    and anything registered via
+    :func:`repro.toolchain.register_scheme` works the same way.
     """
-    if scheme not in SCHEMES:
-        raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
-    pipeline = PassPipeline()
-    pipeline.add("mem2reg", promote_memory_to_registers)
-    pipeline.add("constfold", constant_fold)
-    pipeline.add("dce", dead_code_elimination)
-    if scheme == "ancode":
-        pipeline.add("loop-decoupler", lambda m: decouple_loops(m))
-        pipeline.add("lower-select", lambda m: lower_selects(m))
-        pipeline.add("lower-switch", lambda m: lower_switches(m))
-        pipeline.add("an-coder", ANCoderPass(params, operand_checks=operand_checks))
-        pipeline.add("dce-post", dead_code_elimination)
-    elif scheme == "duplication":
-        pipeline.add("lower-select", lambda m: lower_selects(m))
-        pipeline.add("lower-switch", lambda m: lower_switches(m))
-        pipeline.add("duplication", DuplicationPass(duplication_order))
-    return pipeline
+    from repro.toolchain.config import CompileConfig
+    from repro.toolchain.registry import build_pipeline
+
+    return build_pipeline(
+        CompileConfig(
+            scheme=scheme,
+            params=params,
+            duplication_order=duplication_order,
+            operand_checks=operand_checks,
+        )
+    )

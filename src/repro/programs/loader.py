@@ -11,7 +11,9 @@ def program_path(name: str) -> Path:
     path = _HERE / f"{name}.mc"
     if not path.exists():
         available = sorted(p.stem for p in _HERE.glob("*.mc"))
-        raise FileNotFoundError(f"no program {name!r}; available: {available}")
+        raise FileNotFoundError(
+            f"no program {name!r} in {_HERE}; available: {available}"
+        )
     return path
 
 

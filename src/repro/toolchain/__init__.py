@@ -1,0 +1,53 @@
+"""Typed compilation toolchain: configs, scheme registry, batch workbench.
+
+The public face of the Figure 3 pipeline:
+
+* :class:`CompileConfig` — every compilation knob as one frozen,
+  serialisable, hashable value object (with the Table III presets).
+* :func:`register_scheme` / :func:`get_scheme` / :func:`list_schemes` —
+  the pluggable branch-protection scheme registry; third parties add
+  schemes without touching :mod:`repro.passes.pipeline`.
+* :class:`Workbench` — cached batch compilation plus a fluent
+  fault-campaign builder over :mod:`repro.faults.isa_campaign`.
+
+Submodules are imported lazily (PEP 562) so that importing
+``repro.toolchain`` itself stays trivial and the compile drivers can
+import ``repro.toolchain.config`` without a cycle through
+:mod:`~repro.toolchain.workbench`.  (Constructing a
+:class:`CompileConfig` does load the registry and the middle-end pass
+modules — scheme validation needs them — but not the back end or the
+simulator.)
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "CompileConfig": "repro.toolchain.config",
+    "SchemeSpec": "repro.toolchain.registry",
+    "DuplicateSchemeError": "repro.toolchain.registry",
+    "UnknownSchemeError": "repro.toolchain.registry",
+    "register_scheme": "repro.toolchain.registry",
+    "unregister_scheme": "repro.toolchain.registry",
+    "get_scheme": "repro.toolchain.registry",
+    "list_schemes": "repro.toolchain.registry",
+    "scheme_specs": "repro.toolchain.registry",
+    "table3_schemes": "repro.toolchain.registry",
+    "build_pipeline": "repro.toolchain.registry",
+    "Workbench": "repro.toolchain.workbench",
+    "CampaignBuilder": "repro.toolchain.workbench",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

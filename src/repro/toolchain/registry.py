@@ -1,0 +1,199 @@
+"""Pluggable branch-protection scheme registry.
+
+Replaces the hard-coded ``SCHEMES`` tuple in :mod:`repro.passes.pipeline`:
+a scheme is a named builder that contributes its middle-end passes to a
+:class:`~repro.passes.pipeline.PassPipeline`::
+
+    from repro.toolchain import register_scheme
+
+    @register_scheme("my-scheme", label="Mine")
+    def build_my_scheme(pipeline, config):
+        pipeline.add("my-pass", MyPass(config.resolved_params()))
+
+Everything that enumerates schemes (drivers, benches, campaign reports)
+derives its column set from this registry, so a scheme registered by a
+third party shows up everywhere for free.  The builtin schemes live in
+:mod:`repro.toolchain.schemes` (paper columns) and
+:mod:`repro.toolchain.variants` (extensions) and are loaded on first use.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.pipeline import PassPipeline
+    from repro.toolchain.config import CompileConfig
+
+SchemeBuilder = Callable[["PassPipeline", "CompileConfig"], None]
+
+
+class UnknownSchemeError(ValueError):
+    """Lookup of a scheme name nobody registered."""
+
+
+class DuplicateSchemeError(ValueError):
+    """Registration under a name that is already taken."""
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A registered branch-protection scheme."""
+
+    name: str
+    builder: SchemeBuilder
+    #: Human-readable column label (Table III style).
+    label: str
+    description: str = ""
+    #: Whether the scheme belongs in the paper's Table III column set
+    #: (benches comparing against the paper enumerate only these).
+    table3: bool = False
+    #: Monotonic registration revision; bumps when a name is re-registered
+    #: (replace=True), so caches keyed on it never serve a program built
+    #: by a superseded builder.
+    revision: int = 0
+
+    def build(self, pipeline: "PassPipeline", config: "CompileConfig") -> None:
+        self.builder(pipeline, config)
+
+
+_lock = threading.Lock()
+_registry: dict[str, SchemeSpec] = {}
+_revision_counter = 0
+_builtins_loaded = False
+#: Same-thread re-entrancy cut-off for builtin loading.  Deliberately NOT
+#: a lock: holding one across the imports below would invert with
+#: Python's per-module import locks (another thread importing
+#: repro.toolchain.variants directly re-enters here from its module body)
+#: and deadlock.  Cross-thread exclusion comes from the import system
+#: itself, which serializes each module's execution.
+_loading = threading.local()
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    if getattr(_loading, "active", False):
+        return  # re-entered from a builtin module body on this thread
+    _loading.active = True
+    try:
+        # Import for side effect: module bodies call register_scheme().
+        # The flag flips only once both modules finished executing, so a
+        # caller never takes the fast path while the registry is
+        # half-empty, and a failed import re-raises on the next lookup
+        # instead of being swallowed.  When the first registry touch *is*
+        # a direct `import repro.toolchain.schemes` (the decorator
+        # re-enters here mid-module), the partially initialized module
+        # reports _initializing and the flag stays False until a later
+        # touch sees it complete.
+        import repro.toolchain.schemes  # noqa: F401
+        import repro.toolchain.variants  # noqa: F401
+
+        _builtins_loaded = all(
+            not getattr(sys.modules[name].__spec__, "_initializing", False)
+            for name in ("repro.toolchain.schemes", "repro.toolchain.variants")
+        )
+    finally:
+        _loading.active = False
+
+
+def register_scheme(
+    name: str,
+    *,
+    label: Optional[str] = None,
+    description: str = "",
+    table3: bool = False,
+    replace: bool = False,
+) -> Callable[[SchemeBuilder], SchemeBuilder]:
+    """Decorator registering ``builder`` as scheme ``name``.
+
+    ``replace=True`` allows overriding an existing registration (useful in
+    tests and for experiment-local tweaks); otherwise a duplicate name
+    raises :class:`DuplicateSchemeError`.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"scheme name must be a non-empty string, got {name!r}")
+    # Load the builtins before any user registration: otherwise replacing
+    # a builtin name would collide with (or be clobbered by) the builtin's
+    # own later registration.  No-op while the builtin modules themselves
+    # are being imported.
+    _ensure_builtins()
+
+    def decorator(builder: SchemeBuilder) -> SchemeBuilder:
+        global _revision_counter
+        with _lock:
+            if not replace and name in _registry:
+                raise DuplicateSchemeError(
+                    f"scheme {name!r} is already registered; "
+                    f"pass replace=True to override"
+                )
+            _revision_counter += 1
+            _registry[name] = SchemeSpec(
+                name=name,
+                builder=builder,
+                label=label or name,
+                description=description or (builder.__doc__ or "").strip(),
+                table3=table3,
+                revision=_revision_counter,
+            )
+        return builder
+
+    return decorator
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a registration (primarily for test cleanup)."""
+    _ensure_builtins()
+    with _lock:
+        if name not in _registry:
+            raise UnknownSchemeError(f"scheme {name!r} is not registered")
+        del _registry[name]
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    """The :class:`SchemeSpec` for ``name``; raises :class:`UnknownSchemeError`."""
+    _ensure_builtins()
+    spec = _registry.get(name)
+    if spec is None:
+        raise UnknownSchemeError(
+            f"unknown scheme {name!r}; registered schemes: {list_schemes()}"
+        )
+    return spec
+
+
+def list_schemes() -> tuple[str, ...]:
+    """All registered scheme names, in registration order."""
+    _ensure_builtins()
+    return tuple(_registry)
+
+
+def scheme_specs() -> tuple[SchemeSpec, ...]:
+    """All registered specs, in registration order."""
+    _ensure_builtins()
+    return tuple(_registry.values())
+
+
+def table3_schemes() -> tuple[str, ...]:
+    """The paper's Table III column set, derived from the registry."""
+    return tuple(spec.name for spec in scheme_specs() if spec.table3)
+
+
+def build_pipeline(config: "CompileConfig") -> "PassPipeline":
+    """Figure 3's middle end for ``config``: the shared IR-optimizer stage
+    followed by whatever the scheme's builder contributes."""
+    from repro.passes.constfold import constant_fold
+    from repro.passes.dce import dead_code_elimination
+    from repro.passes.mem2reg import promote_memory_to_registers
+    from repro.passes.pipeline import PassPipeline
+
+    spec = get_scheme(config.scheme)
+    pipeline = PassPipeline()
+    pipeline.add("mem2reg", promote_memory_to_registers)
+    pipeline.add("constfold", constant_fold)
+    pipeline.add("dce", dead_code_elimination)
+    spec.build(pipeline, config)
+    return pipeline

@@ -1,0 +1,59 @@
+"""Builtin branch-protection schemes (the paper's Table III columns).
+
+Each scheme contributes its middle-end passes to the pipeline that
+:func:`repro.toolchain.registry.build_pipeline` assembles; the shared IR
+optimizer stage (mem2reg / constfold / DCE) is added by the registry
+before the builder runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.an_coder import ANCoderPass
+from repro.passes.dce import dead_code_elimination
+from repro.passes.duplication import DuplicationPass
+from repro.passes.loop_decoupler import decouple_loops
+from repro.passes.lower_select import lower_selects
+from repro.passes.lower_switch import lower_switches
+from repro.toolchain.registry import register_scheme
+
+
+@register_scheme(
+    "none",
+    label="CFI",
+    description="CFI-only baseline: plain optimized IR, no branch protection.",
+    table3=True,
+)
+def build_none(pipeline, config) -> None:
+    """The CFI-only Table III column — the middle end adds nothing."""
+
+
+@register_scheme(
+    "duplication",
+    label="Duplication",
+    description="State-of-the-art comparison-tree duplication (Section II-C).",
+    table3=True,
+)
+def build_duplication(pipeline, config) -> None:
+    pipeline.add("lower-select", lambda m: lower_selects(m))
+    pipeline.add("lower-switch", lambda m: lower_switches(m))
+    pipeline.add("duplication", DuplicationPass(config.duplication_order))
+
+
+@register_scheme(
+    "ancode",
+    label="Prototype",
+    description=(
+        "The paper's prototype: Loop Decoupler + Lower Select/Switch + "
+        "AN Coder with CFI linking (Figure 3)."
+    ),
+    table3=True,
+)
+def build_ancode(pipeline, config) -> None:
+    pipeline.add("loop-decoupler", lambda m: decouple_loops(m))
+    pipeline.add("lower-select", lambda m: lower_selects(m))
+    pipeline.add("lower-switch", lambda m: lower_switches(m))
+    pipeline.add(
+        "an-coder",
+        ANCoderPass(config.params, operand_checks=config.operand_checks),
+    )
+    pipeline.add("dce-post", dead_code_elimination)

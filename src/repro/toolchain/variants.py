@@ -1,0 +1,48 @@
+"""Extension schemes registered *outside* :mod:`repro.passes.pipeline`.
+
+These prove (and exercise) third-party extensibility: they plug new Table
+III-style columns into every driver, bench, and campaign report purely via
+:func:`repro.toolchain.registry.register_scheme`.  Related work explores
+exactly this axis — SCRAMBLE-CFI and EC-CFI are alternative protection
+schemes over the same compile/fault-evaluate loop.
+"""
+
+from __future__ import annotations
+
+from repro.toolchain.registry import register_scheme
+
+# Module object, not names: when the registry's builtin loading is entered
+# from a direct `import repro.toolchain.schemes`, that module is only
+# partially initialized while this one executes.  Its builders are
+# resolved at build time, when it is guaranteed complete.
+import repro.toolchain.schemes as _schemes
+
+
+@register_scheme(
+    "duplication-hardened",
+    label="Duplication 2x",
+    description=(
+        "Hardened duplication baseline: the comparison tree at double the "
+        "configured order, trading further size/runtime for a deeper "
+        "single-fault margin (still defeated by repeated flips)."
+    ),
+)
+def build_duplication_hardened(pipeline, config) -> None:
+    # Delegate to the builtin column so the variants never diverge from
+    # the pipeline they claim to extend.
+    _schemes.build_duplication(
+        pipeline, config.replace(duplication_order=2 * config.duplication_order)
+    )
+
+
+@register_scheme(
+    "ancode-operand-checks",
+    label="Prototype+OC",
+    description=(
+        "The prototype with comparison-operand residues merged into the "
+        "CFI state regardless of config.operand_checks — closes the "
+        "operand-fault window of Algorithm 2 (extension beyond the paper)."
+    ),
+)
+def build_ancode_operand_checks(pipeline, config) -> None:
+    _schemes.build_ancode(pipeline, config.replace(operand_checks=True))

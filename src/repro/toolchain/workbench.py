@@ -1,0 +1,211 @@
+"""Batch-compile service with caching and a fluent campaign builder.
+
+The fault-evaluation loop compiles the same few programs under many
+configurations (schemes x policies x parameter sweeps) over and over; the
+``Workbench`` makes the repeats free:
+
+* an LRU cache keyed on ``(sha256(source), config.cache_key())``,
+* ``compile_many()`` over (source, config) pairs, deduplicating identical
+  jobs and optionally fanning the distinct ones out to a thread pool,
+* ``campaign()`` — a fluent builder chaining the stock attack suites of
+  :mod:`repro.faults.isa_campaign` against one compiled program::
+
+      report = (
+          workbench.campaign(source, "integer_compare", [7, 7])
+          .attack(skip_sweep)
+          .attack(branch_flip_sweep, max_branches=8)
+          .run()
+      )
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.backend.driver import CompiledProgram
+from repro.faults.isa_campaign import AttackResult, CampaignReport
+from repro.minic.driver import compile_source
+from repro.toolchain.config import CompileConfig
+
+#: An attack suite: ``fn(program, function, args, **kwargs) -> AttackResult``
+#: (the free functions in :mod:`repro.faults.isa_campaign` all qualify).
+AttackFn = Callable[..., AttackResult]
+
+#: (source hash, config hash, scheme registration revision).
+CacheKey = tuple[str, str, int]
+
+
+def source_hash(source: str) -> str:
+    """Stable hex hash of a MiniC source text."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+class Workbench:
+    """Compile MiniC programs through the Figure 3 pipeline, memoized."""
+
+    def __init__(self, cache_size: int = 128, max_workers: Optional[int] = None):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.cache_size = cache_size
+        self.max_workers = max_workers
+        self._cache: OrderedDict[CacheKey, CompiledProgram] = OrderedDict()
+        self._lock = threading.Lock()
+        #: Cache hits / real compilations performed, for tests and benches.
+        self.hits = 0
+        self.misses = 0
+
+    # -- cache plumbing ---------------------------------------------------
+    def cache_key(self, source: str, config: CompileConfig) -> CacheKey:
+        # The scheme's registration revision invalidates entries whose
+        # builder was since replaced via register_scheme(replace=True).
+        from repro.toolchain.registry import get_scheme
+
+        return (
+            source_hash(source),
+            config.cache_key(),
+            get_scheme(config.scheme).revision,
+        )
+
+    def _lookup(self, key: CacheKey) -> Optional[CompiledProgram]:
+        with self._lock:
+            program = self._cache.get(key)
+            if program is not None:
+                self._cache.move_to_end(key)
+                self.hits += 1
+            return program
+
+    def _insert(self, key: CacheKey, program: CompiledProgram) -> None:
+        with self._lock:
+            self.misses += 1
+            self._cache[key] = program
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    @property
+    def cached_programs(self) -> int:
+        return len(self._cache)
+
+    # -- compilation ------------------------------------------------------
+    def compile(
+        self, source: str, config: Optional[CompileConfig] = None
+    ) -> CompiledProgram:
+        """Compile ``source`` under ``config`` (default ``CompileConfig()``),
+        returning the cached program for a repeated (source, config) pair."""
+        config = config if config is not None else CompileConfig()
+        key = self.cache_key(source, config)
+        program = self._lookup(key)
+        if program is None:
+            program = compile_source(source, config=config)
+            self._insert(key, program)
+        return program
+
+    def compile_many(
+        self,
+        jobs: Iterable[tuple[str, Optional[CompileConfig]]],
+        parallel: bool = False,
+    ) -> list[CompiledProgram]:
+        """Compile every (source, config) pair, in order.
+
+        Identical pairs — and pairs already cached — are compiled exactly
+        once.  With ``parallel=True`` the distinct cache misses are built
+        on a thread pool (``max_workers`` from the constructor).
+        """
+        jobs = [
+            (source, config if config is not None else CompileConfig())
+            for source, config in jobs
+        ]
+        keyed = [(self.cache_key(source, config), source, config) for source, config in jobs]
+        # Deduplicate while preserving first-seen order: repeats of a key
+        # within the batch are cache hits (the caller asked N times and
+        # pays for one compilation).
+        pending: OrderedDict[CacheKey, tuple[str, CompileConfig]] = OrderedDict()
+        results: dict[CacheKey, CompiledProgram] = {}
+        for key, source, config in keyed:
+            if key in results or key in pending:
+                with self._lock:
+                    self.hits += 1
+                continue
+            program = self._lookup(key)  # counts the hit itself
+            if program is not None:
+                results[key] = program
+            else:
+                pending[key] = (source, config)
+
+        def build(
+            item: tuple[CacheKey, tuple[str, CompileConfig]]
+        ) -> tuple[CacheKey, CompiledProgram]:
+            key, (source, config) = item
+            program = compile_source(source, config=config)
+            self._insert(key, program)  # counts the miss
+            return key, program
+
+        if parallel and len(pending) > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                results.update(pool.map(build, pending.items()))
+        else:
+            results.update(build(item) for item in pending.items())
+        return [results[key] for key, _, _ in keyed]
+
+    # -- campaigns --------------------------------------------------------
+    def campaign(
+        self,
+        program: Union[str, CompiledProgram],
+        function: str,
+        args: Optional[Sequence[int]] = None,
+        config: Optional[CompileConfig] = None,
+    ) -> "CampaignBuilder":
+        """Start a fluent fault campaign against ``program``.
+
+        ``program`` is either an already-compiled :class:`CompiledProgram`
+        or MiniC source text, compiled (cached) under ``config``.
+        """
+        if isinstance(program, str):
+            program = self.compile(program, config)
+        return CampaignBuilder(program, function, list(args or []))
+
+
+class CampaignBuilder:
+    """Chains attack suites against one compiled program, then runs them."""
+
+    def __init__(self, program: CompiledProgram, function: str, args: list[int]):
+        self.program = program
+        self.function = function
+        self.args = args
+        self._attacks: list[tuple[Optional[str], AttackFn, dict[str, Any]]] = []
+
+    def attack(
+        self, attack_fn: AttackFn, *, name: Optional[str] = None, **kwargs: Any
+    ) -> "CampaignBuilder":
+        """Queue ``attack_fn(program, function, args, **kwargs)``; returns
+        self for chaining.  ``name`` overrides the result's attack label."""
+        self._attacks.append((name, attack_fn, kwargs))
+        return self
+
+    def run(self) -> CampaignReport:
+        """Execute every queued attack and collect a :class:`CampaignReport`."""
+        if not self._attacks:
+            raise ValueError("campaign has no attacks; chain .attack(...) first")
+        report = CampaignReport(scheme=self.program.scheme)
+        for name, attack_fn, kwargs in self._attacks:
+            result = attack_fn(self.program, self.function, self.args, **kwargs)
+            label = name or result.attack
+            if label != result.attack:
+                result = AttackResult(
+                    label, dict(result.outcomes), result.trials, list(result.wrong_codes)
+                )
+            if label in report.attacks:
+                raise ValueError(
+                    f"duplicate attack label {label!r}; disambiguate with "
+                    f".attack(fn, name=...)"
+                )
+            report.attacks[label] = result
+        return report

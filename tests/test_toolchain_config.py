@@ -1,0 +1,136 @@
+"""CompileConfig: validation, serialization round-trips, cache keys, presets."""
+
+import pytest
+
+from repro.ancode.codes import ANCode
+from repro.core.params import ProtectionParams
+from repro.toolchain import CompileConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = CompileConfig()
+        assert config.scheme == "ancode"
+        assert config.cfi and config.cfi_policy == "merge"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            CompileConfig(scheme="tmr")
+
+    def test_empty_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            CompileConfig(scheme="")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="cfi_policy"):
+            CompileConfig(cfi_policy="bogus")
+
+    def test_bad_duplication_order_rejected(self):
+        with pytest.raises(ValueError, match="duplication_order"):
+            CompileConfig(duplication_order=0)
+        with pytest.raises(ValueError, match="duplication_order"):
+            CompileConfig(duplication_order="6")
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError, match="params"):
+            CompileConfig(params={"A": 63877})
+
+    def test_non_bool_flag_rejected(self):
+        with pytest.raises(ValueError, match="hw_modulo"):
+            CompileConfig(hw_modulo=1)
+
+    def test_empty_module_name_rejected(self):
+        with pytest.raises(ValueError, match="module_name"):
+            CompileConfig(module_name="")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CompileConfig().scheme = "none"
+
+    def test_replace_revalidates(self):
+        config = CompileConfig()
+        assert config.replace(scheme="none").scheme == "none"
+        with pytest.raises(ValueError, match="unknown scheme"):
+            config.replace(scheme="tmr")
+
+
+class TestPresets:
+    def test_table3_columns(self):
+        assert CompileConfig.paper().scheme == "ancode"
+        assert CompileConfig.baseline().scheme == "none"
+        assert CompileConfig.duplication().scheme == "duplication"
+
+    def test_presets_use_paper_cfi_policy(self):
+        # Table III was measured with the per-edge justification policy.
+        for preset in (CompileConfig.paper, CompileConfig.baseline, CompileConfig.duplication):
+            assert preset().cfi_policy == "edge"
+
+    def test_preset_overrides(self):
+        config = CompileConfig.paper(hw_modulo=True, cfi_policy="merge")
+        assert config.scheme == "ancode"
+        assert config.hw_modulo and config.cfi_policy == "merge"
+
+
+class TestSerialization:
+    def test_round_trip_defaults(self):
+        config = CompileConfig()
+        assert CompileConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_custom_params(self):
+        params = ProtectionParams.derive(ANCode(A=3577, word_bits=32, functional_bits=20))
+        config = CompileConfig(
+            scheme="duplication-hardened",
+            params=params,
+            cfi=False,
+            duplication_order=9,
+            hw_modulo=True,
+            operand_checks=True,
+            module_name="boot",
+        )
+        restored = CompileConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.params.an.A == 3577
+        assert restored.cache_key() == config.cache_key()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = CompileConfig().to_dict()
+        data["optimise_harder"] = True
+        with pytest.raises(ValueError, match="unknown CompileConfig fields"):
+            CompileConfig.from_dict(data)
+
+    def test_from_dict_rejects_bad_version(self):
+        data = CompileConfig().to_dict()
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            CompileConfig.from_dict(data)
+
+
+class TestCacheKey:
+    def test_equal_configs_equal_keys(self):
+        assert CompileConfig().cache_key() == CompileConfig().cache_key()
+
+    def test_any_knob_changes_the_key(self):
+        base = CompileConfig()
+        variants = [
+            CompileConfig(scheme="none"),
+            CompileConfig(cfi=False),
+            CompileConfig(cfi_policy="edge"),
+            CompileConfig(duplication_order=7),
+            CompileConfig(hw_modulo=True),
+            CompileConfig(operand_checks=True),
+            CompileConfig(module_name="other"),
+            CompileConfig(params=ProtectionParams.paper()),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_explicit_paper_params_differ_from_default(self):
+        # None means "paper default downstream", but the *configs* differ
+        # and so must their keys (resolution happens at compile time).
+        assert (
+            CompileConfig(params=ProtectionParams.paper()).cache_key()
+            != CompileConfig(params=None).cache_key()
+        )
+
+    def test_resolved_params_default(self):
+        assert CompileConfig().resolved_params() == ProtectionParams.paper()

@@ -1,0 +1,195 @@
+"""Scheme registry: registration protocol, errors, pipeline assembly."""
+
+import pytest
+
+from repro.ir.interp import Interpreter
+from repro.minic import parse_to_ir
+from repro.toolchain import (
+    CompileConfig,
+    DuplicateSchemeError,
+    UnknownSchemeError,
+    build_pipeline,
+    get_scheme,
+    list_schemes,
+    register_scheme,
+    scheme_specs,
+    table3_schemes,
+    unregister_scheme,
+)
+
+PROTECTED_SRC = """
+protect u32 cmp(u32 a, u32 b) {
+    if (a == b) { return 100; }
+    return 200;
+}
+"""
+
+
+class TestBuiltins:
+    def test_builtin_schemes_registered(self):
+        names = list_schemes()
+        for name in ("none", "duplication", "ancode"):
+            assert name in names
+
+    def test_variants_registered_outside_pipeline_module(self):
+        assert "duplication-hardened" in list_schemes()
+        assert "ancode-operand-checks" in list_schemes()
+
+    def test_table3_set_excludes_variants(self):
+        assert table3_schemes() == ("none", "duplication", "ancode")
+
+    def test_specs_carry_labels(self):
+        labels = {spec.name: spec.label for spec in scheme_specs()}
+        assert labels["none"] == "CFI"
+        assert labels["ancode"] == "Prototype"
+
+    def test_get_scheme_unknown(self):
+        with pytest.raises(UnknownSchemeError, match="registered schemes"):
+            get_scheme("tmr")
+
+
+class TestRegistrationProtocol:
+    def test_register_and_unregister(self):
+        @register_scheme("test-noop", label="Noop")
+        def build_noop(pipeline, config):
+            pass
+
+        try:
+            assert "test-noop" in list_schemes()
+            assert get_scheme("test-noop").builder is build_noop
+        finally:
+            unregister_scheme("test-noop")
+        assert "test-noop" not in list_schemes()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(DuplicateSchemeError, match="already registered"):
+
+            @register_scheme("ancode")
+            def build_shadow(pipeline, config):
+                pass
+
+    def test_replace_allows_override(self):
+        original = get_scheme("ancode")
+
+        @register_scheme("ancode", label="Prototype", table3=True, replace=True)
+        def build_override(pipeline, config):
+            pass
+
+        try:
+            assert get_scheme("ancode").builder is build_override
+        finally:
+            register_scheme(
+                "ancode",
+                label=original.label,
+                description=original.description,
+                table3=original.table3,
+                replace=True,
+            )(original.builder)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_scheme("")
+
+    def test_unregister_unknown(self):
+        with pytest.raises(UnknownSchemeError):
+            unregister_scheme("never-registered")
+
+    def test_replace_builtin_as_first_registry_touch(self):
+        # Regression: replacing a builtin before the builtins ever loaded
+        # must pull them in first, not collide with (or be clobbered by)
+        # the builtin's own later registration.  Needs a fresh process —
+        # this one has long since loaded the builtins.
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        code = (
+            "from repro.toolchain import CompileConfig, get_scheme, register_scheme\n"
+            "@register_scheme('ancode', replace=True)\n"
+            "def build_override(pipeline, config):\n"
+            "    pass\n"
+            "assert get_scheme('ancode').builder is build_override\n"
+            "assert CompileConfig(scheme='duplication').scheme == 'duplication'\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert result.returncode == 0, result.stderr
+
+    @pytest.mark.parametrize(
+        "module", ["repro.toolchain.schemes", "repro.toolchain.variants"]
+    )
+    def test_direct_builtin_module_import(self, module):
+        # Regression: importing a builtin scheme module directly re-enters
+        # the registry's builtin loading mid-module; the registry must
+        # neither crash (circular import) nor latch a half-empty state.
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        code = (
+            f"import {module}\n"
+            "from repro.toolchain import get_scheme, list_schemes\n"
+            "for name in ('none', 'duplication', 'ancode',\n"
+            "             'duplication-hardened', 'ancode-operand-checks'):\n"
+            "    assert name in list_schemes(), name\n"
+            "get_scheme('ancode')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert result.returncode == 0, result.stderr
+
+
+class TestPipelineAssembly:
+    def test_build_pipeline_runs_registered_passes(self):
+        seen = []
+
+        @register_scheme("test-tracing")
+        def build_tracing(pipeline, config):
+            pipeline.add("trace", lambda module: seen.append(module.name) or 0)
+
+        try:
+            module = parse_to_ir(PROTECTED_SRC, "traced")
+            stats = build_pipeline(CompileConfig(scheme="test-tracing")).run(module)
+            assert seen == ["traced"]
+            assert "mem2reg" in stats  # shared optimizer stage ran first
+            assert Interpreter(module).run("cmp", [4, 4]).value == 100
+        finally:
+            unregister_scheme("test-tracing")
+
+    def test_standard_pipeline_delegates_to_registry(self):
+        from repro.passes.pipeline import standard_pipeline
+
+        names = [name for name, _ in standard_pipeline("ancode").passes]
+        assert names == [
+            "mem2reg",
+            "constfold",
+            "dce",
+            "loop-decoupler",
+            "lower-select",
+            "lower-switch",
+            "an-coder",
+            "dce-post",
+        ]
+
+    def test_hardened_variant_doubles_order(self):
+        module = parse_to_ir(PROTECTED_SRC)
+        build_pipeline(
+            CompileConfig(scheme="duplication-hardened", duplication_order=3)
+        ).run(module)
+        from repro.ir.instructions import ICmp
+
+        func = module.get_function("cmp")
+        cmps = [i for i in func.instructions() if isinstance(i, ICmp)]
+        # original + (2*3 - 1) rechecks per side = 11 (matches order 6).
+        assert len(cmps) == 11
+        assert Interpreter(module).run("cmp", [4, 5]).value == 200
