@@ -8,15 +8,26 @@ Reproduces the paper's core security argument end-to-end on compiled code:
   tree (Section II-C) but still cannot beat the prototype.
 """
 
+import os
+import time
+
 import pytest
 
-from repro.bench import format_table, save_table
+from repro.bench import (
+    check_bench_regression,
+    format_table,
+    record_bench_json,
+    save_table,
+)
 from repro.faults.classify import Outcome
 from repro.faults.isa_campaign import (
     branch_flip_sweep,
+    operand_corruption_sweep,
     repeated_branch_flip,
+    run_attack,
     skip_sweep,
 )
+from repro.faults.models import InstructionSkip
 from repro.programs import load_source
 from repro.toolchain import CampaignBuilder, CompileConfig, table3_schemes
 
@@ -77,3 +88,111 @@ def test_security_campaign(benchmark, programs):
         rows,
     )
     save_table("security_isa_campaign", text)
+
+
+# ---------------------------------------------------------------------------
+# Quick-mode campaign engine bench: pre-PR engine vs decode cache + forking
+# ---------------------------------------------------------------------------
+def _quick_campaign(programs, engine, memcmp_models):
+    """A representative mixed workload; returns (trials, simulated cycles)."""
+    trials = cycles = 0
+    # integer_compare: the paper's minimal protected decision — full suite.
+    micro = programs["ancode"]
+    for result in (
+        skip_sweep(micro, "integer_compare", ARGS, engine=engine),
+        branch_flip_sweep(micro, "integer_compare", ARGS, max_branches=8, engine=engine),
+        repeated_branch_flip(micro, "integer_compare", ARGS, engine=engine),
+        operand_corruption_sweep(micro, "integer_compare", ARGS, engine=engine),
+    ):
+        trials += result.trials
+        cycles += result.simulated_cycles
+    # memcmp: a loopy workload with injection points spread over the
+    # whole execution.
+    result = run_attack(
+        programs["memcmp-ancode"],
+        "run_memcmp",
+        [128],
+        memcmp_models,
+        "strided-skip",
+        engine=engine,
+    )
+    trials += result.trials
+    cycles += result.simulated_cycles
+    return trials, cycles
+
+
+def _memcmp_models(memcmp):
+    """Skip every 32nd dynamic instruction of the golden memcmp run."""
+    total = memcmp.trial_scheduler("run_memcmp", [128]).golden.instructions
+    return [InstructionSkip(i) for i in range(1, total + 1, 32)]
+
+
+@pytest.fixture(scope="module")
+def engine_programs(workbench):
+    return {
+        "ancode": workbench.compile(
+            load_source("integer_compare"), CompileConfig(scheme="ancode")
+        ),
+        "memcmp-ancode": workbench.compile(
+            load_source("memcmp"), CompileConfig(scheme="ancode")
+        ),
+    }
+
+
+def test_campaign_engine_speedup(benchmark, engine_programs):
+    """The tentpole claim: decode-cached dispatch + checkpoint forking is
+    >= 3x the pre-PR engine in trials/sec, single-process."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    memcmp_models = _memcmp_models(engine_programs["memcmp-ancode"])
+    measurements = {}
+    for engine in ("reference", "fork"):
+        for program in engine_programs.values():
+            program._schedulers.clear()  # charge golden+checkpoint capture
+        start = time.perf_counter()
+        trials, cycles = _quick_campaign(engine_programs, engine, memcmp_models)
+        seconds = time.perf_counter() - start
+        measurements[engine] = {
+            "trials": trials,
+            "seconds": round(seconds, 3),
+            "trials_per_sec": round(trials / seconds, 1),
+            "cycles_simulated_per_sec": round(cycles / seconds),
+        }
+
+    speedup = (
+        measurements["fork"]["trials_per_sec"]
+        / measurements["reference"]["trials_per_sec"]
+    )
+    payload = {
+        **measurements,
+        "speedup_vs_reference": round(speedup, 2),
+        "parallel": _parallel_measurement(engine_programs),
+    }
+    record_bench_json("campaign_quick", payload)
+    check_bench_regression("campaign_quick", "speedup_vs_reference", speedup)
+    assert speedup >= 3.0, (
+        f"fast engine only {speedup:.1f}x the reference engine "
+        f"({measurements})"
+    )
+
+
+def _parallel_measurement(engine_programs):
+    """CampaignExecutor throughput (informational: needs >1 CPU to win)."""
+    from repro.toolchain import CampaignExecutor
+
+    workers = min(4, os.cpu_count() or 1)
+    if workers < 2:
+        return None
+    memcmp = engine_programs["memcmp-ancode"]
+    models = _memcmp_models(memcmp)
+    with CampaignExecutor(max_workers=workers) as executor:
+        start = time.perf_counter()
+        result = run_attack(
+            memcmp, "run_memcmp", [128], models, "strided-skip", executor=executor
+        )
+        seconds = time.perf_counter() - start
+    return {
+        "workers": workers,
+        "trials": result.trials,
+        "seconds": round(seconds, 3),
+        "trials_per_sec": round(result.trials / seconds, 1),
+    }

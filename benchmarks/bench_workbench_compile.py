@@ -8,7 +8,14 @@ Table III column (schemes enumerated from the registry) on the
 
 import pytest
 
-from repro.bench import format_table, save_table, table3_configs, time_compile
+from repro.bench import (
+    check_bench_regression,
+    format_table,
+    record_bench_json,
+    save_table,
+    table3_configs,
+    time_compile,
+)
 from repro.programs import load_source
 from repro.toolchain import Workbench
 
@@ -51,3 +58,22 @@ def test_cache_eliminates_recompilation(benchmark, timings):
         rows,
     )
     save_table("workbench_compile_cache", text)
+
+    min_speedup = min(t.speedup for t in timings.values())
+    record_bench_json(
+        "workbench_compile",
+        {
+            "schemes": {
+                scheme: {
+                    "cold_ms": round(t.cold_seconds * 1e3, 3),
+                    "cached_us": round(t.cached_seconds * 1e6, 2),
+                    "speedup": round(t.speedup, 1),
+                }
+                for scheme, t in timings.items()
+            },
+            "min_cached_speedup": round(min_speedup, 1),
+        },
+    )
+    # Cache speedup is a machine-independent ratio; gate it against the
+    # checked-in baseline so a cache regression fails CI.
+    check_bench_regression("workbench_compile", "min_cached_speedup", min_speedup)

@@ -46,6 +46,9 @@ class CompiledProgram:
     #: its effective knobs from these (e.g. ``duplication-hardened``
     #: builds its tree at twice ``duplication_order``).
     config: Optional[CompileConfig] = None
+    #: (function, args, ...) -> TrialScheduler; campaigns against one
+    #: workload share a single golden run + checkpoint set.
+    _schedulers: dict = field(default_factory=dict, repr=False, compare=False)
 
     def size_of(self, function: str) -> int:
         return self.image.function_sizes[function]
@@ -61,8 +64,11 @@ class CompiledProgram:
         max_cycles: int = 10_000_000,
         cycle_model: Optional[CycleModel] = None,
         setup=None,
+        dispatch: str = "cached",
     ) -> ExecutionResult:
-        cpu, result = self.run_cpu(function, args, max_cycles, cycle_model, setup)
+        cpu, result = self.run_cpu(
+            function, args, max_cycles, cycle_model, setup, dispatch=dispatch
+        )
         return result
 
     def run_cpu(
@@ -73,9 +79,12 @@ class CompiledProgram:
         cycle_model: Optional[CycleModel] = None,
         setup=None,
         pre_hooks=None,
+        dispatch: str = "cached",
     ):
         """Run and return (cpu, result) for tests that inspect state."""
-        cpu = self.prepare_cpu(function, args, cycle_model, setup, pre_hooks)
+        cpu = self.prepare_cpu(
+            function, args, cycle_model, setup, pre_hooks, dispatch=dispatch
+        )
         return cpu, cpu.run(max_cycles)
 
     def prepare_cpu(
@@ -85,8 +94,10 @@ class CompiledProgram:
         cycle_model: Optional[CycleModel] = None,
         setup=None,
         pre_hooks=None,
+        dispatch: str = "cached",
+        track_pages: bool = False,
     ) -> CPU:
-        cpu = CPU(self.image, cycle_model)
+        cpu = CPU(self.image, cycle_model, dispatch=dispatch, track_pages=track_pages)
         if self.cfi:
             CfiMonitor(cpu, function)
         if setup is not None:
@@ -95,6 +106,21 @@ class CompiledProgram:
             cpu.pre_hooks.extend(pre_hooks)
         cpu.call(function, list(args or []))
         return cpu
+
+    # -- campaign support -------------------------------------------------
+    def trial_scheduler(self, function: str, args: list[int] | None = None):
+        """The cached checkpoint/trace scheduler for one (function, args)
+        workload (see :class:`repro.faults.scheduler.TrialScheduler`)."""
+        from repro.faults.scheduler import TrialScheduler
+
+        return TrialScheduler.for_program(self, function, list(args or []))
+
+    def __getstate__(self):
+        # The scheduler cache holds per-process CPU checkpoints; workers
+        # rebuild their own (one golden run per worker).
+        state = dict(self.__dict__)
+        state["_schedulers"] = {}
+        return state
 
 
 def compile_ir(

@@ -4,8 +4,11 @@ from repro.bench.harness import (
     TABLE3_CFI_POLICY,
     CompileTiming,
     Measurement,
+    bench_json_path,
+    check_bench_regression,
     measure,
     overhead_pct,
+    record_bench_json,
     table3_configs,
     time_compile,
 )
@@ -15,9 +18,12 @@ __all__ = [
     "TABLE3_CFI_POLICY",
     "CompileTiming",
     "Measurement",
+    "bench_json_path",
+    "check_bench_regression",
     "format_table",
     "measure",
     "overhead_pct",
+    "record_bench_json",
     "save_table",
     "table3_configs",
     "time_compile",

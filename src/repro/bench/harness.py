@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.backend.driver import CompiledProgram
 from repro.isa.cpu import Status
@@ -87,6 +90,73 @@ class CompileTiming:
         if self.cached_seconds == 0:
             return float("inf")
         return self.cold_seconds / self.cached_seconds
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable bench output + regression gating
+# ---------------------------------------------------------------------------
+#: Default machine-readable results file, at the repo root (the perf
+#: trajectory the ROADMAP tracks).  Override with REPRO_BENCH_JSON.
+BENCH_JSON = "BENCH_campaign.json"
+
+
+def _repo_root() -> Path:
+    # src/repro/bench/harness.py -> repo checkout root.
+    return Path(__file__).resolve().parents[3]
+
+
+def bench_json_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_JSON")
+    return Path(override) if override else _repo_root() / BENCH_JSON
+
+
+def record_bench_json(section: str, payload: dict, path: Path | None = None) -> Path:
+    """Merge one bench's metrics into the shared JSON results file.
+
+    Each bench owns a top-level ``section`` key; re-runs replace only their
+    own section, so one file accumulates the whole campaign picture.
+    """
+    path = path or bench_json_path()
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_bench_regression(
+    section: str,
+    metric: str,
+    value: float,
+    baseline_path: Path | None = None,
+    tolerance: float = 0.30,
+) -> None:
+    """Fail if ``value`` regressed >``tolerance`` below the checked-in
+    baseline for ``section.metric``.
+
+    Baselines are *machine-independent ratios* (engine speedups, cache
+    speedups) rather than absolute trials/sec, so the gate is meaningful
+    on an arbitrary CI machine.  Missing baseline entries pass — new
+    metrics get a baseline in the same PR that introduces them.
+    """
+    baseline_path = baseline_path or (
+        _repo_root() / "benchmarks" / "baselines" / BENCH_JSON
+    )
+    if not baseline_path.exists():
+        return
+    baseline = json.loads(baseline_path.read_text()).get(section, {}).get(metric)
+    if baseline is None:
+        return
+    floor = baseline * (1.0 - tolerance)
+    if value < floor:
+        raise MeasurementError(
+            f"{section}.{metric} regressed: {value:.2f} < {floor:.2f} "
+            f"(baseline {baseline:.2f}, tolerance {tolerance:.0%})"
+        )
 
 
 def time_compile(workbench, source: str, config, cached_rounds: int = 5) -> CompileTiming:

@@ -13,7 +13,7 @@ Attached to the CPU as a retire hook.  Mirrors the paper's CFI unit:
 
 from __future__ import annotations
 
-from repro.cfi.gpsa import entry_state, merge, update
+from repro.cfi.gpsa import entry_state, merge
 from repro.cfi.signatures import signature
 from repro.isa import instructions as ins
 from repro.isa.cpu import CPU, MAGIC_RETURN
@@ -29,23 +29,40 @@ class CfiMonitor:
         self.violations = 0
         self.checks_passed = 0
         cpu.retire_hooks.append(self.on_retire)
+        cpu.monitor = self  # included in CPU.snapshot()/restore()
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Monitor state for CPU checkpoints (shadow stack included)."""
+        return (self.state, list(self.call_stack), self.violations, self.checks_passed)
+
+    def restore_state(self, snap: tuple) -> None:
+        self.state, call_stack, self.violations, self.checks_passed = snap
+        self.call_stack = list(call_stack)
 
     # ------------------------------------------------------------------
     def on_retire(self, cpu: CPU, instr, cfi_events) -> None:
-        self.state = update(self.state, signature(instr))
-        for event in cfi_events:
-            if event.addr == MMIO.CFI_MERGE:
-                self.state = merge(self.state, event.value)
-            elif event.addr == MMIO.CFI_CHECK:
-                if event.value != self.state:
-                    self.violations += 1
-                    cpu.cfi_violation()
-                else:
-                    self.checks_passed += 1
-        if isinstance(instr, ins.Bl):
+        # Runs once per retired instruction — the campaign engine's hottest
+        # hook.  The state advance inlines gpsa.update/rotl (one shift-or
+        # and an xor) and the instruction kind checks use exact class
+        # identity instead of isinstance.
+        state = self.state
+        state = (((state << 1) | (state >> 31)) & 0xFFFFFFFF) ^ signature(instr)
+        if cfi_events:
+            for event in cfi_events:
+                if event.addr == MMIO.CFI_MERGE:
+                    state = merge(state, event.value)
+                elif event.addr == MMIO.CFI_CHECK:
+                    if event.value != state:
+                        self.violations += 1
+                        cpu.cfi_violation()
+                    else:
+                        self.checks_passed += 1
+        cls = instr.__class__
+        if cls is ins.Bl:
             callee = self.image.function_of(instr.target)
-            self.call_stack.append(self.state)
-            if callee is not None:
-                self.state = entry_state(callee)
-        elif isinstance(instr, ins.BxLr) and self.call_stack:
-            self.state = self.call_stack.pop()
+            self.call_stack.append(state)
+            state = entry_state(callee) if callee is not None else state
+        elif cls is ins.BxLr and self.call_stack:
+            state = self.call_stack.pop()
+        self.state = state

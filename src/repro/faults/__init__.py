@@ -17,25 +17,43 @@ from repro.faults.arithmetic import (
     sampled_campaign,
 )
 from repro.faults.models import (
+    BranchDirectionFlip,
+    FaultModel,
     FlagFlip,
     InstructionSkip,
     MemoryBitFlip,
     RegisterBitFlip,
+    RepeatedBranchDirectionFlip,
     RepeatedFlagFlip,
+    RepeatedInstructionSkip,
 )
-from repro.faults.isa_campaign import AttackResult, CampaignReport, run_attack
+from repro.faults.isa_campaign import (
+    AttackResult,
+    CampaignReport,
+    golden_trace,
+    run_attack,
+)
+from repro.faults.scheduler import GoldenTrace, SchedulerStats, TrialScheduler
 
 __all__ = [
     "ArithmeticCampaignResult",
     "AttackResult",
+    "BranchDirectionFlip",
     "CampaignReport",
+    "FaultModel",
     "FaultOutcome",
     "FlagFlip",
+    "GoldenTrace",
     "InstructionSkip",
     "MemoryBitFlip",
     "RegisterBitFlip",
+    "RepeatedBranchDirectionFlip",
     "RepeatedFlagFlip",
+    "RepeatedInstructionSkip",
+    "SchedulerStats",
+    "TrialScheduler",
     "exhaustive_campaign",
+    "golden_trace",
     "run_attack",
     "sampled_campaign",
 ]

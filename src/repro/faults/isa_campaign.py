@@ -5,6 +5,24 @@ classifies outcomes.  The headline comparison (paper Section II-C vs. our
 Section III): a *single* branch flip is caught by both duplication and the
 prototype; *repeating* the flip at every comparison defeats the duplication
 tree but still trips the prototype's CFI linking.
+
+Engines
+-------
+Every attack entry point takes an ``engine``:
+
+* ``"fork"`` (default) — the fast path: one golden run per workload
+  (memoized on the program), trials forked from mid-run checkpoints via
+  :class:`~repro.faults.scheduler.TrialScheduler`.
+* ``"replay"`` — fresh CPU per trial on the decode-cached dispatcher
+  (isolates the scheduler when debugging a differential failure).
+* ``"reference"`` — fresh CPU per trial on the original ``isinstance``
+  interpreter; this is the pre-decode-cache engine and the baseline the
+  campaign benches measure speedups against.
+
+All three are result-identical; ``tests/test_engine_equivalence.py``
+enforces it for every device program and scheme.  ``executor`` accepts a
+:class:`~repro.toolchain.executor.CampaignExecutor` to shard trials
+across worker processes.
 """
 
 from __future__ import annotations
@@ -19,7 +37,10 @@ from repro.faults.models import (
     RegisterBitFlip,
     RepeatedBranchDirectionFlip,
 )
+from repro.faults.scheduler import TrialScheduler
 from repro.isa.cpu import ExecutionResult
+
+ENGINES = ("fork", "replay", "reference")
 
 
 @dataclass
@@ -30,6 +51,9 @@ class AttackResult:
     #: exit codes of WRONG_RESULT trials (to tell fail-safe denials from
     #: security-critical forges)
     wrong_codes: list[int] = field(default_factory=list)
+    #: cycles the engine actually simulated (forked trials exclude their
+    #: checkpointed prefix) — bench bookkeeping, not part of equality
+    simulated_cycles: int = field(default=0, compare=False)
 
     def record(self, outcome: Outcome, exit_code: int | None = None) -> None:
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
@@ -54,8 +78,17 @@ class CampaignReport:
         return self.attacks.setdefault(attack, AttackResult(attack))
 
 
-def _golden(program: CompiledProgram, function: str, args) -> ExecutionResult:
-    return program.run(function, args)
+def golden_trace(program: CompiledProgram, function: str, args):
+    """The workload's golden trace (one instrumented execution, memoized:
+    repeated window/index queries and attack suites all share it)."""
+    return TrialScheduler.for_program(program, function, list(args)).trace
+
+
+def _golden(program, function, args, engine: str) -> ExecutionResult:
+    if engine == "fork":
+        return TrialScheduler.for_program(program, function, list(args)).golden
+    dispatch = "reference" if engine == "reference" else "cached"
+    return program.run(function, args, dispatch=dispatch)
 
 
 def run_attack(
@@ -65,45 +98,111 @@ def run_attack(
     fault_models,
     attack_name: str = "attack",
     max_cycles: int = 2_000_000,
+    engine: str = "fork",
+    executor=None,
 ) -> AttackResult:
     """Run one fault model per trial against a fixed golden run."""
-    golden = _golden(program, function, args)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if executor is not None:
+        if engine != "fork":
+            raise ValueError(
+                f"executor trials always run on the fork engine; "
+                f"drop executor to use engine={engine!r}"
+            )
+        return executor.run_attack(
+            program,
+            function,
+            args,
+            list(fault_models),
+            attack_name=attack_name,
+            max_cycles=max_cycles,
+        )
     result = AttackResult(attack_name)
-    for model in fault_models:
-        cpu = program.prepare_cpu(function, args, pre_hooks=[model.hook()])
-        faulted = cpu.run(max_cycles)
-        result.record(classify(golden, faulted), faulted.exit_code)
+    if engine == "fork":
+        scheduler = TrialScheduler.for_program(program, function, list(args))
+        golden = scheduler.golden
+        cycles_before = scheduler.stats.simulated_cycles
+        for model in fault_models:
+            faulted = scheduler.run_trial(model, max_cycles)
+            result.record(classify(golden, faulted), faulted.exit_code)
+        result.simulated_cycles = scheduler.stats.simulated_cycles - cycles_before
+    else:
+        dispatch = "reference" if engine == "reference" else "cached"
+        golden = program.run(function, args, dispatch=dispatch)
+        for model in fault_models:
+            cpu = program.prepare_cpu(
+                function, args, pre_hooks=[model.hook()], dispatch=dispatch
+            )
+            faulted = cpu.run(max_cycles)
+            result.record(classify(golden, faulted), faulted.exit_code)
+            result.simulated_cycles += faulted.cycles
     return result
 
 
 # ---------------------------------------------------------------------------
 # Stock attack suites
 # ---------------------------------------------------------------------------
-def skip_sweep(program, function, args, first=1, last=None) -> AttackResult:
+def skip_sweep(
+    program, function, args, first=1, last=None, engine="fork", executor=None
+) -> AttackResult:
     """Skip each dynamic instruction in [first, last] (one per trial)."""
-    golden = _golden(program, function, args)
     if last is None:
-        last = golden.instructions
+        last = _golden(program, function, args, engine).instructions
     models = [InstructionSkip(i) for i in range(first, last + 1)]
-    return run_attack(program, function, args, models, "instruction-skip")
+    return run_attack(
+        program,
+        function,
+        args,
+        models,
+        "instruction-skip",
+        engine=engine,
+        executor=executor,
+    )
 
 
-def branch_flip_sweep(program, function, args, max_branches=64) -> AttackResult:
+def branch_flip_sweep(
+    program, function, args, max_branches=64, engine="fork", executor=None
+) -> AttackResult:
     """Invert each dynamic conditional branch (one per trial)."""
     models = [BranchDirectionFlip(i) for i in range(1, max_branches + 1)]
-    return run_attack(program, function, args, models, "branch-flip")
+    return run_attack(
+        program,
+        function,
+        args,
+        models,
+        "branch-flip",
+        engine=engine,
+        executor=executor,
+    )
 
 
-def repeated_branch_flip(program, function, args) -> AttackResult:
+def repeated_branch_flip(
+    program, function, args, engine="fork", executor=None
+) -> AttackResult:
     """Invert every conditional branch in the target function's code range."""
     addr_range = program.image.function_ranges[function]
     models = [RepeatedBranchDirectionFlip(addr_range)]
-    return run_attack(program, function, args, models, "repeated-branch-flip")
+    return run_attack(
+        program,
+        function,
+        args,
+        models,
+        "repeated-branch-flip",
+        engine=engine,
+        executor=executor,
+    )
 
 
 def dynamic_indices(program, function, args, match) -> list[int]:
     """Dynamic instruction indices (1-based) whose instruction satisfies
-    ``match(instr)`` during a golden run."""
+    ``match(instr)`` during a golden run.
+
+    ``match`` is an arbitrary predicate over instruction objects, so this
+    instruments one fresh execution.  For mnemonic-based queries prefer
+    :func:`golden_trace`, whose single memoized run answers every
+    mnemonic's hit-list at once.
+    """
     hits: list[int] = []
 
     def observe(cpu, instr, events):
@@ -124,9 +223,13 @@ def encoded_window(program, function, args, after_encodes: bool = False) -> tupl
     which is the data-encoding scheme's responsibility, not the branch
     protection's.  With ``after_encodes`` the window starts only after the
     last encode retired (strictly the comparison computation).
+
+    Both mnemonic hit-lists come from the workload's single memoized
+    golden trace — no extra executions.
     """
-    muls = dynamic_indices(program, function, args, lambda i: i.mnemonic == "mul")
-    branches = dynamic_indices(program, function, args, lambda i: i.mnemonic == "bcc")
+    trace = golden_trace(program, function, args)
+    muls = trace.indices("mul")
+    branches = trace.indices("bcc")
     if not muls or not branches:
         raise ValueError("program has no encode/branch window")
     pre_branch_muls = [m for m in muls if m < branches[0]]
@@ -142,6 +245,8 @@ def operand_corruption_sweep(
     bits=(0, 7, 16, 31),
     occurrence=3,
     window=None,
+    engine="fork",
+    executor=None,
 ) -> AttackResult:
     """Flip register bits (comparison operand corruption).
 
@@ -158,4 +263,12 @@ def operand_corruption_sweep(
         for bit in bits
         for occ in occurrences
     ]
-    return run_attack(program, function, args, models, "operand-corruption")
+    return run_attack(
+        program,
+        function,
+        args,
+        models,
+        "operand-corruption",
+        engine=engine,
+        executor=executor,
+    )

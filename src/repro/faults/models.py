@@ -3,6 +3,25 @@
 Each model is a factory for a CPU pre-execution hook.  Hooks run before an
 instruction executes; returning True skips it (the classic instruction-skip
 glitch), mutating ``cpu`` models register/memory/flag corruption.
+
+Scheduler protocol
+------------------
+The checkpoint-forking trial scheduler (:mod:`repro.faults.scheduler`)
+never replays a golden prefix it has already simulated, so each model
+additionally declares
+
+* ``first_fire_index(trace)`` — the earliest 1-based dynamic-instruction
+  index at which its hook could first mutate state or skip, resolved
+  against the golden :class:`~repro.faults.scheduler.GoldenTrace`
+  (``None`` = the fault can never fire on this workload);
+* ``forked_hook(trace)`` — a hook that is valid when execution starts from
+  a mid-run checkpoint.  Models whose hooks count occurrences (e.g. "the
+  N-th conditional branch") translate the count into an absolute dynamic
+  index via the trace — sound because a single-fault trial is identical to
+  the golden run until the fault fires.
+
+Third-party models without these methods are forked from the initial
+checkpoint, which is exactly a full replay.
 """
 
 from __future__ import annotations
@@ -10,11 +29,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.isa import instructions as ins
-from repro.isa.cpu import CPU
+from repro.isa.cpu import CPU, PAGE_BITS
+
+
+class FaultModel:
+    """Base: a pre-hook factory with conservative scheduler metadata."""
+
+    def hook(self):  # pragma: no cover - overridden by every model
+        raise NotImplementedError
+
+    def first_fire_index(self, trace):
+        """Earliest dynamic index the hook may fire; 1 = run from start."""
+        return 1
+
+    def forked_hook(self, trace):
+        """Hook for mid-run forking; stateless hooks fork as-is."""
+        return self.hook()
 
 
 @dataclass(frozen=True)
-class InstructionSkip:
+class InstructionSkip(FaultModel):
     """Skip the ``occurrence``-th dynamically executed instruction."""
 
     occurrence: int
@@ -27,9 +61,14 @@ class InstructionSkip:
 
         return pre
 
+    def first_fire_index(self, trace):
+        if self.occurrence < 1 or self.occurrence > trace.result.instructions:
+            return None
+        return self.occurrence
+
 
 @dataclass(frozen=True)
-class RegisterBitFlip:
+class RegisterBitFlip(FaultModel):
     """Flip one bit of a register just before a dynamic instruction."""
 
     reg: int
@@ -44,9 +83,14 @@ class RegisterBitFlip:
 
         return pre
 
+    def first_fire_index(self, trace):
+        if self.occurrence < 1 or self.occurrence > trace.result.instructions:
+            return None
+        return self.occurrence
+
 
 @dataclass(frozen=True)
-class MemoryBitFlip:
+class MemoryBitFlip(FaultModel):
     """Flip one bit of a memory byte before a dynamic instruction."""
 
     addr: int
@@ -57,13 +101,22 @@ class MemoryBitFlip:
         def pre(cpu: CPU, instr) -> bool:
             if cpu.dyn_index == self.occurrence and self.addr < len(cpu.memory):
                 cpu.memory[self.addr] ^= 1 << self.bit
+                if cpu._dirty_pages is not None:
+                    # Direct pokes bypass store(); keep page tracking (and
+                    # therefore trial-CPU reuse) sound.
+                    cpu._dirty_pages.add(self.addr >> PAGE_BITS)
             return False
 
         return pre
 
+    def first_fire_index(self, trace):
+        if self.occurrence < 1 or self.occurrence > trace.result.instructions:
+            return None
+        return self.occurrence
+
 
 @dataclass(frozen=True)
-class FlagFlip:
+class FlagFlip(FaultModel):
     """Flip a condition flag before the N-th conditional branch.
 
     This is the paper's core scenario: the 1-bit condition signal inside
@@ -85,9 +138,26 @@ class FlagFlip:
 
         return pre
 
+    def first_fire_index(self, trace):
+        return trace.nth("bcc", self.branch_occurrence)
+
+    def forked_hook(self, trace):
+        # The branch-occurrence counter becomes an absolute dynamic index:
+        # pre-fault, the trial retraces the golden run instruction for
+        # instruction, so the N-th branch is exactly where it was there.
+        fire = trace.nth("bcc", self.branch_occurrence)
+        flag = self.flag
+
+        def pre(cpu: CPU, instr) -> bool:
+            if cpu.dyn_index == fire:
+                setattr(cpu, flag, getattr(cpu, flag) ^ 1)
+            return False
+
+        return pre
+
 
 @dataclass(frozen=True)
-class RepeatedFlagFlip:
+class RepeatedFlagFlip(FaultModel):
     """Flip a flag before *every* conditional branch.
 
     The repeat-the-same-fault attack (Section II-C): it walks straight
@@ -104,6 +174,9 @@ class RepeatedFlagFlip:
             return False
 
         return pre
+
+    def first_fire_index(self, trace):
+        return trace.nth("bcc", 1)
 
 
 def _invert_branch(cpu: CPU, cond: str) -> None:
@@ -126,7 +199,7 @@ def _invert_branch(cpu: CPU, cond: str) -> None:
 
 
 @dataclass(frozen=True)
-class BranchDirectionFlip:
+class BranchDirectionFlip(FaultModel):
     """Invert the outcome of the N-th conditional branch."""
 
     branch_occurrence: int = 1
@@ -143,9 +216,22 @@ class BranchDirectionFlip:
 
         return pre
 
+    def first_fire_index(self, trace):
+        return trace.nth("bcc", self.branch_occurrence)
+
+    def forked_hook(self, trace):
+        fire = trace.nth("bcc", self.branch_occurrence)
+
+        def pre(cpu: CPU, instr) -> bool:
+            if cpu.dyn_index == fire:
+                _invert_branch(cpu, instr.cond)
+            return False
+
+        return pre
+
 
 @dataclass(frozen=True)
-class RepeatedBranchDirectionFlip:
+class RepeatedBranchDirectionFlip(FaultModel):
     """Invert *every* conditional branch — the repeated-fault attack.
 
     ``addr_range`` (start, end) restricts the glitch to branches inside one
@@ -165,9 +251,13 @@ class RepeatedBranchDirectionFlip:
 
         return pre
 
+    def first_fire_index(self, trace):
+        lo, hi = self.addr_range if self.addr_range else (0, 1 << 32)
+        return trace.first_bcc_in_range(lo, hi)
+
 
 @dataclass(frozen=True)
-class RepeatedInstructionSkip:
+class RepeatedInstructionSkip(FaultModel):
     """Skip every dynamic instruction matching a mnemonic (repeated glitch)."""
 
     mnemonic: str
@@ -177,3 +267,6 @@ class RepeatedInstructionSkip:
             return instr.mnemonic == self.mnemonic
 
         return pre
+
+    def first_fire_index(self, trace):
+        return trace.nth(self.mnemonic, 1)

@@ -58,6 +58,35 @@ class CodeImage:
     data_addrs: dict  # data segment name -> address
     data_image: list  # (address, bytes)
     code_size: int = 0
+    #: lazily-built addr -> (handler, instr, width) table shared by every
+    #: CPU executing this image (see repro.isa.dispatch).
+    _decode_cache: Optional[dict] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def decode_cache(self) -> dict:
+        """The image's pre-bound instruction handlers, built on first use."""
+        cache = self._decode_cache
+        if cache is None:
+            from repro.isa.dispatch import build_decode_cache
+
+            cache = self._decode_cache = build_decode_cache(self)
+        return cache
+
+    def __getstate__(self):
+        # Handler closures are not picklable, and addr_of is keyed by
+        # object ids that do not survive a process boundary; both are
+        # reconstructed on the other side.
+        state = dict(self.__dict__)
+        state["_decode_cache"] = None
+        del state["addr_of"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # instr_at and instructions reference the same objects after
+        # unpickling, so the id-keyed map can be rebuilt from instr_at.
+        self.addr_of = {id(instr): addr for addr, instr in self.instr_at.items()}
 
     def size_of(self, name: str) -> int:
         return self.function_sizes[name]

@@ -11,12 +11,40 @@ Executes a :class:`~repro.isa.assembler.CodeImage` with:
 
 Returning from the entry function (``BX lr`` with the magic link value)
 halts with status EXIT and the value of r0.
+
+Dispatch
+--------
+Two execution paths share identical semantics:
+
+* ``dispatch="cached"`` (default): instructions are pre-decoded once per
+  image into bound handler closures (:mod:`repro.isa.dispatch`); a step is
+  a table fetch + call.  Unhooked runs additionally take a fast loop that
+  skips hook iteration entirely.
+* ``dispatch="reference"``: the original ``isinstance``-chain interpreter
+  (:meth:`CPU.execute`), kept as the differential oracle — the
+  golden-equivalence suite proves both paths produce identical traces.
+
+Checkpointing
+-------------
+:meth:`CPU.snapshot` / :meth:`CPU.restore` capture and reinstate the full
+architectural state (registers, flags, counters, console, memory, and the
+attached CFI monitor).  With ``track_pages=True`` the CPU records which
+1 KiB pages stores touched, so snapshots copy only dirty pages instead of
+the whole address space — the fault-campaign trial scheduler forks
+thousands of trials from mid-run checkpoints this way.
+
+Division semantics
+------------------
+``UDIV``/``SDIV`` follow the ARMv7-M DIV_0_TRP=0 behaviour: a zero divisor
+yields a zero quotient and execution continues — there is no divide-by-zero
+trap status.  (An earlier ``Status.DIV_BY_ZERO`` enum member suggested a
+trap that was never implemented; it has been removed.)
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.isa import instructions as ins
@@ -30,6 +58,10 @@ MAGIC_RETURN = 0xFFFF_FFFE
 STACK_TOP = 0x0010_0000
 MEM_SIZE = 0x0020_0000
 
+#: Dirty-page granularity for copy-on-write snapshots (1 KiB pages).
+PAGE_BITS = 10
+PAGE_SIZE = 1 << PAGE_BITS
+
 
 class Status(enum.Enum):
     RUNNING = "running"
@@ -39,7 +71,6 @@ class Status(enum.Enum):
     MEM_ERROR = "memory-error"
     DECODE_ERROR = "decode-error"
     TIMEOUT = "timeout"
-    DIV_BY_ZERO = "div-by-zero"
 
 
 @dataclass
@@ -64,13 +95,45 @@ class CfiEvent:
     value: int
 
 
+@dataclass
+class CpuSnapshot:
+    """A resumable copy of the full simulator state at an instruction
+    boundary (plus the CFI monitor's, when one is attached).
+
+    ``pages`` holds only the 1 KiB pages dirtied since the CPU was
+    prepared (page-tracking mode); ``memory`` is the full image otherwise.
+    Restoring onto a freshly prepared CPU for the same program
+    re-establishes the exact mid-run state either way.
+    """
+
+    regs: list[int]
+    n: int
+    z: int
+    c: int
+    v: int
+    status: Status
+    exit_code: int
+    detect_code: int
+    cycles: int
+    retired: int
+    dyn_index: int
+    console: list[str]
+    pages: Optional[dict[int, bytes]]
+    memory: Optional[bytes]
+    monitor: Optional[tuple]
+
+
 class CPU:
     def __init__(
         self,
         image: CodeImage,
         cycle_model: Optional[CycleModel] = None,
         memory_size: int = MEM_SIZE,
+        dispatch: str = "cached",
+        track_pages: bool = False,
     ):
+        if dispatch not in ("cached", "reference"):
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.image = image
         self.cycles_model = cycle_model or CycleModel()
         self.memory = bytearray(memory_size)
@@ -90,8 +153,30 @@ class CPU:
         self.pre_hooks: list[Callable] = []
         #: observers: f(cpu, instr, cfi_events) after each retirement
         self.retire_hooks: list[Callable] = []
+        #: the attached CfiMonitor, if any (set by the monitor itself);
+        #: included in snapshot()/restore().
+        self.monitor = None
         self._cfi_events: list[CfiEvent] = []
         self._pending_pc: Optional[int] = None
+        self.dispatch = dispatch
+        #: addr -> (handler, instr, width); shared per image.
+        self._decode = image.decode_cache()
+        self._dirty_pages: Optional[set[int]] = set() if track_pages else None
+        # Snapshot the cycle model's constant costs once; the pre-bound
+        # handlers charge these without a method call per step.
+        model = self.cycles_model
+        self._c_alu = model.alu()
+        self._c_mul = model.mul()
+        self._c_mla = model.mla()
+        self._c_umull = model.umull()
+        self._c_umod = model.umod()
+        self._c_load = model.load()
+        self._c_store = model.store()
+        self._c_branch_taken = model.branch_taken()
+        self._c_branch_not_taken = model.branch_not_taken()
+        self._c_call = model.call()
+        self._c_ret = model.ret()
+        self._c_nop = model.nop()
 
     # ------------------------------------------------------------------
     # Setup / top-level run
@@ -107,12 +192,34 @@ class CPU:
         self.regs[LR] = MAGIC_RETURN
         self.regs[PC] = self.image.labels[function]
 
-    def run(self, max_cycles: int = 10_000_000) -> ExecutionResult:
-        while self.status is Status.RUNNING:
-            if self.cycles >= max_cycles:
-                self.status = Status.TIMEOUT
-                break
-            self.step()
+    def run(
+        self,
+        max_cycles: int = 10_000_000,
+        stop_at_instruction: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Run until halt/timeout.
+
+        ``stop_at_instruction`` pauses the loop (status stays RUNNING) once
+        ``retired`` reaches the given count — the checkpoint scheduler uses
+        this to slice the golden run into snapshot intervals.
+        """
+        if self.dispatch == "reference":
+            while self.status is Status.RUNNING:
+                if self.cycles >= max_cycles:
+                    self.status = Status.TIMEOUT
+                    break
+                if (
+                    stop_at_instruction is not None
+                    and self.retired >= stop_at_instruction
+                ):
+                    break
+                self.step()
+        elif (
+            self.pre_hooks or self.retire_hooks or stop_at_instruction is not None
+        ):
+            self._run_hooked(max_cycles, stop_at_instruction)
+        else:
+            self._run_fast(max_cycles)
         return ExecutionResult(
             status=self.status,
             exit_code=self.exit_code,
@@ -122,16 +229,78 @@ class CPU:
             console="".join(self.console_chars),
         )
 
+    def _run_fast(self, max_cycles: int) -> None:
+        """Decode-cached loop for unhooked runs: fetch + call, nothing else."""
+        decode = self._decode
+        regs = self.regs
+        events = self._cfi_events
+        RUNNING = Status.RUNNING
+        while self.status is RUNNING:
+            if self.cycles >= max_cycles:
+                self.status = Status.TIMEOUT
+                return
+            entry = decode.get(regs[PC])
+            if entry is None:
+                self.status = Status.DECODE_ERROR
+                return
+            self.dyn_index += 1
+            regs[PC] = entry[0](self)
+            self.retired += 1
+            if events:
+                events.clear()
+
+    def _run_hooked(
+        self, max_cycles: int, stop_at_instruction: Optional[int]
+    ) -> None:
+        """Decode-cached loop with pre/retire hook support."""
+        decode = self._decode
+        regs = self.regs
+        pre_hooks = self.pre_hooks
+        retire_hooks = self.retire_hooks
+        RUNNING = Status.RUNNING
+        while self.status is RUNNING:
+            if self.cycles >= max_cycles:
+                self.status = Status.TIMEOUT
+                return
+            if (
+                stop_at_instruction is not None
+                and self.retired >= stop_at_instruction
+            ):
+                return
+            pc = regs[PC]
+            entry = decode.get(pc)
+            if entry is None:
+                self.status = Status.DECODE_ERROR
+                return
+            handler, instr, width = entry
+            self.dyn_index += 1
+            if pre_hooks:
+                skip = False
+                for hook in pre_hooks:
+                    if hook(self, instr):
+                        skip = True
+                if skip:
+                    # Skip: PC advances, nothing retires, 1 cycle burns.
+                    regs[PC] = pc + width
+                    self.cycles += 1
+                    continue
+            self._cfi_events.clear()
+            regs[PC] = handler(self)
+            self.retired += 1
+            events = list(self._cfi_events)
+            for hook in retire_hooks:
+                hook(self, instr, events)
+
     # ------------------------------------------------------------------
-    # One instruction
+    # One instruction (reference path)
     # ------------------------------------------------------------------
     def step(self) -> None:
         pc = self.regs[PC]
-        instr = self.image.instr_at.get(pc)
-        if instr is None:
+        entry = self._decode.get(pc)
+        if entry is None:
             self.status = Status.DECODE_ERROR
             return
-        index = self.dyn_index
+        instr, width = entry[1], entry[2]
         self.dyn_index += 1
 
         skip = False
@@ -140,7 +309,7 @@ class CPU:
                 skip = True
         if skip:
             # Instruction skip: PC advances, nothing retires, 1 cycle burns.
-            self.regs[PC] = pc + self._width(instr)
+            self.regs[PC] = pc + width
             self.cycles += 1
             return
 
@@ -151,20 +320,73 @@ class CPU:
         if self._pending_pc is not None:
             self.regs[PC] = self._pending_pc
         else:
-            self.regs[PC] = pc + self._width(instr)
+            self.regs[PC] = pc + width
         events = list(self._cfi_events)
         for hook in self.retire_hooks:
             hook(self, instr, events)
 
-    def _width(self, instr) -> int:
-        # Widths are immutable after assembly; cache on the instruction.
-        cached = getattr(instr, "_width_cache", None)
-        if cached is None:
-            from repro.isa.encoding import width
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpoint forking)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CpuSnapshot:
+        """Capture the state at the current instruction boundary."""
+        if self._dirty_pages is not None:
+            mem = self.memory
+            pages = {}
+            for page in self._dirty_pages:
+                offset = page << PAGE_BITS
+                pages[page] = bytes(mem[offset : offset + PAGE_SIZE])
+            full = None
+        else:
+            pages = None
+            full = bytes(self.memory)
+        return CpuSnapshot(
+            regs=list(self.regs),
+            n=self.n,
+            z=self.z,
+            c=self.c,
+            v=self.v,
+            status=self.status,
+            exit_code=self.exit_code,
+            detect_code=self.detect_code,
+            cycles=self.cycles,
+            retired=self.retired,
+            dyn_index=self.dyn_index,
+            console=list(self.console_chars),
+            pages=pages,
+            memory=full,
+            monitor=self.monitor.snapshot_state() if self.monitor else None,
+        )
 
-            cached = width(instr)
-            instr._width_cache = cached
-        return cached
+    def restore(self, snap: CpuSnapshot) -> None:
+        """Reinstate a snapshot onto this CPU.
+
+        Page-delta snapshots assume this CPU was freshly prepared for the
+        same program (its memory equals the pre-run state the deltas are
+        relative to).
+        """
+        self.regs[:] = snap.regs
+        self.n, self.z, self.c, self.v = snap.n, snap.z, snap.c, snap.v
+        self.status = snap.status
+        self.exit_code = snap.exit_code
+        self.detect_code = snap.detect_code
+        self.cycles = snap.cycles
+        self.retired = snap.retired
+        self.dyn_index = snap.dyn_index
+        self.console_chars[:] = snap.console
+        if snap.pages is not None:
+            mem = self.memory
+            for page, data in snap.pages.items():
+                offset = page << PAGE_BITS
+                mem[offset : offset + len(data)] = data
+            if self._dirty_pages is not None:
+                self._dirty_pages = set(snap.pages)
+        elif snap.memory is not None:
+            self.memory[:] = snap.memory
+        if snap.monitor is not None and self.monitor is not None:
+            self.monitor.restore_state(snap.monitor)
+        self._pending_pc = None
+        self._cfi_events.clear()
 
     # ------------------------------------------------------------------
     # Memory with MMIO
@@ -188,6 +410,12 @@ class CPU:
             self.status = Status.MEM_ERROR
             return
         self.memory[addr : addr + size] = value.to_bytes(size, "little")
+        if self._dirty_pages is not None:
+            first = addr >> PAGE_BITS
+            self._dirty_pages.add(first)
+            last = (addr + size - 1) >> PAGE_BITS
+            if last != first:
+                self._dirty_pages.add(last)
 
     def _mmio_store(self, addr: int, value: int) -> None:
         if addr == MMIO.EXIT:
@@ -245,7 +473,7 @@ class CPU:
         raise ValueError(f"unknown condition {cond}")
 
     # ------------------------------------------------------------------
-    # Execution proper
+    # Execution proper (reference interpreter; dispatch.py mirrors this)
     # ------------------------------------------------------------------
     def execute(self, instr) -> None:  # noqa: C901 - dispatch table
         regs = self.regs
@@ -300,6 +528,7 @@ class CPU:
             regs[instr.rdhi] = (product >> 32) & WORD
             self.cycles += model.umull()
         elif isinstance(instr, ins.Udiv):
+            # ARMv7-M (DIV_0_TRP=0): zero divisor -> zero quotient, no trap.
             dividend, divisor = regs[instr.rn], regs[instr.rm]
             regs[instr.rd] = (dividend // divisor) & WORD if divisor else 0
             self.cycles += model.div(dividend, divisor)

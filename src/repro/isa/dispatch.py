@@ -1,0 +1,665 @@
+"""Decode-cached instruction dispatch.
+
+The hot loop of every fault campaign is :meth:`repro.isa.cpu.CPU.step`.
+The original implementation re-decoded each instruction on every dynamic
+execution: a ~30-arm ``isinstance`` chain, string-keyed ALU/shift/condition
+dispatch, and a ``width()`` recomputation for the PC update.  This module
+moves all of that to *assembly/load time*: each :class:`~repro.isa.
+instructions.Instr` in a :class:`~repro.isa.assembler.CodeImage` is decoded
+exactly once into a pre-bound closure, so a step becomes
+
+    handler, instr, width = cache[pc]
+    regs[PC] = handler(cpu)
+
+Handler contract
+----------------
+``handler(cpu) -> next_pc``.  The handler performs the instruction's full
+semantics (register/memory/flag updates via the same :class:`CPU` helpers
+the reference path uses), charges cycles, and returns the address execution
+continues at.  On halting events (EXIT/FAULT_DETECTED/MEM_ERROR) it sets
+``cpu.status`` and still returns the fall-through address, exactly like the
+reference ``CPU.execute`` + PC-update sequence — the run loop observes the
+status change afterwards.
+
+Everything an instruction can know statically is captured in the closure:
+operand register indices, masked immediates, branch targets, the
+fall-through address (``addr + width``), resolved literal values,
+precomputed N flags of constants, per-op ALU/shift/condition callables.
+Per-CPU state (registers, flags, the pluggable cycle model's constant
+costs snapshot as ``cpu._c_*``) is read through the single ``cpu``
+argument so one decode cache is shared by every CPU running the image.
+
+The reference interpreter (:meth:`CPU.execute`) is kept verbatim; the
+differential suite in ``tests/test_engine_equivalence.py`` proves the two
+paths trace-equivalent on every device program and scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa import instructions as ins
+from repro.isa.cpu import MAGIC_RETURN, WORD, Status, _signed
+from repro.isa.encoding import width as encoded_width
+from repro.isa.registers import LR, PC, SP
+
+#: decode-cache entry: (handler, instr, width)
+DecodeEntry = tuple[Callable, ins.Instr, int]
+
+
+# ---------------------------------------------------------------------------
+# Flag-setting arithmetic (mirrors CPU._add_with_carry exactly)
+# ---------------------------------------------------------------------------
+def _adc_into(cpu, a: int, b: int, carry: int) -> int:
+    unsigned = a + b + carry
+    result = unsigned & WORD
+    cpu.c = 1 if unsigned > WORD else 0
+    sa, sb, sr = a >> 31, b >> 31, result >> 31
+    cpu.v = 1 if (sa == sb and sr != sa) else 0
+    cpu.n = sr
+    cpu.z = 1 if result == 0 else 0
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Condition evaluation (mirrors CPU.condition_holds)
+# ---------------------------------------------------------------------------
+_COND: dict[str, Callable] = {
+    "eq": lambda cpu: cpu.z == 1,
+    "ne": lambda cpu: cpu.z == 0,
+    "hs": lambda cpu: cpu.c == 1,
+    "lo": lambda cpu: cpu.c == 0,
+    "hi": lambda cpu: cpu.c == 1 and cpu.z == 0,
+    "ls": lambda cpu: cpu.c == 0 or cpu.z == 1,
+    "lt": lambda cpu: cpu.n != cpu.v,
+    "ge": lambda cpu: cpu.n == cpu.v,
+    "gt": lambda cpu: cpu.z == 0 and cpu.n == cpu.v,
+    "le": lambda cpu: cpu.z == 1 or cpu.n != cpu.v,
+}
+
+#: plain-value ALU ops (no flag side effects beyond optional NZ)
+_ALU_VALUE: dict[str, Callable[[int, int], int]] = {
+    "and": lambda a, b: a & b,
+    "orr": lambda a, b: a | b,
+    "eor": lambda a, b: a ^ b,
+    "bic": lambda a, b: a & ~b & WORD,
+}
+
+_SHIFT_VALUE: dict[str, Callable[[int, int], int]] = {
+    "lsl": lambda v, a: (v << a) & WORD if a < 32 else 0,
+    "lsr": lambda v, a: (v >> a) if a < 32 else 0,
+    "asr": lambda v, a: (_signed(v) >> min(a, 31)) & WORD,
+    "ror": lambda v, a: ((v >> (a % 32)) | (v << (32 - a % 32))) & WORD,
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-class binders: bind(instr, addr, next_pc) -> handler
+# ---------------------------------------------------------------------------
+def _bind_mov_imm(i: ins.MovImm, addr, next_pc):
+    rd, imm = i.rd, i.imm & WORD
+    n, z = imm >> 31, 1 if imm == 0 else 0
+
+    def h(cpu):
+        cpu.regs[rd] = imm
+        cpu.n = n
+        cpu.z = z
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_mov_reg(i: ins.MovReg, addr, next_pc):
+    rd, rm = i.rd, i.rm
+
+    def h(cpu):
+        cpu.regs[rd] = cpu.regs[rm]
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_movw(i: ins.Movw, addr, next_pc):
+    rd, imm = i.rd, i.imm & 0xFFFF
+
+    def h(cpu):
+        cpu.regs[rd] = imm
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_movt(i: ins.Movt, addr, next_pc):
+    rd, high = i.rd, (i.imm & 0xFFFF) << 16
+
+    def h(cpu):
+        cpu.regs[rd] = (cpu.regs[rd] & 0xFFFF) | high
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_mvn(i: ins.Mvn, addr, next_pc):
+    rd, rm = i.rd, i.rm
+
+    def h(cpu):
+        value = (~cpu.regs[rm]) & WORD
+        cpu.regs[rd] = value
+        cpu.n = value >> 31
+        cpu.z = 1 if value == 0 else 0
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_alu_value(op: str, rd, fetch_a, fetch_b, s: bool, next_pc):
+    """Logical ops and flag-free arithmetic with bound operand fetchers."""
+    value_of = _ALU_VALUE[op]
+
+    if s:
+
+        def h(cpu):
+            result = value_of(fetch_a(cpu), fetch_b(cpu))
+            cpu.regs[rd] = result
+            cpu.n = result >> 31
+            cpu.z = 1 if result == 0 else 0
+            cpu.cycles += cpu._c_alu
+            return next_pc
+
+    else:
+
+        def h(cpu):
+            cpu.regs[rd] = value_of(fetch_a(cpu), fetch_b(cpu))
+            cpu.cycles += cpu._c_alu
+            return next_pc
+
+    return h
+
+
+def _bind_alu_generic(op: str, rd, fetch_a, fetch_b, s: bool, next_pc):
+    """add/sub/rsb/adc/sbc with or without flag setting."""
+    if op == "add":
+        if s:
+
+            def h(cpu):
+                cpu.regs[rd] = _adc_into(cpu, fetch_a(cpu), fetch_b(cpu), 0)
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+        else:
+
+            def h(cpu):
+                cpu.regs[rd] = (fetch_a(cpu) + fetch_b(cpu)) & WORD
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+    elif op == "sub":
+        if s:
+
+            def h(cpu):
+                cpu.regs[rd] = _adc_into(
+                    cpu, fetch_a(cpu), (~fetch_b(cpu)) & WORD, 1
+                )
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+        else:
+
+            def h(cpu):
+                cpu.regs[rd] = (fetch_a(cpu) - fetch_b(cpu)) & WORD
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+    elif op == "rsb":
+        if s:
+
+            def h(cpu):
+                cpu.regs[rd] = _adc_into(
+                    cpu, fetch_b(cpu), (~fetch_a(cpu)) & WORD, 1
+                )
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+        else:
+
+            def h(cpu):
+                cpu.regs[rd] = (fetch_b(cpu) - fetch_a(cpu)) & WORD
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+    elif op == "adc":
+        if s:
+
+            def h(cpu):
+                cpu.regs[rd] = _adc_into(cpu, fetch_a(cpu), fetch_b(cpu), cpu.c)
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+        else:
+
+            def h(cpu):
+                cpu.regs[rd] = (fetch_a(cpu) + fetch_b(cpu) + cpu.c) & WORD
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+    elif op == "sbc":
+        if s:
+
+            def h(cpu):
+                cpu.regs[rd] = _adc_into(
+                    cpu, fetch_a(cpu), (~fetch_b(cpu)) & WORD, cpu.c
+                )
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+        else:
+
+            def h(cpu):
+                cpu.regs[rd] = (fetch_a(cpu) - fetch_b(cpu) - (1 - cpu.c)) & WORD
+                cpu.cycles += cpu._c_alu
+                return next_pc
+
+    else:  # pragma: no cover - the assembler never emits unknown ops
+        raise ValueError(f"unknown ALU op {op}")
+    return h
+
+
+def _reg_fetch(reg):
+    def fetch(cpu):
+        return cpu.regs[reg]
+
+    return fetch
+
+
+def _imm_fetch(imm):
+    imm &= WORD
+
+    def fetch(cpu):
+        return imm
+
+    return fetch
+
+
+def _bind_alu(i: ins.Alu, addr, next_pc):
+    fetch_a, fetch_b = _reg_fetch(i.rn), _reg_fetch(i.rm)
+    if i.op in _ALU_VALUE:
+        return _bind_alu_value(i.op, i.rd, fetch_a, fetch_b, i.s, next_pc)
+    return _bind_alu_generic(i.op, i.rd, fetch_a, fetch_b, i.s, next_pc)
+
+
+def _bind_alu_imm(i: ins.AluImm, addr, next_pc):
+    fetch_a, fetch_b = _reg_fetch(i.rn), _imm_fetch(i.imm)
+    if i.op in _ALU_VALUE:
+        return _bind_alu_value(i.op, i.rd, fetch_a, fetch_b, i.s, next_pc)
+    return _bind_alu_generic(i.op, i.rd, fetch_a, fetch_b, i.s, next_pc)
+
+
+def _bind_shift_imm(i: ins.ShiftImm, addr, next_pc):
+    rd, rn = i.rd, i.rn
+    shift = _SHIFT_VALUE[i.op]
+    amount = i.amount & 0xFF
+
+    def h(cpu):
+        value = shift(cpu.regs[rn], amount)
+        cpu.regs[rd] = value
+        cpu.n = value >> 31
+        cpu.z = 1 if value == 0 else 0
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_shift_reg(i: ins.ShiftReg, addr, next_pc):
+    rd, rn, rm = i.rd, i.rn, i.rm
+    shift = _SHIFT_VALUE[i.op]
+
+    def h(cpu):
+        value = shift(cpu.regs[rn], cpu.regs[rm] & 0xFF)
+        cpu.regs[rd] = value
+        cpu.n = value >> 31
+        cpu.z = 1 if value == 0 else 0
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_mul(i: ins.Mul, addr, next_pc):
+    rd, rn, rm = i.rd, i.rn, i.rm
+
+    def h(cpu):
+        regs = cpu.regs
+        regs[rd] = (regs[rn] * regs[rm]) & WORD
+        cpu.cycles += cpu._c_mul
+        return next_pc
+
+    return h
+
+
+def _bind_mla(i: ins.Mla, addr, next_pc):
+    rd, rn, rm, ra = i.rd, i.rn, i.rm, i.ra
+
+    def h(cpu):
+        regs = cpu.regs
+        regs[rd] = (regs[ra] + regs[rn] * regs[rm]) & WORD
+        cpu.cycles += cpu._c_mla
+        return next_pc
+
+    return h
+
+
+def _bind_mls(i: ins.Mls, addr, next_pc):
+    rd, rn, rm, ra = i.rd, i.rn, i.rm, i.ra
+
+    def h(cpu):
+        regs = cpu.regs
+        regs[rd] = (regs[ra] - regs[rn] * regs[rm]) & WORD
+        cpu.cycles += cpu._c_mla
+        return next_pc
+
+    return h
+
+
+def _bind_umull(i: ins.Umull, addr, next_pc):
+    rdlo, rdhi, rn, rm = i.rdlo, i.rdhi, i.rn, i.rm
+
+    def h(cpu):
+        regs = cpu.regs
+        product = regs[rn] * regs[rm]
+        regs[rdlo] = product & WORD
+        regs[rdhi] = (product >> 32) & WORD
+        cpu.cycles += cpu._c_umull
+        return next_pc
+
+    return h
+
+
+def _bind_udiv(i: ins.Udiv, addr, next_pc):
+    rd, rn, rm = i.rd, i.rn, i.rm
+
+    def h(cpu):
+        regs = cpu.regs
+        dividend, divisor = regs[rn], regs[rm]
+        regs[rd] = (dividend // divisor) & WORD if divisor else 0
+        cpu.cycles += cpu.cycles_model.div(dividend, divisor)
+        return next_pc
+
+    return h
+
+
+def _bind_sdiv(i: ins.Sdiv, addr, next_pc):
+    rd, rn, rm = i.rd, i.rn, i.rm
+
+    def h(cpu):
+        regs = cpu.regs
+        a = _signed(regs[rn])
+        b = _signed(regs[rm])
+        if b == 0:
+            regs[rd] = 0
+        else:
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            regs[rd] = q & WORD
+        cpu.cycles += cpu.cycles_model.div(abs(a), abs(b) or 1)
+        return next_pc
+
+    return h
+
+
+def _bind_umod(i: ins.Umod, addr, next_pc):
+    rd, rn, rm = i.rd, i.rn, i.rm
+
+    def h(cpu):
+        regs = cpu.regs
+        dividend, divisor = regs[rn], regs[rm]
+        regs[rd] = (dividend % divisor) & WORD if divisor else 0
+        cpu.cycles += cpu._c_umod
+        return next_pc
+
+    return h
+
+
+def _bind_cmp_reg(i: ins.CmpReg, addr, next_pc):
+    rn, rm = i.rn, i.rm
+
+    def h(cpu):
+        regs = cpu.regs
+        _adc_into(cpu, regs[rn], (~regs[rm]) & WORD, 1)
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_cmp_imm(i: ins.CmpImm, addr, next_pc):
+    rn = i.rn
+    not_imm = (~(i.imm & WORD)) & WORD
+
+    def h(cpu):
+        _adc_into(cpu, cpu.regs[rn], not_imm, 1)
+        cpu.cycles += cpu._c_alu
+        return next_pc
+
+    return h
+
+
+def _bind_b(i: ins.B, addr, next_pc):
+    target = i.target
+
+    def h(cpu):
+        cpu.cycles += cpu._c_branch_taken
+        return target
+
+    return h
+
+
+def _bind_bcc(i: ins.Bcc, addr, next_pc):
+    holds = _COND[i.cond]
+    target = i.target
+
+    def h(cpu):
+        if holds(cpu):
+            cpu.cycles += cpu._c_branch_taken
+            return target
+        cpu.cycles += cpu._c_branch_not_taken
+        return next_pc
+
+    return h
+
+
+def _bind_bl(i: ins.Bl, addr, next_pc):
+    target = i.target
+
+    def h(cpu):
+        # Read PC from the register file (not the bind-time address): a
+        # pre-hook corrupting r15 must observably corrupt LR, exactly as
+        # the reference interpreter behaves.
+        cpu.regs[LR] = cpu.regs[PC] + 4  # BL is always 4 bytes
+        cpu.cycles += cpu._c_call
+        return target
+
+    return h
+
+
+def _bind_bx_lr(i: ins.BxLr, addr, next_pc):
+    def h(cpu):
+        target = cpu.regs[LR]
+        cpu.cycles += cpu._c_ret
+        if target == MAGIC_RETURN:
+            cpu.status = Status.EXIT
+            cpu.exit_code = cpu.regs[0]
+            return next_pc
+        return target & ~1
+
+    return h
+
+
+def _bind_ldr_imm(i: ins.LdrImm, addr, next_pc):
+    rt, rn, imm, size = i.rt, i.rn, i.imm, i.size
+
+    def h(cpu):
+        cpu.regs[rt] = cpu.load(cpu.regs[rn] + imm, size)
+        cpu.cycles += cpu._c_load
+        return next_pc
+
+    return h
+
+
+def _bind_ldr_reg(i: ins.LdrReg, addr, next_pc):
+    rt, rn, rm, size = i.rt, i.rn, i.rm, i.size
+
+    def h(cpu):
+        regs = cpu.regs
+        regs[rt] = cpu.load(regs[rn] + regs[rm], size)
+        cpu.cycles += cpu._c_load
+        return next_pc
+
+    return h
+
+
+def _bind_str_imm(i: ins.StrImm, addr, next_pc):
+    rt, rn, imm, size = i.rt, i.rn, i.imm, i.size
+
+    def h(cpu):
+        regs = cpu.regs
+        cpu.store(regs[rn] + imm, regs[rt], size)
+        cpu.cycles += cpu._c_store
+        return next_pc
+
+    return h
+
+
+def _bind_str_reg(i: ins.StrReg, addr, next_pc):
+    rt, rn, rm, size = i.rt, i.rn, i.rm, i.size
+
+    def h(cpu):
+        regs = cpu.regs
+        cpu.store(regs[rn] + regs[rm], regs[rt], size)
+        cpu.cycles += cpu._c_store
+        return next_pc
+
+    return h
+
+
+def _bind_push(i: ins.Push, addr, next_pc):
+    to_push = tuple(reversed(i.regs))
+    count = len(i.regs)
+
+    def h(cpu):
+        regs = cpu.regs
+        for reg in to_push:
+            sp = (regs[SP] - 4) & WORD
+            regs[SP] = sp
+            cpu.store(sp, regs[reg], 4)
+        cpu.cycles += cpu.cycles_model.push_pop(count)
+        return next_pc
+
+    return h
+
+
+def _bind_pop(i: ins.Pop, addr, next_pc):
+    to_pop = tuple(i.regs)
+    count = len(i.regs)
+
+    def h(cpu):
+        regs = cpu.regs
+        for reg in to_pop:
+            regs[reg] = cpu.load(regs[SP], 4)
+            regs[SP] = (regs[SP] + 4) & WORD
+        cpu.cycles += cpu.cycles_model.push_pop(count)
+        return next_pc
+
+    return h
+
+
+def _bind_ldr_lit(i: ins.LdrLit, addr, next_pc):
+    assert i.resolved is not None, f"unresolved literal {i.symbol}"
+    rd, value = i.rd, i.resolved & WORD
+
+    def h(cpu):
+        cpu.regs[rd] = value
+        cpu.cycles += cpu._c_load
+        return next_pc
+
+    return h
+
+
+def _bind_nop(i: ins.Nop, addr, next_pc):
+    def h(cpu):
+        cpu.cycles += cpu._c_nop
+        return next_pc
+
+    return h
+
+
+def _bind_udf(i: ins.Udf, addr, next_pc):
+    code = i.code
+
+    def h(cpu):
+        cpu.status = Status.FAULT_DETECTED
+        cpu.detect_code = code
+        cpu.cycles += 1
+        return next_pc
+
+    return h
+
+
+_BINDERS: dict[type, Callable] = {
+    ins.MovImm: _bind_mov_imm,
+    ins.MovReg: _bind_mov_reg,
+    ins.Movw: _bind_movw,
+    ins.Movt: _bind_movt,
+    ins.Mvn: _bind_mvn,
+    ins.Alu: _bind_alu,
+    ins.AluImm: _bind_alu_imm,
+    ins.ShiftImm: _bind_shift_imm,
+    ins.ShiftReg: _bind_shift_reg,
+    ins.Mul: _bind_mul,
+    ins.Mla: _bind_mla,
+    ins.Mls: _bind_mls,
+    ins.Umull: _bind_umull,
+    ins.Udiv: _bind_udiv,
+    ins.Sdiv: _bind_sdiv,
+    ins.Umod: _bind_umod,
+    ins.CmpReg: _bind_cmp_reg,
+    ins.CmpImm: _bind_cmp_imm,
+    ins.B: _bind_b,
+    ins.Bcc: _bind_bcc,
+    ins.Bl: _bind_bl,
+    ins.BxLr: _bind_bx_lr,
+    ins.LdrImm: _bind_ldr_imm,
+    ins.LdrReg: _bind_ldr_reg,
+    ins.StrImm: _bind_str_imm,
+    ins.StrReg: _bind_str_reg,
+    ins.Push: _bind_push,
+    ins.Pop: _bind_pop,
+    ins.LdrLit: _bind_ldr_lit,
+    ins.Nop: _bind_nop,
+    ins.Udf: _bind_udf,
+}
+
+
+def bind(instr: ins.Instr, addr: int, width: int) -> Callable:
+    """Decode one instruction into its pre-bound handler."""
+    binder = _BINDERS.get(type(instr))
+    if binder is None:
+        raise NotImplementedError(f"no handler binder for {instr!r}")
+    return binder(instr, addr, addr + width)
+
+
+def build_decode_cache(image) -> dict[int, DecodeEntry]:
+    """Decode every instruction of ``image`` once, keyed by address."""
+    cache: dict[int, DecodeEntry] = {}
+    addr_of = image.addr_of
+    for instr in image.instructions:
+        addr = addr_of[id(instr)]
+        w = encoded_width(instr)
+        cache[addr] = (bind(instr, addr, w), instr, w)
+    return cache

@@ -6,8 +6,16 @@ Each instruction knows:
   register allocator;
 * ``text()`` — canonical assembly text (also the CFI signature input);
 * ``width()`` — encoded size in bytes per the Thumb-2 rules (encoding.py);
-* execution semantics live in :mod:`repro.isa.cpu` (single dispatch there
-  keeps the hot loop tight).
+* execution semantics live in :mod:`repro.isa.dispatch` (each instruction
+  is decoded once, at image load, into a pre-bound handler closure; the
+  reference interpreter in :mod:`repro.isa.cpu` mirrors it arm for arm).
+
+Instances are logically frozen once assembled: layout state the assembler
+maintains (``target``/``resolved``/``resolved_distance``) settles during
+relaxation, and execution semantics never mutate an instruction — widths
+and bound handlers live in the image's decode cache rather than in
+attributes cached onto these dataclasses (the one remaining per-object
+memo is the CFI signature, see :mod:`repro.cfi.signatures`).
 
 Condition codes for ``Bcc`` use unsigned/equality semantics only — the
 compiler emits exactly these.

@@ -35,6 +35,7 @@ _EXPORTS = {
     "build_pipeline": "repro.toolchain.registry",
     "Workbench": "repro.toolchain.workbench",
     "CampaignBuilder": "repro.toolchain.workbench",
+    "CampaignExecutor": "repro.toolchain.executor",
 }
 
 __all__ = sorted(_EXPORTS)

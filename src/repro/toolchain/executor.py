@@ -1,0 +1,135 @@
+"""Parallel fault-campaign execution across worker processes.
+
+A campaign is embarrassingly parallel: every trial is independent given
+the compiled program.  :class:`CampaignExecutor` shards a trial batch
+across a ``multiprocessing`` pool:
+
+* the :class:`~repro.backend.driver.CompiledProgram` is pickled **once per
+  worker** (pool initializer), not once per task — see
+  ``CodeImage.__getstate__`` for the decode-cache/instruction-identity
+  handling;
+* each worker builds its own :class:`~repro.faults.scheduler.
+  TrialScheduler` on first use (one golden run per worker, then
+  checkpoint-forked trials);
+* workers stream back compact ``(outcome, exit_code)`` pairs which the
+  parent merges into an :class:`~repro.faults.isa_campaign.AttackResult`
+  in submission order, so parallel tallies — including the order-sensitive
+  ``wrong_codes`` list — are byte-identical to the single-process engine.
+
+Usage::
+
+    with CampaignExecutor(max_workers=4) as executor:
+        result = run_attack(program, "cmp", [7, 7], models, executor=executor)
+        # or: workbench.campaign(src, "cmp", [7, 7]).attack(...).run(executor=executor)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from repro.faults.isa_campaign import AttackResult
+
+# -- worker side ------------------------------------------------------------
+_WORKER_PROGRAM = None
+
+
+def _init_worker(program) -> None:
+    global _WORKER_PROGRAM
+    _WORKER_PROGRAM = program
+
+
+def _run_batch(function, args, models, max_cycles):
+    from repro.faults.classify import classify
+    from repro.faults.scheduler import TrialScheduler
+
+    scheduler = TrialScheduler.for_program(_WORKER_PROGRAM, function, args)
+    golden = scheduler.golden
+    cycles_before = scheduler.stats.simulated_cycles
+    results = []
+    for model in models:
+        faulted = scheduler.run_trial(model, max_cycles)
+        results.append((classify(golden, faulted), faulted.exit_code))
+    return results, scheduler.stats.simulated_cycles - cycles_before
+
+
+# -- parent side ------------------------------------------------------------
+class CampaignExecutor:
+    """A process pool dedicated to fault-campaign trials.
+
+    The pool is bound to the first program it runs (workers hold its
+    unpickled image); running a different program restarts the pool.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, batches_per_worker: int = 4):
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.batches_per_worker = batches_per_worker
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._program = None
+
+    # -- lifecycle --------------------------------------------------------
+    def _pool_for(self, program) -> ProcessPoolExecutor:
+        if self._pool is not None and self._program is not program:
+            self.close()
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(program,),
+            )
+            self._program = program
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._program = None
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution --------------------------------------------------------
+    def run_attack(
+        self,
+        program,
+        function: str,
+        args: list[int],
+        models,
+        attack_name: str = "attack",
+        max_cycles: int = 2_000_000,
+    ) -> AttackResult:
+        """Shard ``models`` into batches and merge the streamed outcomes."""
+        models = list(models)
+        result = AttackResult(attack_name)
+        if not models:
+            return result
+        pool = self._pool_for(program)
+        target_batches = max(1, self.max_workers * self.batches_per_worker)
+        batch_size = max(1, -(-len(models) // target_batches))
+        futures = [
+            pool.submit(
+                _run_batch,
+                function,
+                list(args),
+                models[i : i + batch_size],
+                max_cycles,
+            )
+            for i in range(0, len(models), batch_size)
+        ]
+        for future in futures:  # submission order == model order
+            outcomes, batch_cycles = future.result()
+            for outcome, exit_code in outcomes:
+                result.record(outcome, exit_code)
+            result.simulated_cycles += batch_cycles
+        return result

@@ -190,17 +190,52 @@ class CampaignBuilder:
         self._attacks.append((name, attack_fn, kwargs))
         return self
 
-    def run(self) -> CampaignReport:
-        """Execute every queued attack and collect a :class:`CampaignReport`."""
+    def run(self, executor=None, engine: Optional[str] = None) -> CampaignReport:
+        """Execute every queued attack and collect a :class:`CampaignReport`.
+
+        ``executor`` — a :class:`~repro.toolchain.executor.CampaignExecutor`
+        (or a worker count, pooled for the duration of this run) to shard
+        trials across processes.  ``engine`` forces a trial engine
+        (``"fork"``/``"replay"``/``"reference"``) on the attack suites that
+        support one.  Either is forwarded only to attack functions whose
+        signature accepts the corresponding keyword.
+        """
         if not self._attacks:
             raise ValueError("campaign has no attacks; chain .attack(...) first")
+        owned_executor = None
+        if isinstance(executor, int):
+            from repro.toolchain.executor import CampaignExecutor
+
+            executor = owned_executor = CampaignExecutor(max_workers=executor)
+        try:
+            return self._run(executor, engine)
+        finally:
+            if owned_executor is not None:
+                owned_executor.close()
+
+    def _run(self, executor, engine: Optional[str]) -> CampaignReport:
+        import inspect
+
         report = CampaignReport(scheme=self.program.scheme)
         for name, attack_fn, kwargs in self._attacks:
-            result = attack_fn(self.program, self.function, self.args, **kwargs)
+            call_kwargs = dict(kwargs)
+            try:
+                accepted = inspect.signature(attack_fn).parameters
+            except (TypeError, ValueError):  # builtins/partials without sigs
+                accepted = {}
+            if executor is not None and "executor" in accepted:
+                call_kwargs.setdefault("executor", executor)
+            if engine is not None and "engine" in accepted:
+                call_kwargs.setdefault("engine", engine)
+            result = attack_fn(self.program, self.function, self.args, **call_kwargs)
             label = name or result.attack
             if label != result.attack:
                 result = AttackResult(
-                    label, dict(result.outcomes), result.trials, list(result.wrong_codes)
+                    label,
+                    dict(result.outcomes),
+                    result.trials,
+                    list(result.wrong_codes),
+                    result.simulated_cycles,
                 )
             if label in report.attacks:
                 raise ValueError(

@@ -1,0 +1,294 @@
+"""Differential proof that the fast campaign engine is trace-equivalent to
+the reference one.
+
+Three layers of equivalence, per the PR contract:
+
+* **golden runs** — every device program, compiled under every registered
+  scheme, executes identically (full ``ExecutionResult`` equality: status,
+  exit code, cycles, retired instructions, console) on the decode-cached
+  dispatcher and the original ``isinstance``-chain interpreter;
+* **campaign tallies** — the stock attack suites produce identical
+  ``AttackResult`` outcome tallies (and ``wrong_codes``, in order) on the
+  ``reference``, ``replay`` and ``fork`` engines, and on the parallel
+  :class:`~repro.toolchain.executor.CampaignExecutor`;
+* **individual trials** — checkpoint-forked trials return the *same
+  ExecutionResult* (cycles included) as full replays, for every bundled
+  fault-model family.
+"""
+
+import pytest
+
+from repro.backend import compile_ir
+from repro.crypto import build_signed_image
+from repro.crypto.image import BOOT_OK, bootloader_params, prepare_bootloader_module
+from repro.faults.isa_campaign import (
+    branch_flip_sweep,
+    encoded_window,
+    operand_corruption_sweep,
+    repeated_branch_flip,
+    run_attack,
+    skip_sweep,
+)
+from repro.faults.models import (
+    BranchDirectionFlip,
+    FlagFlip,
+    InstructionSkip,
+    MemoryBitFlip,
+    RegisterBitFlip,
+    RepeatedFlagFlip,
+    RepeatedInstructionSkip,
+)
+from repro.faults.scheduler import TrialScheduler
+from repro.minic import parse_to_ir
+from repro.minic.driver import compile_source
+from repro.programs import load_source
+from repro.toolchain import CompileConfig, list_schemes, table3_schemes
+
+ALL_SCHEMES = list_schemes()
+TABLE3 = table3_schemes()
+
+SHA_DRIVER = """
+u8 msg[256];
+u32 msg_len = 0;
+u32 digest[8];
+u32 run_sha(u32 word_index) {
+    sha256(&msg[0], msg_len, &digest[0]);
+    return digest[word_index];
+}
+"""
+
+EC_DRIVER = """
+u32 run_modmul(u32 a, u32 b) { return modmul(a, b, CURVE_P); }
+u32 run_modinv(u32 a) { return modinv(a, CURVE_P); }
+"""
+
+
+def _sha_module():
+    message = b"abc"
+    module = parse_to_ir(load_source("sha256") + SHA_DRIVER, "sha")
+    module.globals["msg"].initializer = message
+    module.globals["msg_len"].initializer = len(message).to_bytes(4, "little")
+    return module
+
+
+def assert_same_result(a, b, context=""):
+    assert a == b, f"{context}: {a} != {b}"
+
+
+def both_dispatches(program, function, args, max_cycles=10_000_000):
+    reference = program.run(
+        function, args, max_cycles=max_cycles, dispatch="reference"
+    )
+    cached = program.run(function, args, max_cycles=max_cycles, dispatch="cached")
+    return reference, cached
+
+
+# ---------------------------------------------------------------------------
+# Golden-run equivalence: device programs x schemes x dispatch paths
+# ---------------------------------------------------------------------------
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize(
+        "name,function,args",
+        [
+            ("integer_compare", "integer_compare", [7, 7]),
+            ("integer_compare", "integer_compare", [7, 8]),
+            ("memcmp", "run_memcmp", [128]),
+        ],
+    )
+    def test_micros(self, scheme, name, function, args):
+        program = compile_source(
+            load_source(name), config=CompileConfig(scheme=scheme)
+        )
+        reference, cached = both_dispatches(program, function, args)
+        assert_same_result(reference, cached, f"{name}/{scheme}{args}")
+        assert reference.ok
+
+    @pytest.mark.parametrize("scheme", TABLE3)
+    def test_sha256(self, scheme):
+        program = compile_ir(_sha_module(), config=CompileConfig(scheme=scheme))
+        for word_index in (0, 7):
+            reference, cached = both_dispatches(program, "run_sha", [word_index])
+            assert_same_result(reference, cached, f"sha256/{scheme}[{word_index}]")
+            assert reference.ok
+
+    @pytest.mark.parametrize("scheme", TABLE3)
+    def test_ecverify_helpers(self, scheme):
+        module = parse_to_ir(load_source("ecverify") + EC_DRIVER, "ec")
+        program = compile_ir(module, config=CompileConfig(scheme=scheme))
+        for function, args in (
+            ("run_modmul", [999999, 123456]),
+            ("run_modinv", [12345]),
+        ):
+            reference, cached = both_dispatches(program, function, args)
+            assert_same_result(reference, cached, f"ecverify/{scheme}/{function}")
+            assert reference.ok
+
+    @pytest.mark.parametrize("scheme", ["none", "ancode"])
+    def test_bootloader(self, scheme):
+        image = build_signed_image(b"FW-EQUIV-TEST-01" * 4)  # 64 bytes
+        program = compile_ir(
+            prepare_bootloader_module(image),
+            config=CompileConfig(scheme=scheme, params=bootloader_params()),
+        )
+        reference, cached = both_dispatches(
+            program, "bootloader_main", [], max_cycles=30_000_000
+        )
+        assert_same_result(reference, cached, f"bootloader/{scheme}")
+        assert reference.exit_code == BOOT_OK
+
+
+# ---------------------------------------------------------------------------
+# Campaign-tally equivalence: stock suites x schemes x engines
+# ---------------------------------------------------------------------------
+def _tally(result):
+    return (result.attack, result.outcomes, result.trials, result.wrong_codes)
+
+
+def _stock_suite(program, function, args, engine):
+    results = [
+        skip_sweep(program, function, args, engine=engine),
+        branch_flip_sweep(program, function, args, max_branches=8, engine=engine),
+        repeated_branch_flip(program, function, args, engine=engine),
+        operand_corruption_sweep(program, function, args, engine=engine),
+    ]
+    return [_tally(r) for r in results]
+
+
+class TestCampaignEquivalence:
+    @pytest.mark.parametrize("scheme", TABLE3)
+    @pytest.mark.parametrize(
+        "name,function,args",
+        [
+            ("integer_compare", "integer_compare", [7, 7]),
+            ("integer_compare", "integer_compare", [7, 8]),
+            ("memcmp", "run_memcmp", [16]),
+        ],
+    )
+    def test_stock_suites_all_engines(self, scheme, name, function, args):
+        program = compile_source(
+            load_source(name), config=CompileConfig(scheme=scheme)
+        )
+        reference = _stock_suite(program, function, args, "reference")
+        replay = _stock_suite(program, function, args, "replay")
+        fork = _stock_suite(program, function, args, "fork")
+        assert reference == replay == fork
+
+    def test_windowed_operand_corruption(self):
+        program = compile_source(
+            load_source("integer_compare"), config=CompileConfig(scheme="ancode")
+        )
+        args = [7, 8]
+        window = encoded_window(program, "integer_compare", args)
+        tallies = {
+            engine: _tally(
+                operand_corruption_sweep(
+                    program, "integer_compare", args, window=window, engine=engine
+                )
+            )
+            for engine in ("reference", "replay", "fork")
+        }
+        assert tallies["reference"] == tallies["replay"] == tallies["fork"]
+
+    def test_parallel_executor_matches_serial(self):
+        from repro.toolchain import CampaignExecutor
+
+        program = compile_source(
+            load_source("memcmp"), config=CompileConfig(scheme="ancode")
+        )
+        total = program.trial_scheduler("run_memcmp", [16]).golden.instructions
+        models = [InstructionSkip(i) for i in range(1, total + 1, 7)]
+        serial = run_attack(program, "run_memcmp", [16], models, "skip")
+        with CampaignExecutor(max_workers=2) as executor:
+            parallel = run_attack(
+                program, "run_memcmp", [16], models, "skip", executor=executor
+            )
+        assert _tally(serial) == _tally(parallel)
+
+
+# ---------------------------------------------------------------------------
+# Trial-level equivalence: forked ExecutionResult == full-replay result
+# ---------------------------------------------------------------------------
+def _model_zoo(program, function, args):
+    total = program.trial_scheduler(function, args).golden.instructions
+    data_addr = next(iter(program.image.data_addrs.values()), 0x2000)
+    stride = max(1, total // 40)
+    models = [InstructionSkip(i) for i in range(1, total + 1, stride)]
+    models += [InstructionSkip(total + 5)]  # can never fire
+    models += [BranchDirectionFlip(n) for n in range(1, 9)]
+    models += [FlagFlip("z", n) for n in (1, 2, 3)]
+    models += [FlagFlip("c", 1), RepeatedFlagFlip("z"), RepeatedFlagFlip("c")]
+    models += [
+        RegisterBitFlip(reg, bit, occ)
+        for reg in (0, 1, 3)
+        for bit in (0, 16, 31)
+        for occ in (1, total // 2, total)
+    ]
+    models += [
+        MemoryBitFlip(data_addr, 0, max(1, total // 3)),
+        MemoryBitFlip(data_addr + 1, 7, max(1, 2 * total // 3)),
+    ]
+    models += [RepeatedInstructionSkip("mul"), RepeatedInstructionSkip("cmp")]
+    return models
+
+
+class TestTrialEquivalence:
+    @pytest.mark.parametrize("scheme", TABLE3)
+    @pytest.mark.parametrize(
+        "name,function,args",
+        [
+            ("integer_compare", "integer_compare", [7, 7]),
+            ("memcmp", "run_memcmp", [8]),
+        ],
+    )
+    def test_fork_equals_replay_per_trial(self, scheme, name, function, args):
+        program = compile_source(
+            load_source(name), config=CompileConfig(scheme=scheme)
+        )
+        scheduler = TrialScheduler.for_program(program, function, args)
+        for model in _model_zoo(program, function, args):
+            forked = scheduler.run_trial(model)
+            cpu = program.prepare_cpu(function, args, pre_hooks=[model.hook()])
+            replayed = cpu.run(2_000_000)
+            assert_same_result(forked, replayed, f"{name}/{scheme}/{model}")
+
+    def test_forced_small_interval_and_thinning(self):
+        # A tiny interval with a tight checkpoint budget exercises the
+        # ladder-thinning path; trials must stay exact.
+        program = compile_source(
+            load_source("memcmp"), config=CompileConfig(scheme="duplication")
+        )
+        scheduler = TrialScheduler(
+            program, "run_memcmp", [32], interval=16, max_checkpoints=8
+        )
+        assert len(scheduler.checkpoints) <= 9
+        assert scheduler.stats.interval > 16  # thinning doubled the spacing
+        total = scheduler.golden.instructions
+        for occurrence in (1, total // 3, total // 2, total - 1, total):
+            model = InstructionSkip(occurrence)
+            forked = scheduler.run_trial(model)
+            cpu = program.prepare_cpu("run_memcmp", [32], pre_hooks=[model.hook()])
+            assert_same_result(forked, cpu.run(2_000_000), f"skip@{occurrence}")
+
+    def test_short_circuit_counts_never_firing_trials(self):
+        program = compile_source(
+            load_source("integer_compare"), config=CompileConfig(scheme="ancode")
+        )
+        scheduler = TrialScheduler(program, "integer_compare", [5, 5])
+        golden = scheduler.golden
+        result = scheduler.run_trial(InstructionSkip(golden.instructions + 100))
+        assert result == golden
+        assert scheduler.stats.short_circuited == 1
+
+    def test_snapshot_restore_roundtrip(self):
+        program = compile_source(
+            load_source("memcmp"), config=CompileConfig(scheme="ancode")
+        )
+        cpu = program.prepare_cpu("run_memcmp", [64], track_pages=True)
+        partial = cpu.run(10_000_000, stop_at_instruction=500)
+        assert partial.instructions == 500
+        snap = cpu.snapshot()
+        final = cpu.run(10_000_000)
+        clone = program.prepare_cpu("run_memcmp", [64])
+        clone.restore(snap)
+        assert clone.run(10_000_000) == final

@@ -346,6 +346,43 @@ class TestCPUSemantics:
         assert result.status is Status.MEM_ERROR
 
 
+class TestDivideByZero:
+    """Pins the ARMv7-M DIV_0_TRP=0 semantics: a zero divisor returns a
+    zero quotient and execution continues — there is no trap status."""
+
+    @pytest.mark.parametrize("dividend", [0, 1, 7, 0xFFFFFFFF])
+    def test_udiv_by_zero_yields_zero(self, dividend):
+        _, result = run_fragment(
+            [
+                ins.Movw(R1, dividend & 0xFFFF),
+                ins.Movt(R1, dividend >> 16),
+                ins.MovImm(R2, 0),
+                ins.Udiv(R0, R1, R2),
+            ]
+        )
+        assert result.status is Status.EXIT
+        assert result.exit_code == 0
+
+    @pytest.mark.parametrize("dividend", [1, 0xFFFFFFF9])  # +1 and -7
+    def test_sdiv_by_zero_yields_zero(self, dividend):
+        _, result = run_fragment(
+            [
+                ins.Movw(R1, dividend & 0xFFFF),
+                ins.Movt(R1, dividend >> 16),
+                ins.MovImm(R2, 0),
+                ins.Sdiv(R0, R1, R2),
+            ]
+        )
+        assert result.status is Status.EXIT
+        assert result.exit_code == 0
+
+    def test_no_trap_status_exists(self):
+        # The dead DIV_BY_ZERO enum member is gone: the status space only
+        # contains outcomes the simulator can actually produce.
+        assert not hasattr(Status, "DIV_BY_ZERO")
+        assert "div-by-zero" not in {status.value for status in Status}
+
+
 class TestCycleModel:
     def test_udiv_cycles_data_dependent(self):
         # Small quotient: near the 2-cycle floor; huge quotient: capped at 12.
