@@ -26,7 +26,20 @@ See README.md for a quickstart and DESIGN.md for the system inventory.
 from repro.ancode import ANCode, ANCodeError
 from repro.core import EncodedComparator, Predicate, ProtectionParams, SymbolTable
 
-__version__ = "1.1.0"
+
+def _detect_version() -> str:
+    """Package version, sourced from the installed distribution metadata
+    (single source of truth: pyproject.toml) with a literal fallback for
+    source-tree usage (``PYTHONPATH=src``, no installation)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-secure-branches")
+    except Exception:
+        return "1.2.0"  # keep in sync with pyproject.toml
+
+
+__version__ = _detect_version()
 
 #: Toolchain names re-exported lazily (the compiler stack is heavy; the
 #: arithmetic API above must stay importable without it).

@@ -18,7 +18,12 @@ identical.
 
 from repro.crypto.curves import Curve, CurvePoint, P256, TOY20
 from repro.crypto.ecdsa import KeyPair, generate_keypair, sign, verify
-from repro.crypto.image import BootImage, build_signed_image, prepare_bootloader_module
+from repro.crypto.image import (
+    BootImage,
+    bootloader_initializers,
+    build_signed_image,
+    prepare_bootloader_module,
+)
 from repro.crypto.sha256 import sha256, sha256_words
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "KeyPair",
     "P256",
     "TOY20",
+    "bootloader_initializers",
     "build_signed_image",
     "generate_keypair",
     "prepare_bootloader_module",

@@ -69,36 +69,50 @@ def bootloader_source() -> str:
     )
 
 
-def _set_word(module: Module, name: str, value: int) -> None:
-    glob = module.globals[name]
-    glob.initializer = (value & 0xFFFFFFFF).to_bytes(4, "little")
+def _word(value: int) -> bytes:
+    return (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def bootloader_initializers(
+    image: BootImage,
+    tamper: bytes | None = None,
+) -> dict[str, bytes]:
+    """The global-variable bytes a device needs installed to verify
+    ``image``: payload, signature words, public key, and curve constants.
+
+    ``tamper`` optionally replaces the *installed* payload bytes (keeping
+    the original signature) to model an attacker flashing modified
+    firmware.  The mapping plugs straight into
+    ``Workbench.compile(source, config, initializers=...)`` and the
+    campaign-service job model, which ship initializers rather than
+    already-built IR modules.
+    """
+    curve = image.keypair.curve
+    installed = tamper if tamper is not None else image.payload
+    if len(installed) > MAX_IMAGE_BYTES:
+        raise ValueError("installed payload too large")
+    return {
+        "boot_image": bytes(installed),
+        "boot_image_len": _word(len(installed)),
+        "SIG_R": _word(image.signature[0]),
+        "SIG_S": _word(image.signature[1]),
+        "PUB_X": _word(image.keypair.public.x),
+        "PUB_Y": _word(image.keypair.public.y),
+        "CURVE_P": _word(curve.p),
+        "CURVE_A": _word(curve.a),
+        "CURVE_GX": _word(curve.gx),
+        "CURVE_GY": _word(curve.gy),
+        "CURVE_ORDER": _word(curve.n),
+        "HASH_SHIFT": _word(max(0, 32 - curve.n.bit_length())),
+    }
 
 
 def prepare_bootloader_module(
     image: BootImage,
     tamper: bytes | None = None,
 ) -> Module:
-    """Parse the device program and install image/signature/key globals.
-
-    ``tamper`` optionally replaces the *installed* payload bytes (keeping
-    the original signature) to model an attacker flashing modified
-    firmware.
-    """
+    """Parse the device program and install image/signature/key globals."""
     module = parse_to_ir(bootloader_source(), "bootloader")
-    curve = image.keypair.curve
-    installed = tamper if tamper is not None else image.payload
-    if len(installed) > MAX_IMAGE_BYTES:
-        raise ValueError("installed payload too large")
-    module.globals["boot_image"].initializer = installed
-    _set_word(module, "boot_image_len", len(installed))
-    _set_word(module, "SIG_R", image.signature[0])
-    _set_word(module, "SIG_S", image.signature[1])
-    _set_word(module, "PUB_X", image.keypair.public.x)
-    _set_word(module, "PUB_Y", image.keypair.public.y)
-    _set_word(module, "CURVE_P", curve.p)
-    _set_word(module, "CURVE_A", curve.a)
-    _set_word(module, "CURVE_GX", curve.gx)
-    _set_word(module, "CURVE_GY", curve.gy)
-    _set_word(module, "CURVE_ORDER", curve.n)
-    _set_word(module, "HASH_SHIFT", max(0, 32 - curve.n.bit_length()))
+    for name, data in bootloader_initializers(image, tamper).items():
+        module.globals[name].initializer = data
     return module

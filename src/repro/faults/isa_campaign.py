@@ -155,10 +155,15 @@ def skip_sweep(
         function,
         args,
         models,
-        "instruction-skip",
+        skip_sweep.attack_label,
         engine=engine,
         executor=executor,
     )
+
+
+#: Label each suite's AttackResult carries (consumers — e.g. the service
+#: job model — read these instead of re-stating the strings).
+skip_sweep.attack_label = "instruction-skip"
 
 
 def branch_flip_sweep(
@@ -171,10 +176,13 @@ def branch_flip_sweep(
         function,
         args,
         models,
-        "branch-flip",
+        branch_flip_sweep.attack_label,
         engine=engine,
         executor=executor,
     )
+
+
+branch_flip_sweep.attack_label = "branch-flip"
 
 
 def repeated_branch_flip(
@@ -188,10 +196,13 @@ def repeated_branch_flip(
         function,
         args,
         models,
-        "repeated-branch-flip",
+        repeated_branch_flip.attack_label,
         engine=engine,
         executor=executor,
     )
+
+
+repeated_branch_flip.attack_label = "repeated-branch-flip"
 
 
 def dynamic_indices(program, function, args, match) -> list[int]:
@@ -268,7 +279,10 @@ def operand_corruption_sweep(
         function,
         args,
         models,
-        "operand-corruption",
+        operand_corruption_sweep.attack_label,
         engine=engine,
         executor=executor,
     )
+
+
+operand_corruption_sweep.attack_label = "operand-corruption"

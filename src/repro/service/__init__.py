@@ -1,0 +1,63 @@
+"""Campaign-as-a-service: async job queue, persistent results, HTTP API.
+
+The serving tier over the compile/attack stack (S13):
+
+* :mod:`repro.service.jobs` — frozen, serialisable job specs
+  (:class:`CampaignJob` / :class:`CompileJob`) with stable content-hash
+  job ids and named attack suites;
+* :mod:`repro.service.queue` — prioritised asyncio scheduler
+  (:class:`JobScheduler`): dedup in flight / via the store / via the
+  Workbench compile cache, bounded runner concurrency, per-batch
+  progress events, cancellation;
+* :mod:`repro.service.store` — SQLite :class:`ResultStore` with schema
+  versioning; finished campaigns survive restarts and are never
+  re-executed;
+* :mod:`repro.service.http` — streaming stdlib HTTP API
+  (:class:`ServiceServer`, NDJSON progress) plus the
+  :class:`BackgroundService` thread harness;
+* :mod:`repro.service.client` — blocking :class:`ServiceClient`
+  (``submit``/``status``/``stream``/``results``), the transport behind
+  ``CampaignBuilder.run(service=...)``;
+* :mod:`repro.service.cli` — ``python -m repro.service
+  serve|submit|status|results``.
+
+Submodules load lazily (PEP 562): importing :mod:`repro.service` itself
+does not pull in the compiler stack or the simulator.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "ATTACK_SUITES": "repro.service.jobs",
+    "AttackSpec": "repro.service.jobs",
+    "CampaignJob": "repro.service.jobs",
+    "CompileJob": "repro.service.jobs",
+    "JobError": "repro.service.jobs",
+    "job_from_dict": "repro.service.jobs",
+    "report_from_dict": "repro.service.jobs",
+    "report_to_dict": "repro.service.jobs",
+    "ResultStore": "repro.service.store",
+    "SchemaMismatchError": "repro.service.store",
+    "StoreError": "repro.service.store",
+    "JobScheduler": "repro.service.queue",
+    "UnknownJobError": "repro.service.queue",
+    "BackgroundService": "repro.service.http",
+    "ServiceServer": "repro.service.http",
+    "ServiceClient": "repro.service.client",
+    "ServiceError": "repro.service.client",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

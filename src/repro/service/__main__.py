@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.service <serve|submit|status|results>``."""
+
+from repro.service.cli import main
+
+raise SystemExit(main())

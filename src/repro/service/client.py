@@ -1,0 +1,168 @@
+"""Blocking HTTP client for the campaign service (stdlib ``http.client``).
+
+The client is deliberately synchronous — it serves the CLI, the test
+suite, and :meth:`repro.toolchain.workbench.CampaignBuilder.run`
+(``service=...``), all of which want a plain call-and-return API.  Each
+request uses a fresh connection (the server closes after every response),
+and :meth:`stream` consumes the NDJSON event feed line by line until the
+server ends it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator, Optional, Union
+
+
+#: Events that end a job's stream.  The client stops reading at one of
+#: these rather than waiting for EOF: the service's trial workers are
+#: forked processes, and a worker forked while this connection was open
+#: holds a duplicate of its file descriptor — the server closing its end
+#: then never reads as EOF until that worker exits.
+TERMINAL_EVENTS = frozenset({"finished", "failed", "cancelled"})
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or job-level service failure."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one ``repro.service`` HTTP endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731, timeout: float = 300.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    @classmethod
+    def parse(cls, address: Union[str, "ServiceClient"], **kwargs) -> "ServiceClient":
+        """Build a client from ``"host:port"`` (or ``"http://host:port"``)."""
+        if isinstance(address, ServiceClient):
+            return address
+        address = address.removeprefix("http://").rstrip("/")
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"service address must look like 'host:port', got {address!r}"
+            )
+        return cls(host, int(port), **kwargs)
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.host}:{self.port})"
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+            try:
+                data = json.loads(raw.decode() or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServiceError(
+                    f"service returned non-JSON ({response.status}): {raw[:200]!r}"
+                ) from exc
+            if response.status >= 400:
+                raise ServiceError(
+                    data.get("error", f"HTTP {response.status}"),
+                    status=response.status,
+                )
+            return data
+        finally:
+            connection.close()
+
+    # -- API ---------------------------------------------------------------
+    def service_status(self) -> dict[str, Any]:
+        return self._request("GET", "/status")
+
+    def submit(self, job, priority: Optional[int] = None) -> dict[str, Any]:
+        """Submit a job (a ``CampaignJob``/``CompileJob`` or its dict
+        envelope); returns ``{"job_id", "deduplicated", "state"}``."""
+        envelope = job.to_dict() if hasattr(job, "to_dict") else dict(job)
+        payload: dict[str, Any] = {"job": envelope}
+        if priority is not None:
+            payload["priority"] = priority
+        return self._request("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None) -> list[dict[str, Any]]:
+        path = "/jobs" + (f"?state={state}" if state else "")
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def results(self, job_id: str, wait: bool = False) -> dict[str, Any]:
+        """The stored result payload; ``wait=True`` blocks until done."""
+        path = f"/jobs/{job_id}/result" + ("?wait=1" if wait else "")
+        return self._request("GET", path)["result"]
+
+    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield the job's NDJSON progress events until it terminates."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            try:
+                connection.request("GET", f"/jobs/{job_id}/events")
+                response = connection.getresponse()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    error = json.loads(raw.decode()).get("error", raw.decode())
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    error = repr(raw[:200])
+                raise ServiceError(error, status=response.status)
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode())
+                yield event
+                if event.get("event") in TERMINAL_EVENTS:
+                    return
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str) -> dict[str, Any]:
+        """Block until the job terminates; returns its final status.
+        Raises :class:`ServiceError` if it failed or was cancelled."""
+        for _ in self.stream(job_id):
+            pass
+        status = self.status(job_id)
+        if status["state"] in ("failed", "cancelled"):
+            raise ServiceError(
+                f"job {job_id} {status['state']}"
+                + (f": {status['error']}" if status.get("error") else "")
+            )
+        return status
+
+    def run(self, job, priority: Optional[int] = None) -> dict[str, Any]:
+        """Submit, wait, and fetch the result payload in one call."""
+        submitted = self.submit(job, priority=priority)
+        job_id = submitted["job_id"]
+        self.wait(job_id)
+        return self.results(job_id, wait=True)

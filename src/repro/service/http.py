@@ -1,0 +1,377 @@
+"""Streaming HTTP API for the campaign service (stdlib asyncio only).
+
+A deliberately small HTTP/1.0-style server on ``asyncio.start_server``
+(no web framework — the container ships none):
+
+==========  =============================  =====================================
+Method      Path                           Meaning
+==========  =============================  =====================================
+``GET``     ``/status``                    service health: version, schemes,
+                                           queue stats, job counts
+``POST``    ``/jobs``                      submit a job (JSON body: the job
+                                           envelope, optionally ``{"job": ...,
+                                           "priority": N}``) -> 202
+``GET``     ``/jobs``                      recent jobs (``?state=`` filter)
+``GET``     ``/jobs/<id>``                 one job's status
+``DELETE``  ``/jobs/<id>``                 cancel (queued: immediate; running:
+                                           next attack boundary)
+``GET``     ``/jobs/<id>/events``          **NDJSON stream** — replay of past
+                                           events, then live per-attack and
+                                           per-batch progress until terminal
+``GET``     ``/jobs/<id>/result``          result payload (``?wait=1`` blocks
+                                           until the job finishes)
+==========  =============================  =====================================
+
+Every response carries ``Connection: close``; the event stream has no
+``Content-Length`` and simply ends when the job does, which lets any
+line-oriented client (``curl``, ``http.client``) consume it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+import repro
+from repro.service.jobs import JobError, job_from_dict
+from repro.service.queue import PRIORITY_DEFAULT, JobScheduler, UnknownJobError
+from repro.service.store import ResultStore
+
+#: Largest accepted request body (sources + device images are small).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+class ServiceServer:
+    """The asyncio HTTP front end over one :class:`JobScheduler`."""
+
+    def __init__(
+        self, scheduler: JobScheduler, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the (host, port) actually bound
+        (``port=0`` picks a free one)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ----------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                await self._route(writer, *request)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 — a bad request must not kill the server
+            try:
+                await self._respond(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > MAX_BODY_BYTES:
+            raise JobError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    # -- routing -----------------------------------------------------------
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        url = urlsplit(target)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            if parts == ["status"] and method == "GET":
+                await self._respond(writer, 200, self._service_status())
+            elif parts == ["jobs"] and method == "POST":
+                await self._submit(writer, body)
+            elif parts == ["jobs"] and method == "GET":
+                jobs = self.scheduler.store.list_jobs(state=query.get("state"))
+                await self._respond(
+                    writer, 200, {"jobs": [r.to_dict() for r in jobs]}
+                )
+            elif len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+                await self._respond(writer, 200, self.scheduler.status(parts[1]))
+            elif len(parts) == 2 and parts[0] == "jobs" and method == "DELETE":
+                await self._respond(writer, 200, self.scheduler.cancel(parts[1]))
+            elif (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "events"
+                and method == "GET"
+            ):
+                await self._stream_events(writer, parts[1])
+            elif (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "result"
+                and method == "GET"
+            ):
+                await self._result(writer, parts[1], wait="wait" in query)
+            else:
+                await self._respond(
+                    writer, 404, {"error": f"no route for {method} {url.path}"}
+                )
+        except UnknownJobError as exc:
+            await self._respond(writer, 404, {"error": f"unknown job {exc.args[0]}"})
+        except JobError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+
+    def _service_status(self) -> dict[str, Any]:
+        from repro.toolchain.registry import list_schemes
+
+        workbench = self.scheduler.workbench
+        return {
+            "service": "repro.service",
+            "version": repro.__version__,
+            "schemes": list(list_schemes()),
+            "runners": self.scheduler.runners,
+            "trial_workers": self.scheduler.trial_workers,
+            "queue": self.scheduler.stats.to_dict(),
+            "jobs": self.scheduler.store.counts(),
+            "compile_cache": {
+                "hits": workbench.hits,
+                "misses": workbench.misses,
+                "programs": workbench.cached_programs,
+            },
+        }
+
+    async def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        try:
+            data = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise JobError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise JobError("request body must be a JSON object")
+        envelope = data.get("job", data)
+        priority = data.get("priority", PRIORITY_DEFAULT)
+        if not isinstance(priority, int):
+            raise JobError(f"priority must be an int, got {priority!r}")
+        job = job_from_dict(envelope)
+        job_id, deduplicated = self.scheduler.submit(job, priority=priority)
+        await self._respond(
+            writer,
+            202,
+            {
+                "job_id": job_id,
+                "deduplicated": deduplicated,
+                "state": self.scheduler.status(job_id)["state"],
+            },
+        )
+
+    async def _result(
+        self, writer: asyncio.StreamWriter, job_id: str, wait: bool
+    ) -> None:
+        if wait:
+            payload = await self.scheduler.result(job_id)
+        else:
+            payload = self.scheduler.store.get_result(job_id)
+            if payload is None:
+                status = self.scheduler.status(job_id)  # raises 404 if unknown
+                await self._respond(
+                    writer,
+                    409,
+                    {
+                        "error": f"job {job_id} is {status['state']}; "
+                        f"retry with ?wait=1 or after completion",
+                        "state": status["state"],
+                    },
+                )
+                return
+        await self._respond(
+            writer, 200, {"job_id": job_id, "state": "done", "result": payload}
+        )
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        # Validate before committing to a 200 streaming header.
+        events = self.scheduler.events(job_id)
+        first = await anext(events, None)  # raises UnknownJobError if unknown
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        if first is not None:
+            writer.write(json.dumps(first).encode() + b"\n")
+            await writer.drain()
+            async for event in events:
+                writer.write(json.dumps(event).encode() + b"\n")
+                await writer.drain()
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+    ) -> None:
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+
+
+class BackgroundService:
+    """A whole service (store + scheduler + HTTP server) on a private
+    event-loop thread — the one-liner tests, examples, and notebooks use::
+
+        with BackgroundService(db_path="campaigns.sqlite") as service:
+            report = workbench.campaign(src, "f", [1]).attack(...).run(
+                service=service.address_str
+            )
+    """
+
+    def __init__(
+        self,
+        db_path: str = ":memory:",
+        runners: int = 2,
+        trial_workers: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        resume: bool = True,
+    ):
+        self.db_path = db_path
+        self.runners = runners
+        self.trial_workers = trial_workers
+        self.host = host
+        self.port = port
+        self.resume = resume
+        self.scheduler: Optional[JobScheduler] = None
+        self.resumed_jobs = 0
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "BackgroundService":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    # -- conveniences ------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def address_str(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def client(self, timeout: float = 300.0):
+        from repro.service.client import ServiceClient
+
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+    # -- loop thread -------------------------------------------------------
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 — surfaced via __enter__
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        store = ResultStore(self.db_path)
+        self.scheduler = JobScheduler(
+            store=store, runners=self.runners, trial_workers=self.trial_workers
+        )
+        await self.scheduler.start()
+        if self.resume:
+            self.resumed_jobs = self.scheduler.resume_from_store()
+        server = ServiceServer(self.scheduler, host=self.host, port=self.port)
+        self.host, self.port = await server.start()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.close()
+            await self.scheduler.close()
+            store.close()

@@ -1,0 +1,545 @@
+"""Prioritised asyncio job scheduler for the campaign service.
+
+The scheduler owns three layers of deduplication (cheapest first):
+
+1. **in flight** — a second submission of a job id already queued or
+   running attaches to the same :class:`JobHandle`;
+2. **persistent store** — a job id with a stored result is answered from
+   :class:`~repro.service.store.ResultStore` without executing a trial;
+3. **compile cache** — distinct jobs over the same (source, config) pair
+   share one compilation through the
+   :class:`~repro.toolchain.workbench.Workbench` LRU.
+
+Execution: ``runners`` asyncio runner tasks pop jobs by ``(priority,
+submission order)`` and run them on worker threads via
+``loop.run_in_executor`` so the event loop (and the HTTP tier on top of
+it) stays responsive.  Each runner slot owns a private
+:class:`~repro.toolchain.executor.CampaignExecutor` (``trial_workers``
+processes) to shard trials; with ``trial_workers=0`` trials run on the
+in-process fork engine.  Identical workloads hitting two slots at once
+are serialised by a per-(program, workload) lock — the checkpoint-forked
+trial scheduler reuses one trial CPU per workload and is not
+re-entrant.
+
+Progress events stream to any number of subscribers per job (asyncio
+queues feeding the NDJSON HTTP endpoint); lifecycle events are also
+persisted for replay after the job — or the process — is gone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+import traceback
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+import weakref
+from typing import Any, AsyncIterator, Optional
+
+from repro.service.jobs import JobCancelled, JobError, job_from_dict
+from repro.service.store import ResultStore
+
+#: Default submission priority (lower number = served earlier).
+PRIORITY_DEFAULT = 10
+
+#: Event kinds persisted to the store for post-hoc replay (high-frequency
+#: per-batch progress stays in memory only).
+PERSISTED_EVENTS = frozenset(
+    {"queued", "started", "attack-finished", "finished", "failed", "cancelled"}
+)
+
+
+class UnknownJobError(KeyError):
+    """A job id the scheduler and the store have never seen."""
+
+
+@dataclass
+class SchedulerStats:
+    """Counters the /status endpoint exposes (and tests assert on)."""
+
+    submitted: int = 0
+    executed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    deduplicated_inflight: int = 0
+    deduplicated_store: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class JobHandle:
+    """Live state of one queued/running job."""
+
+    def __init__(self, job, job_id: str):
+        self.job = job
+        self.job_id = job_id
+        self.state = "queued"
+        self.cancelled = False
+        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Swallow "exception was never retrieved" for fire-and-forget
+        # submissions that only ever poll /status.
+        self.future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self.events: list[dict[str, Any]] = []
+        self.subscribers: list[asyncio.Queue] = []
+
+
+#: Per-(program, workload) locks: the memoized TrialScheduler reuses one
+#: trial CPU per workload, so two runner threads must not attack the same
+#: workload concurrently.  Entries are keyed by ``id(program)`` but carry
+#: a weakref that (a) removes the entry when the program is collected and
+#: (b) detects id reuse — locks live exactly as long as their program and
+#: are never evicted, so a handed-out lock cannot be silently replaced.
+#: (CompiledProgram is an eq-without-hash dataclass, so it cannot key a
+#: WeakKeyDictionary directly.)
+_workload_locks: dict[int, tuple] = {}
+_workload_locks_guard = threading.Lock()
+
+
+def _drop_workload_locks(program_id: int, ref) -> None:
+    with _workload_locks_guard:
+        entry = _workload_locks.get(program_id)
+        if entry is not None and entry[0] is ref:
+            del _workload_locks[program_id]
+
+
+def _workload_lock(program, function: str, args: tuple) -> threading.Lock:
+    program_id = id(program)
+    with _workload_locks_guard:
+        entry = _workload_locks.get(program_id)
+        if entry is None or entry[0]() is not program:
+            ref = weakref.ref(
+                program,
+                lambda r, pid=program_id: _drop_workload_locks(pid, r),
+            )
+            entry = _workload_locks[program_id] = (ref, {})
+        locks = entry[1]
+        key = (function, tuple(args))
+        lock = locks.get(key)
+        if lock is None:
+            lock = locks[key] = threading.Lock()
+        return lock
+
+
+class JobScheduler:
+    """Owns the queue, the runner tasks, the workbench, and the store."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workbench=None,
+        runners: int = 2,
+        trial_workers: int = 0,
+        cache_size: int = 64,
+    ):
+        if runners < 1:
+            raise ValueError(f"runners must be >= 1, got {runners}")
+        if trial_workers < 0:
+            raise ValueError(f"trial_workers must be >= 0, got {trial_workers}")
+        if workbench is None:
+            from repro.toolchain.workbench import Workbench
+
+            workbench = Workbench(cache_size=cache_size)
+        self.store = store if store is not None else ResultStore(":memory:")
+        self.workbench = workbench
+        self.runners = runners
+        self.trial_workers = trial_workers
+        self.stats = SchedulerStats()
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._inflight: dict[str, JobHandle] = {}
+        self._runner_tasks: list[asyncio.Task] = []
+        self._seq = 0
+        self._closed = False
+        # All job-lifecycle store *writes* funnel through this one thread:
+        # SQLite write contention (another process holding the WAL lock)
+        # must stall this worker, never the event loop — and a single
+        # thread keeps writes in submission order.  WAL readers never
+        # block on writers, so reads stay inline.
+        self._store_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-store"
+        )
+        # Terminal states and full event logs are written to the store
+        # asynchronously (via the pool above); these bounded overlays
+        # answer status()/events() consistently in the window before the
+        # writes land (and keep recent replays cheap).
+        self._terminal: OrderedDict[str, tuple[str, Optional[str]]] = OrderedDict()
+        self._recent_events: OrderedDict[str, list[dict[str, Any]]] = OrderedDict()
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "JobScheduler":
+        if self._runner_tasks:
+            raise RuntimeError("scheduler already started")
+        self._runner_tasks = [
+            asyncio.create_task(self._runner(), name=f"repro-service-runner-{i}")
+            for i in range(self.runners)
+        ]
+        return self
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in self._runner_tasks:
+            task.cancel()
+        for task in self._runner_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._runner_tasks = []
+        self._store_pool.shutdown(wait=True)
+
+    def resume_from_store(self) -> int:
+        """Re-enqueue jobs left ``queued``/``running`` by a dead process.
+
+        Returns the number of jobs resumed.  Must be called on the event
+        loop after :meth:`start`.
+        """
+        resumed = 0
+        for record in self.store.resumable_jobs():
+            if record.job_id in self._inflight:
+                continue
+            try:
+                job = job_from_dict(record.spec)
+            except JobError as exc:
+                self._remember_terminal(
+                    record.job_id, "failed", f"unresumable spec: {exc}"
+                )
+                self._store_write(
+                    self.store.set_state,
+                    record.job_id,
+                    "failed",
+                    f"unresumable spec: {exc}",
+                )
+                continue
+            self._enqueue(job, record.job_id, PRIORITY_DEFAULT, requeue=True)
+            resumed += 1
+        return resumed
+
+    # -- submission --------------------------------------------------------
+    def submit(self, job, priority: int = PRIORITY_DEFAULT) -> tuple[str, bool]:
+        """Queue a job (idempotently); returns ``(job_id, deduplicated)``.
+
+        Must be called on the event loop.  ``deduplicated`` is true when
+        the id was already in flight or already has a stored result.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is shut down")
+        job_id = job.job_id()
+        if job_id in self._inflight:
+            self.stats.deduplicated_inflight += 1
+            return job_id, True
+        record = self.store.get_job(job_id)
+        if record is not None and record.state == "done":
+            if self._stored_result_current(job_id, job):
+                self.stats.deduplicated_store += 1
+                return job_id, True
+            # The scheme builder was replaced since this result was
+            # computed (register_scheme(replace=True) bumps the revision,
+            # exactly like the Workbench compile cache): re-execute.
+        self._enqueue(job, job_id, priority, requeue=False)
+        return job_id, False
+
+    def _stored_result_current(self, job_id: str, job) -> bool:
+        from repro.service.jobs import _scheme_revision
+
+        payload = self.store.get_result(job_id)
+        return (
+            payload is not None
+            and payload.get("scheme_revision") == _scheme_revision(job.config)
+        )
+
+    def _enqueue(self, job, job_id: str, priority: int, requeue: bool) -> None:
+        # A resubmission supersedes a failed/cancelled attempt's overlays
+        # AND its persisted event log — a replay must never end at a stale
+        # terminal event from the previous attempt.
+        self._terminal.pop(job_id, None)
+        self._recent_events.pop(job_id, None)
+        self._store_write(self.store.clear_events, [job_id])
+        # The durable ledger write rides the ordered store thread like
+        # every other write (SQLite contention must never stall the event
+        # loop); the ack therefore slightly precedes durability — a crash
+        # in that window loses only the queued entry, and job ids are
+        # deterministic so clients can simply resubmit.
+        self._store_write(
+            self.store.record_job, job_id, job.kind, job.to_dict(), True
+        )
+        handle = JobHandle(job, job_id)
+        self._inflight[job_id] = handle
+        self._seq += 1
+        self._queue.put_nowait((priority, self._seq, job_id))
+        self.stats.submitted += 1
+        self._publish(
+            handle,
+            {
+                "event": "queued",
+                "job_id": job_id,
+                "kind": job.kind,
+                "title": job.title,
+                "resumed": requeue,
+            },
+        )
+
+    # -- queries -----------------------------------------------------------
+    def status(self, job_id: str) -> dict[str, Any]:
+        handle = self._inflight.get(job_id)
+        record = self.store.get_job(job_id)
+        if record is not None:
+            status = record.to_dict()
+        elif handle is not None:
+            # Submitted moments ago: the ledger write is still queued on
+            # the store thread; answer from the live handle.
+            status = {
+                "job_id": job_id,
+                "kind": handle.job.kind,
+                "title": handle.job.title,
+                "error": None,
+                "submitted_at": None,
+                "started_at": None,
+                "finished_at": None,
+            }
+        else:
+            raise UnknownJobError(job_id)
+        if handle is not None:
+            status["state"] = handle.state
+        elif job_id in self._terminal:
+            status["state"], status["error"] = self._terminal[job_id]
+        return status
+
+    async def result(self, job_id: str) -> dict[str, Any]:
+        """The job's result payload, waiting for completion if needed."""
+        handle = self._inflight.get(job_id)
+        if handle is not None:
+            try:
+                return await asyncio.shield(handle.future)
+            except asyncio.CancelledError:
+                if handle.future.cancelled():
+                    raise JobError(f"job {job_id} was cancelled") from None
+                raise
+        payload = self.store.get_result(job_id)
+        if payload is not None:
+            return payload
+        record = self.store.get_job(job_id)
+        if record is None:
+            raise UnknownJobError(job_id)
+        raise JobError(
+            f"job {job_id} is {record.state} and has no result"
+            + (f": {record.error}" if record.error else "")
+        )
+
+    async def events(self, job_id: str) -> AsyncIterator[dict[str, Any]]:
+        """Stream the job's events: full replay of what already happened,
+        then live events until the job reaches a terminal state."""
+        handle = self._inflight.get(job_id)
+        if handle is None:
+            recent = self._recent_events.get(job_id)
+            if recent is not None:  # full in-memory log, incl. batch events
+                for event in list(recent):
+                    yield event
+                return
+            if self.store.get_job(job_id) is None:
+                raise UnknownJobError(job_id)
+            for event in self.store.events(job_id):
+                yield event
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        # No await between the replay snapshot and subscribing, so no
+        # event can slip between the two.
+        for event in handle.events:
+            queue.put_nowait(event)
+        if handle.future.done():
+            queue.put_nowait(None)
+        else:
+            handle.subscribers.append(queue)
+        try:
+            while True:
+                event = await queue.get()
+                if event is None:
+                    return
+                yield event
+        finally:
+            if queue in handle.subscribers:
+                handle.subscribers.remove(queue)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a job: immediately when still queued, at the next
+        attack boundary when running.  Done jobs are left alone."""
+        handle = self._inflight.get(job_id)
+        if handle is None:
+            record = self.store.get_job(job_id)
+            if record is None:
+                raise UnknownJobError(job_id)
+            return {"job_id": job_id, "state": record.state, "cancelled": False}
+        handle.cancelled = True
+        if handle.state == "queued":
+            self._finalize_cancel(handle)
+            return {"job_id": job_id, "state": "cancelled", "cancelled": True}
+        return {"job_id": job_id, "state": handle.state, "cancelled": True}
+
+    # -- execution ---------------------------------------------------------
+    async def _runner(self) -> None:
+        executor = None
+        try:
+            while True:
+                _, _, job_id = await self._queue.get()
+                handle = self._inflight.get(job_id)
+                if handle is None or handle.future.done():
+                    continue  # cancelled while queued
+                if self.trial_workers and executor is None:
+                    from repro.toolchain.executor import CampaignExecutor
+
+                    executor = CampaignExecutor(max_workers=self.trial_workers)
+                try:
+                    await self._execute(handle, executor)
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 — keep the slot alive
+                    self._fail(handle, exc)
+        finally:
+            if executor is not None:
+                # Runner teardown happens on the event loop (task
+                # cancellation at shutdown): never block it draining
+                # workers mid-campaign.  The interrupted job stays
+                # 'running' in the ledger and is resumed on next start.
+                executor.close(wait=False)
+
+    async def _execute(self, handle: JobHandle, executor) -> None:
+        loop = asyncio.get_running_loop()
+        handle.state = "running"
+        await loop.run_in_executor(
+            self._store_pool, self.store.set_state, handle.job_id, "running"
+        )
+        self._publish(
+            handle,
+            {"event": "started", "job_id": handle.job_id, "kind": handle.job.kind},
+        )
+
+        def emit(payload: dict[str, Any]) -> None:
+            # Called from the worker thread (and, with trial_workers, from
+            # executor merge loops): hop onto the loop for publication.
+            loop.call_soon_threadsafe(self._publish, handle, payload)
+
+        def run() -> dict[str, Any]:
+            job = handle.job
+            if job.kind == "campaign":
+                program = self.workbench.compile(
+                    job.source,
+                    job.config,
+                    initializers=_initializers_of(job) or None,
+                )
+                lock = _workload_lock(program, job.function, job.args)
+                with lock:
+                    return job.execute(
+                        self.workbench,
+                        executor=executor,
+                        emit=emit,
+                        should_stop=lambda: handle.cancelled,
+                        program=program,  # the lock-keyed object, exactly
+                    )
+            return job.execute(self.workbench, emit=emit)
+
+        try:
+            payload = await loop.run_in_executor(None, run)
+            self.stats.executed += 1
+            # Result durability before the 'finished' event: a client that
+            # sees the stream end must find the result in the store.
+            await loop.run_in_executor(
+                self._store_pool, self.store.store_result, handle.job_id, payload
+            )
+        except JobCancelled:
+            self._finalize_cancel(handle)
+        except Exception as exc:  # noqa: BLE001 — jobs must not kill runners
+            self._fail(handle, exc)
+        else:
+            handle.state = "done"
+            self._publish(
+                handle,
+                {"event": "finished", "job_id": handle.job_id, "kind": handle.job.kind},
+            )
+            handle.future.set_result(payload)
+            self._close_stream(handle)
+
+    def _fail(self, handle: JobHandle, exc: BaseException) -> None:
+        error = f"{type(exc).__name__}: {exc}"
+        self.stats.failed += 1
+        handle.state = "failed"
+        self._remember_terminal(handle.job_id, "failed", error)
+        self._store_write(self.store.set_state, handle.job_id, "failed", error)
+        self._publish(
+            handle,
+            {
+                "event": "failed",
+                "job_id": handle.job_id,
+                "error": error,
+                "traceback": "".join(
+                    traceback.format_exception(exc, limit=8)
+                ),
+            },
+        )
+        if not handle.future.done():
+            handle.future.set_exception(JobError(error))
+        self._close_stream(handle)
+
+    def _finalize_cancel(self, handle: JobHandle) -> None:
+        self.stats.cancelled += 1
+        handle.state = "cancelled"
+        self._remember_terminal(handle.job_id, "cancelled")
+        self._store_write(self.store.set_state, handle.job_id, "cancelled")
+        self._publish(
+            handle, {"event": "cancelled", "job_id": handle.job_id}
+        )
+        handle.future.cancel()
+        self._close_stream(handle)
+
+    # -- event plumbing ----------------------------------------------------
+    def _publish(self, handle: JobHandle, payload: dict[str, Any]) -> None:
+        handle.events.append(payload)
+        if payload.get("event") in PERSISTED_EVENTS:
+            self._store_write(self.store.append_event, handle.job_id, payload)
+        for queue in handle.subscribers:
+            queue.put_nowait(payload)
+
+    def _remember_terminal(
+        self, job_id: str, state: str, error: Optional[str] = None
+    ) -> None:
+        self._terminal[job_id] = (state, error)
+        self._terminal.move_to_end(job_id)
+        while len(self._terminal) > 1024:
+            self._terminal.popitem(last=False)
+
+    def _store_write(self, fn, *args) -> None:
+        """Fire-and-forget store write on the (ordered) store thread;
+        durability failures are reported, never fatal to the service."""
+
+        def write() -> None:
+            try:
+                fn(*args)
+            except Exception as exc:  # noqa: BLE001
+                print(
+                    f"repro.service: store write {fn.__name__}{args[:1]} "
+                    f"failed: {exc}",
+                    file=sys.stderr,
+                )
+
+        try:
+            self._store_pool.submit(write)
+        except RuntimeError:  # pool shut down mid-flight
+            write()
+
+    def _close_stream(self, handle: JobHandle) -> None:
+        for queue in handle.subscribers:
+            queue.put_nowait(None)
+        handle.subscribers = []
+        self._recent_events[handle.job_id] = handle.events
+        self._recent_events.move_to_end(handle.job_id)
+        while len(self._recent_events) > 256:
+            self._recent_events.popitem(last=False)
+        self._inflight.pop(handle.job_id, None)
+
+
+def _initializers_of(job) -> dict[str, bytes]:
+    from repro.service.jobs import _decode_initializers
+
+    return _decode_initializers(job.initializers)

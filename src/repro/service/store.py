@@ -1,0 +1,323 @@
+"""Persistent job/result store (SQLite) for the campaign service.
+
+Finished campaigns are never recomputed: results are keyed by the
+content-derived job id (:mod:`repro.service.jobs`), so a resubmission —
+same process, after a restart, or from a different client — is answered
+from disk.  The store also keeps the durable job ledger the scheduler
+resumes from (jobs that were ``queued``/``running`` when a process died
+go back on the queue) and a replayable stream of lifecycle events.
+
+Concurrency: WAL journaling plus a per-connection lock make one
+``ResultStore`` safe to share between threads, and multiple instances
+(even in different processes) safe to point at the same file — SQLite
+serialises the writers, ``busy_timeout`` absorbs the contention.
+
+Schema changes bump :data:`SCHEMA_VERSION` (kept in ``PRAGMA
+user_version``); opening a store written by a different schema fails
+loudly instead of corrupting it.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+#: Bump on incompatible schema changes (stored in ``PRAGMA user_version``).
+SCHEMA_VERSION = 1
+
+#: Job lifecycle states.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    spec         TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    error        TEXT,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL
+);
+CREATE TABLE IF NOT EXISTS results (
+    job_id           TEXT PRIMARY KEY REFERENCES jobs(job_id),
+    payload          TEXT NOT NULL,
+    trials           INTEGER,
+    simulated_cycles INTEGER,
+    created_at       REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    job_id  TEXT NOT NULL,
+    seq     INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state);
+"""
+
+
+class StoreError(RuntimeError):
+    """A result-store operation failed."""
+
+
+class SchemaMismatchError(StoreError):
+    """The database was written by an incompatible store version."""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One row of the job ledger."""
+
+    job_id: str
+    kind: str
+    spec: dict[str, Any]
+    state: str
+    error: Optional[str]
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "title": self.spec.get("title", ""),
+            "state": self.state,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class ResultStore:
+    """SQLite-backed job ledger + result/outcome-tally store."""
+
+    def __init__(self, path: Union[str, Path] = ":memory:", timeout: float = 30.0):
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path,
+            timeout=timeout,
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; explicit BEGINs below
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._init_schema()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _init_schema(self) -> None:
+        with self._lock:
+            if self.path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+                if version == 0:
+                    # No executescript here: it would implicitly commit the
+                    # BEGIN IMMEDIATE guarding concurrent creators.
+                    for statement in _SCHEMA.split(";"):
+                        if statement.strip():
+                            self._conn.execute(statement)
+                    self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+                elif version != SCHEMA_VERSION:
+                    raise SchemaMismatchError(
+                        f"store {self.path!r} has schema v{version}, this "
+                        f"build speaks v{SCHEMA_VERSION}; migrate or use a "
+                        f"fresh database file"
+                    )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- job ledger --------------------------------------------------------
+    def record_job(
+        self, job_id: str, kind: str, spec: dict[str, Any], force: bool = False
+    ) -> None:
+        """Insert (or re-queue) a job in state ``queued``.
+
+        Re-recording an existing job resets a failed/cancelled attempt to
+        ``queued`` but never touches a ``done`` row (results are final)
+        unless ``force`` — the scheduler forces when a stored result was
+        deliberately invalidated (e.g. its scheme builder was replaced).
+        """
+        now = time.time()
+        guard = "" if force else "WHERE jobs.state != 'done'"
+        with self._lock:
+            self._conn.execute(
+                f"""
+                INSERT INTO jobs (job_id, kind, spec, state, submitted_at)
+                VALUES (?, ?, ?, 'queued', ?)
+                ON CONFLICT(job_id) DO UPDATE SET
+                    state = 'queued', error = NULL,
+                    submitted_at = excluded.submitted_at,
+                    started_at = NULL, finished_at = NULL
+                {guard}
+                """,
+                (job_id, kind, json.dumps(spec), now),
+            )
+
+    def set_state(
+        self, job_id: str, state: str, error: Optional[str] = None
+    ) -> None:
+        if state not in STATES:
+            raise StoreError(f"unknown job state {state!r}; expected {STATES}")
+        now = time.time()
+        started = now if state == "running" else None
+        finished = now if state in ("done", "failed", "cancelled") else None
+        with self._lock:
+            cursor = self._conn.execute(
+                """
+                UPDATE jobs SET state = ?, error = ?,
+                    started_at = COALESCE(?, started_at),
+                    finished_at = COALESCE(?, finished_at)
+                WHERE job_id = ?
+                """,
+                (state, error, started, finished, job_id),
+            )
+            if cursor.rowcount == 0:
+                raise StoreError(f"unknown job {job_id!r}")
+
+    def get_job(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return self._record(row) if row is not None else None
+
+    def list_jobs(
+        self, state: Optional[str] = None, limit: int = 100
+    ) -> list[JobRecord]:
+        query = "SELECT * FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            params = (state,)
+        query += " ORDER BY submitted_at DESC LIMIT ?"
+        with self._lock:
+            rows = self._conn.execute(query, params + (limit,)).fetchall()
+        return [self._record(row) for row in rows]
+
+    def resumable_jobs(self) -> list[JobRecord]:
+        """Jobs a restarted service should put back on its queue: anything
+        left ``queued`` or ``running`` by a previous process."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE state IN ('queued', 'running') "
+                "ORDER BY submitted_at"
+            ).fetchall()
+        return [self._record(row) for row in rows]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        return {row["state"]: row["n"] for row in rows}
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> JobRecord:
+        return JobRecord(
+            job_id=row["job_id"],
+            kind=row["kind"],
+            spec=json.loads(row["spec"]),
+            state=row["state"],
+            error=row["error"],
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+        )
+
+    # -- results -----------------------------------------------------------
+    def store_result(self, job_id: str, payload: dict[str, Any]) -> None:
+        """Persist a finished job's result payload and mark it ``done``."""
+        attacks = (payload.get("report") or {}).get("attacks") or {}
+        trials = sum(a.get("trials", 0) for a in attacks.values()) or None
+        cycles = (
+            sum(a.get("simulated_cycles", 0) for a in attacks.values()) or None
+        )
+        now = time.time()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    """
+                    INSERT OR REPLACE INTO results
+                        (job_id, payload, trials, simulated_cycles, created_at)
+                    VALUES (?, ?, ?, ?, ?)
+                    """,
+                    (job_id, json.dumps(payload), trials, cycles, now),
+                )
+                cursor = self._conn.execute(
+                    "UPDATE jobs SET state = 'done', error = NULL, "
+                    "finished_at = ? WHERE job_id = ?",
+                    (now, job_id),
+                )
+                if cursor.rowcount == 0:
+                    raise StoreError(f"unknown job {job_id!r}")
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def get_result(self, job_id: str) -> Optional[dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return json.loads(row["payload"]) if row is not None else None
+
+    # -- events ------------------------------------------------------------
+    def append_event(self, job_id: str, payload: dict[str, Any]) -> int:
+        """Append one lifecycle event; returns its sequence number."""
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                seq = self._conn.execute(
+                    "SELECT 1 + COALESCE(MAX(seq), 0) FROM events "
+                    "WHERE job_id = ?",
+                    (job_id,),
+                ).fetchone()[0]
+                self._conn.execute(
+                    "INSERT INTO events (job_id, seq, payload) VALUES (?, ?, ?)",
+                    (job_id, seq, json.dumps(payload)),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return seq
+
+    def events(self, job_id: str) -> list[dict[str, Any]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT payload FROM events WHERE job_id = ? ORDER BY seq",
+                (job_id,),
+            ).fetchall()
+        return [json.loads(row["payload"]) for row in rows]
+
+    def clear_events(self, job_ids: Iterable[str]) -> None:
+        ids = list(job_ids)
+        if not ids:
+            return
+        with self._lock:
+            self._conn.executemany(
+                "DELETE FROM events WHERE job_id = ?", [(i,) for i in ids]
+            )

@@ -36,6 +36,7 @@ _EXPORTS = {
     "Workbench": "repro.toolchain.workbench",
     "CampaignBuilder": "repro.toolchain.workbench",
     "CampaignExecutor": "repro.toolchain.executor",
+    "CampaignExecutorError": "repro.toolchain.executor",
 }
 
 __all__ = sorted(_EXPORTS)

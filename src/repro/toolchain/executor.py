@@ -27,10 +27,23 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Optional
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Optional
 
 from repro.faults.isa_campaign import AttackResult
+
+
+class CampaignExecutorError(RuntimeError):
+    """A worker process died (or the pool broke) mid-campaign.
+
+    Carries the batch that was in flight so callers can report *which*
+    fault model took the worker down (``fault_models`` is the failing
+    batch, in submission order).
+    """
+
+    def __init__(self, message: str, fault_models: Optional[list] = None):
+        super().__init__(message)
+        self.fault_models = list(fault_models or [])
 
 # -- worker side ------------------------------------------------------------
 _WORKER_PROGRAM = None
@@ -68,6 +81,10 @@ class CampaignExecutor:
         self.batches_per_worker = batches_per_worker
         self._pool: Optional[ProcessPoolExecutor] = None
         self._program = None
+        #: Optional progress hook, called after each merged batch with
+        #: ``(batches_done, batch_count, trials_done, trial_count)``.  The
+        #: service tier uses it to stream per-batch campaign progress.
+        self.on_batch: Optional[Callable[[int, int, int, int], None]] = None
 
     # -- lifecycle --------------------------------------------------------
     def _pool_for(self, program) -> ProcessPoolExecutor:
@@ -87,11 +104,14 @@ class CampaignExecutor:
             self._program = program
         return self._pool
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-            self._program = None
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down.  Idempotent: safe to call repeatedly, after
+        a worker crash, and from ``finally`` blocks racing ``__exit__``.
+        ``wait=False`` additionally cancels queued batches and returns
+        without draining the workers (service shutdown mid-campaign)."""
+        pool, self._pool, self._program = self._pool, None, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=not wait)
 
     def __enter__(self) -> "CampaignExecutor":
         return self
@@ -117,19 +137,43 @@ class CampaignExecutor:
         pool = self._pool_for(program)
         target_batches = max(1, self.max_workers * self.batches_per_worker)
         batch_size = max(1, -(-len(models) // target_batches))
+        batches = [models[i : i + batch_size] for i in range(0, len(models), batch_size)]
         futures = [
-            pool.submit(
-                _run_batch,
-                function,
-                list(args),
-                models[i : i + batch_size],
-                max_cycles,
-            )
-            for i in range(0, len(models), batch_size)
+            pool.submit(_run_batch, function, list(args), batch, max_cycles)
+            for batch in batches
         ]
-        for future in futures:  # submission order == model order
-            outcomes, batch_cycles = future.result()
+        trials_done = 0
+        for index, future in enumerate(futures):  # submission order == model order
+            try:
+                outcomes, batch_cycles = future.result()
+            except BrokenExecutor as exc:
+                # The pool is unusable once a worker dies; drop it so the
+                # next run_attack starts a fresh one.  Every batch that had
+                # not finished when the pool broke is a crash candidate
+                # (the breakage fails all pending futures at once, so the
+                # first future to raise need not be the culprit); surface
+                # them all, leading fault models first.
+                in_flight = [
+                    batch
+                    for batch, future in zip(batches[index:], futures[index:])
+                    if future.cancelled() or future.exception() is not None
+                ]
+                models_in_flight = [m for batch in in_flight for m in batch]
+                leads = ", ".join(repr(batch[0]) for batch in in_flight[:6])
+                if len(in_flight) > 6:
+                    leads += ", ..."
+                self.close()
+                raise CampaignExecutorError(
+                    f"worker process died during attack {attack_name!r}: "
+                    f"{len(in_flight)} of {len(batches)} batches were in "
+                    f"flight ({len(models_in_flight)} trials; leading fault "
+                    f"models: {leads})",
+                    fault_models=models_in_flight,
+                ) from exc
             for outcome, exit_code in outcomes:
                 result.record(outcome, exit_code)
             result.simulated_cycles += batch_cycles
+            trials_done += len(batches[index])
+            if self.on_batch is not None:
+                self.on_batch(index + 1, len(batches), trials_done, len(models))
         return result

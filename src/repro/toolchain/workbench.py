@@ -38,10 +38,48 @@ AttackFn = Callable[..., AttackResult]
 #: (source hash, config hash, scheme registration revision).
 CacheKey = tuple[str, str, int]
 
+#: Global initializers installed into the parsed module before compiling:
+#: a mapping of global-variable name -> raw little-endian bytes (the
+#: device-image pattern of :mod:`repro.crypto.image`).
+Initializers = Optional[dict[str, bytes]]
 
-def source_hash(source: str) -> str:
-    """Stable hex hash of a MiniC source text."""
-    return hashlib.sha256(source.encode()).hexdigest()
+
+def source_hash(source: str, initializers: Initializers = None) -> str:
+    """Stable hex hash of a MiniC source text (plus any installed
+    global initializers, which change the produced binary).
+
+    Every field is length-framed before hashing — plain concatenation
+    would let distinct (source, initializers) splits collide, and this
+    hash feeds both the compile-cache key and service job ids.
+    """
+    if not initializers:
+        return hashlib.sha256(source.encode()).hexdigest()
+    digest = hashlib.sha256()
+    encoded = source.encode()
+    digest.update(len(encoded).to_bytes(8, "big") + encoded)
+    for name in sorted(initializers):
+        encoded_name, data = name.encode(), bytes(initializers[name])
+        digest.update(len(encoded_name).to_bytes(8, "big") + encoded_name)
+        digest.update(len(data).to_bytes(8, "big") + data)
+    return digest.hexdigest()
+
+
+def _compile_with_initializers(
+    source: str, config: CompileConfig, initializers: dict[str, bytes]
+) -> CompiledProgram:
+    from repro.backend.driver import compile_ir
+    from repro.minic.driver import parse_to_ir
+
+    module = parse_to_ir(source, config.module_name)
+    for name in sorted(initializers):
+        glob = module.globals.get(name)
+        if glob is None:
+            raise KeyError(
+                f"initializer targets unknown global {name!r}; module "
+                f"declares: {sorted(module.globals)}"
+            )
+        glob.initializer = bytes(initializers[name])
+    return compile_ir(module, config=config)
 
 
 class Workbench:
@@ -59,13 +97,18 @@ class Workbench:
         self.misses = 0
 
     # -- cache plumbing ---------------------------------------------------
-    def cache_key(self, source: str, config: CompileConfig) -> CacheKey:
+    def cache_key(
+        self,
+        source: str,
+        config: CompileConfig,
+        initializers: Initializers = None,
+    ) -> CacheKey:
         # The scheme's registration revision invalidates entries whose
         # builder was since replaced via register_scheme(replace=True).
         from repro.toolchain.registry import get_scheme
 
         return (
-            source_hash(source),
+            source_hash(source, initializers),
             config.cache_key(),
             get_scheme(config.scheme).revision,
         )
@@ -96,15 +139,27 @@ class Workbench:
 
     # -- compilation ------------------------------------------------------
     def compile(
-        self, source: str, config: Optional[CompileConfig] = None
+        self,
+        source: str,
+        config: Optional[CompileConfig] = None,
+        initializers: Initializers = None,
     ) -> CompiledProgram:
         """Compile ``source`` under ``config`` (default ``CompileConfig()``),
-        returning the cached program for a repeated (source, config) pair."""
+        returning the cached program for a repeated (source, config) pair.
+
+        ``initializers`` optionally installs raw bytes into named module
+        globals between parsing and compilation (the pattern
+        :func:`repro.crypto.image.prepare_bootloader_module` uses to flash
+        a boot image); they participate in the cache key.
+        """
         config = config if config is not None else CompileConfig()
-        key = self.cache_key(source, config)
+        key = self.cache_key(source, config, initializers)
         program = self._lookup(key)
         if program is None:
-            program = compile_source(source, config=config)
+            if initializers:
+                program = _compile_with_initializers(source, config, initializers)
+            else:
+                program = compile_source(source, config=config)
             self._insert(key, program)
         return program
 
@@ -162,24 +217,54 @@ class Workbench:
         function: str,
         args: Optional[Sequence[int]] = None,
         config: Optional[CompileConfig] = None,
+        initializers: Initializers = None,
     ) -> "CampaignBuilder":
         """Start a fluent fault campaign against ``program``.
 
         ``program`` is either an already-compiled :class:`CompiledProgram`
-        or MiniC source text, compiled (cached) under ``config``.
+        or MiniC source text, compiled (cached) under ``config``.  Source-
+        built campaigns remember their (source, config) pair, so the
+        builder can also be shipped to a campaign service
+        (``.run(service=...)`` / ``.to_job()``).
         """
+        source = None
         if isinstance(program, str):
-            program = self.compile(program, config)
-        return CampaignBuilder(program, function, list(args or []))
+            source = program
+            program = self.compile(program, config, initializers)
+        elif config is not None or initializers:
+            raise ValueError(
+                "config/initializers apply at compile time; they cannot be "
+                "combined with an already-compiled program — pass source "
+                "text instead"
+            )
+        return CampaignBuilder(
+            program,
+            function,
+            list(args or []),
+            source=source,
+            config=config,
+            initializers=dict(initializers) if initializers else None,
+        )
 
 
 class CampaignBuilder:
     """Chains attack suites against one compiled program, then runs them."""
 
-    def __init__(self, program: CompiledProgram, function: str, args: list[int]):
+    def __init__(
+        self,
+        program: CompiledProgram,
+        function: str,
+        args: list[int],
+        source: Optional[str] = None,
+        config: Optional[CompileConfig] = None,
+        initializers: Initializers = None,
+    ):
         self.program = program
         self.function = function
         self.args = args
+        self._source = source
+        self._config = config if config is not None else CompileConfig()
+        self._initializers = initializers
         self._attacks: list[tuple[Optional[str], AttackFn, dict[str, Any]]] = []
 
     def attack(
@@ -190,7 +275,12 @@ class CampaignBuilder:
         self._attacks.append((name, attack_fn, kwargs))
         return self
 
-    def run(self, executor=None, engine: Optional[str] = None) -> CampaignReport:
+    def run(
+        self,
+        executor=None,
+        engine: Optional[str] = None,
+        service=None,
+    ) -> CampaignReport:
         """Execute every queued attack and collect a :class:`CampaignReport`.
 
         ``executor`` — a :class:`~repro.toolchain.executor.CampaignExecutor`
@@ -199,9 +289,24 @@ class CampaignBuilder:
         (``"fork"``/``"replay"``/``"reference"``) on the attack suites that
         support one.  Either is forwarded only to attack functions whose
         signature accepts the corresponding keyword.
+
+        ``service`` — run the campaign on a :mod:`repro.service` instance
+        instead of in-process: a
+        :class:`~repro.service.client.ServiceClient` or a ``"host:port"``
+        address.  The campaign is serialised to a
+        :class:`~repro.service.jobs.CampaignJob` (see :meth:`to_job`),
+        submitted, and its stored/streamed result converted back into the
+        same :class:`CampaignReport` a local run produces.
         """
         if not self._attacks:
             raise ValueError("campaign has no attacks; chain .attack(...) first")
+        if service is not None:
+            if executor is not None or engine not in (None, "fork"):
+                raise ValueError(
+                    "service campaigns always run with engine='fork' on the "
+                    "service's own executors; drop executor/engine"
+                )
+            return self._run_service(service)
         owned_executor = None
         if isinstance(executor, int):
             from repro.toolchain.executor import CampaignExecutor
@@ -212,6 +317,50 @@ class CampaignBuilder:
         finally:
             if owned_executor is not None:
                 owned_executor.close()
+
+    def to_job(self, title: str = ""):
+        """This campaign as a serialisable
+        :class:`~repro.service.jobs.CampaignJob`.
+
+        Requires the builder to have been created from source text (so the
+        service can compile it) and every queued attack to be one of the
+        named stock suites in :data:`repro.service.jobs.ATTACK_SUITES`.
+        """
+        from repro.service.jobs import AttackSpec, CampaignJob, suite_name_for
+
+        if self._source is None:
+            raise ValueError(
+                "campaign was built from a precompiled program; service "
+                "jobs need source text — use workbench.campaign(source, ...)"
+            )
+        specs = tuple(
+            AttackSpec.make(suite_name_for(attack_fn), label=name, **kwargs)
+            for name, attack_fn, kwargs in self._attacks
+        )
+        return CampaignJob(
+            source=self._source,
+            function=self.function,
+            args=tuple(self.args),
+            config=self._config,
+            attacks=specs,
+            initializers=tuple(
+                (name, bytes(data).hex())
+                for name, data in sorted((self._initializers or {}).items())
+            ),
+            title=title,
+        )
+
+    def _run_service(self, service) -> CampaignReport:
+        from repro.service.client import ServiceClient
+        from repro.service.jobs import report_from_dict
+
+        client = (
+            service
+            if isinstance(service, ServiceClient)
+            else ServiceClient.parse(service)
+        )
+        payload = client.run(self.to_job())
+        return report_from_dict(payload["report"])
 
     def _run(self, executor, engine: Optional[str]) -> CampaignReport:
         import inspect
@@ -230,13 +379,9 @@ class CampaignBuilder:
             result = attack_fn(self.program, self.function, self.args, **call_kwargs)
             label = name or result.attack
             if label != result.attack:
-                result = AttackResult(
-                    label,
-                    dict(result.outcomes),
-                    result.trials,
-                    list(result.wrong_codes),
-                    result.simulated_cycles,
-                )
+                import dataclasses
+
+                result = dataclasses.replace(result, attack=label)
             if label in report.attacks:
                 raise ValueError(
                     f"duplicate attack label {label!r}; disambiguate with "
