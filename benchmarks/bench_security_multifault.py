@@ -1,0 +1,217 @@
+"""E7 — multi-fault adversary campaign: beyond the paper's threat model.
+
+The paper's Table III argues security against a *single-fault* adversary.
+This bench asks the implicit open question: which schemes that survive
+every single fault fall to a pruned **double-fault** campaign
+(:mod:`repro.faults.adversary`)?
+
+The answer inverts the paper's qualitative ranking:
+
+* ``none`` (CFI-only) falls to a *single* branch flip — the 1-bit
+  decision is the single point of failure;
+* ``ancode`` (the prototype) detects every single fault, but falls to
+  **two**: flip the protected branch, then skip the CFI-check store a few
+  instructions later — the check is itself a single point of failure one
+  glitch removes;
+* ``duplication`` survives every pruned double fault (its comparison
+  tree re-derives the condition, so a branch flip plus one more glitch
+  still trips a re-check or the CFI monitor); forging an acceptance
+  takes k=4 (k=3 yields only a fail-deny wrong result — see
+  ``examples/double_fault_adversary.py``).
+
+The second half measures window pruning on the secure-boot macro: the
+k=2 space for ``bootloader_main`` (tampered firmware, invalid signature)
+must be >= 10x smaller than the naive product space — in practice it is
+five orders of magnitude smaller, which is what makes double-fault
+campaigns against multi-million-instruction runs tractable at all.
+"""
+
+import pytest
+
+from repro.backend import compile_ir
+from repro.crypto import build_signed_image
+from repro.crypto.image import (
+    BOOT_OK,
+    BOOT_REJECT,
+    bootloader_params,
+    prepare_bootloader_module,
+)
+from repro.faults.adversary import adversary_sweep, compose_space
+from repro.faults.classify import Outcome, classify
+from repro.faults.isa_campaign import run_attack
+from repro.faults.scheduler import TrialScheduler
+from repro.programs import load_source
+from repro.toolchain import CompileConfig, table3_schemes
+from repro.bench import format_table, record_bench_json, save_table
+
+SCHEMES = table3_schemes()
+#: Unequal inputs: the golden decision is "reject" and any WRONG_RESULT
+#: that exits 1 forged an acceptance — the security-critical direction.
+ARGS = [7, 8]
+WINDOW = 16
+
+
+@pytest.fixture(scope="module")
+def programs(workbench):
+    source = load_source("integer_compare")
+    return {
+        scheme: workbench.compile(source, CompileConfig(scheme=scheme))
+        for scheme in SCHEMES
+    }
+
+
+def _outcome_text(result):
+    return ", ".join(
+        f"{outcome.value}:{count}"
+        for outcome, count in sorted(
+            result.outcomes.items(), key=lambda entry: entry[0].value
+        )
+    )
+
+
+def run_multifault_campaign(programs):
+    table = {}
+    for scheme in SCHEMES:
+        program = programs[scheme]
+        space = compose_space(program, "integer_compare", ARGS, window=WINDOW)
+        scheduler = TrialScheduler.for_program(program, "integer_compare", ARGS)
+        singles = {}
+        for result in space.first_results.values():
+            outcome = classify(scheduler.golden, result)
+            singles[outcome] = singles.get(outcome, 0) + 1
+        doubles = run_attack(
+            program, "integer_compare", ARGS, space.trials, "double-fault"
+        )
+        table[scheme] = (singles, doubles, space.stats)
+    return table
+
+
+def test_double_fault_campaign(benchmark, programs):
+    table = benchmark.pedantic(
+        run_multifault_campaign, args=(programs,), rounds=1, iterations=1
+    )
+
+    def wrong_singles(scheme):
+        return table[scheme][0].get(Outcome.WRONG_RESULT, 0)
+
+    def wrong_doubles(scheme):
+        return table[scheme][1].outcomes.get(Outcome.WRONG_RESULT, 0)
+
+    # CFI-only: already falls to one fault (the paper's motivation).
+    assert wrong_singles("none") >= 1
+    # The prototype: every single fault in the first-fault space is
+    # detected, but the pruned double-fault campaign breaks it — the
+    # second fault skips the CFI-check store the first flip would trip.
+    assert wrong_singles("ancode") == 0
+    assert wrong_doubles("ancode") >= 1
+    assert 1 in table["ancode"][1].wrong_codes  # forged acceptance
+    # Duplication: survives singles AND every pruned double fault; its
+    # redundant comparison tree holds until k=4 before an acceptance is
+    # forged (see examples/double_fault_adversary.py).
+    assert wrong_singles("duplication") == 0
+    assert wrong_doubles("duplication") == 0
+
+    rows = []
+    for scheme in SCHEMES:
+        singles, doubles, stats = table[scheme]
+        singles_text = ", ".join(
+            f"{outcome.value}:{count}"
+            for outcome, count in sorted(
+                singles.items(), key=lambda entry: entry[0].value
+            )
+        )
+        rows.append(
+            [
+                scheme,
+                stats.first_count,
+                stats.generated,
+                singles_text,
+                _outcome_text(doubles),
+            ]
+        )
+    text = format_table(
+        "E7 — single- vs pruned double-fault outcomes per scheme "
+        f"(integer_compare {ARGS}, window={WINDOW})",
+        ["Scheme", "Firsts", "k=2 trials", "Single-fault outcomes", "Double-fault outcomes"],
+        rows,
+    )
+    save_table("security_multifault", text)
+
+
+# ---------------------------------------------------------------------------
+# Secure-boot macro: pruning ratio + the double-fault boot forge
+# ---------------------------------------------------------------------------
+def test_bootloader_pruning_and_forge(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    image = build_signed_image(b"FW-MULTIFAULT-01" * 4)
+    tampered = b"EVIL-FIRMWARE!!!" * 4  # signature no longer matches
+    payload = {}
+    for scheme in ("duplication", "ancode"):
+        program = compile_ir(
+            prepare_bootloader_module(image, tamper=tampered),
+            config=CompileConfig(scheme=scheme, params=bootloader_params()),
+        )
+        space = compose_space(
+            program,
+            "bootloader_main",
+            [],
+            window=WINDOW,
+            focus="accept_signature",
+            max_cycles=30_000_000,
+        )
+        scheduler = TrialScheduler.for_program(program, "bootloader_main", [])
+        assert scheduler.golden.exit_code == BOOT_REJECT
+        forged = 0
+        for trial in space.trials:
+            result = scheduler.run_trial(trial, 30_000_000)
+            outcome = classify(scheduler.golden, result)
+            if outcome is Outcome.WRONG_RESULT and result.exit_code == BOOT_OK:
+                forged += 1
+        stats = space.stats
+        payload[scheme] = {
+            "golden_instructions": stats.golden_instructions,
+            "naive_space": stats.naive,
+            "pruned_space": stats.generated,
+            "pruning_ratio": round(stats.pruning_ratio, 1),
+            "forged_boots": forged,
+        }
+        # Acceptance gate: the pruned k=2 space must be >= 10x smaller
+        # than the naive product space on bootloader_main.
+        assert stats.pruning_ratio >= 10.0, stats
+    # The paper's own macro-benchmark scenario: two precisely-timed
+    # glitches boot tampered firmware past the prototype; the duplication
+    # tree still rejects it.
+    assert payload["ancode"]["forged_boots"] >= 1
+    assert payload["duplication"]["forged_boots"] == 0
+    record_bench_json("multifault_bootloader", payload)
+
+    rows = [
+        [
+            scheme,
+            data["golden_instructions"],
+            data["naive_space"],
+            data["pruned_space"],
+            f'{data["pruning_ratio"]:.0f}x',
+            data["forged_boots"],
+        ]
+        for scheme, data in payload.items()
+    ]
+    text = format_table(
+        "E7 — secure-boot double-fault campaign (tampered firmware, "
+        f"window={WINDOW}, focus=accept_signature)",
+        ["Scheme", "Golden instrs", "Naive k=2", "Pruned k=2", "Ratio", "Forged boots"],
+        rows,
+    )
+    save_table("security_multifault_bootloader", text)
+
+
+def test_adversary_suite_entry_point(programs):
+    """The wire-facing suite reports the same space the generator built."""
+    result = adversary_sweep(
+        programs["ancode"], "integer_compare", ARGS, k=2, window=WINDOW
+    )
+    space = compose_space(
+        programs["ancode"], "integer_compare", ARGS, window=WINDOW
+    )
+    assert result.trials == space.stats.generated
+    assert result.attack == "k-fault-adversary"

@@ -2,7 +2,7 @@
 
 Paper: protecting the signature-verification comparison and subsequent
 branches costs 2.435% code size and ~0.001% runtime, because the crypto
-dominates.  Our bootloader (SHA-256 + scaled-down ECDSA, see DESIGN.md)
+dominates.  Our bootloader (SHA-256 + scaled-down ECDSA, see repro.crypto)
 must show the same shape: small single-digit-percent size overhead and a
 sub-percent runtime overhead.
 """

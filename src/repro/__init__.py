@@ -20,7 +20,8 @@ Public API highlights
 * :class:`repro.isa.CPU` — the ISA simulator with CFI monitor and fault hooks.
 * :mod:`repro.faults` — fault models and injection campaigns.
 
-See README.md for a quickstart and DESIGN.md for the system inventory.
+See README.md for a quickstart and docs/architecture.md for the
+subsystem map.
 """
 
 from repro.ancode import ANCode, ANCodeError
@@ -36,7 +37,7 @@ def _detect_version() -> str:
 
         return version("repro-secure-branches")
     except Exception:
-        return "1.2.0"  # keep in sync with pyproject.toml
+        return "1.3.0"  # keep in sync with pyproject.toml
 
 
 __version__ = _detect_version()

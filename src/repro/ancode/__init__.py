@@ -1,4 +1,4 @@
-"""AN-code arithmetic encoding (S1 in DESIGN.md).
+"""AN-code arithmetic encoding (docs/architecture.md: Middle end).
 
 AN-codes represent a functional value ``n`` as the code word ``A * n``.
 Every multiple of the encoding constant ``A`` is a valid code word; the

@@ -1,4 +1,4 @@
-"""ARMv7-M-like back end (S7 in DESIGN.md): ISel, RA, frame, CFI, emission."""
+"""ARMv7-M-like back end (docs/architecture.md: Back end): ISel, RA, frame, CFI, emission."""
 
 from repro.backend.driver import CompiledProgram, compile_ir
 from repro.backend.machine import CompileError, MachineFunction

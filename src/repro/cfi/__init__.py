@@ -1,4 +1,4 @@
-"""GPSA control-flow integrity (S9 in DESIGN.md).
+"""GPSA control-flow integrity (docs/architecture.md: Target).
 
 A software-centred CFI scheme in the spirit of Werner et al. (CARDIS 2015),
 the one the paper builds on: every retired instruction advances a state

@@ -11,7 +11,8 @@ The *device-side* implementations (what actually runs on the simulator)
 live in :mod:`repro.programs` as MiniC source; the test-suite cross-checks
 the two.  The paper's bootloader used ECDSA (P-256 class); simulating
 ~52 M cycles of P-256 in Python is impractical, so the default curve is a
-scaled-down Weierstrass curve (see DESIGN.md's substitution notes) — the
+scaled-down Weierstrass curve (a deliberate substitution: real P-256 is
+intractable on the cycle-modeled simulator) — the
 code path (hash -> verify -> protected memcmp -> protected branches) is
 identical.
 """

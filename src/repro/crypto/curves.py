@@ -1,6 +1,6 @@
 """Short Weierstrass curves y^2 = x^3 + ax + b over F_p.
 
-``TOY20`` is a scaled-down curve for the simulator (DESIGN.md's
+``TOY20`` is a scaled-down curve for the simulator (a deliberate
 substitution for P-256: a pure-Python ISA simulation of P-256 would need
 tens of millions of cycles per verification).  Its constants were computed
 by a baby-step/giant-step order search: p = 1048571 (prime, = 3 mod 4),

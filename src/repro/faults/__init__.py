@@ -1,4 +1,5 @@
-"""Fault models and injection campaigns (S10 in DESIGN.md).
+"""Fault models and injection campaigns (docs/fault-models.md is the
+model-by-model reference).
 
 Two levels, matching the paper's evaluation:
 
@@ -8,8 +9,21 @@ Two levels, matching the paper's evaluation:
 * :mod:`repro.faults.isa_campaign` — faults on the running program
   (instruction skips, flag flips, register corruption; single and
   *repeated*, the attack that defeats duplication).
+
+Plus one level beyond the paper's single-fault adversary:
+
+* :mod:`repro.faults.adversary` — k-fault composition
+  (:class:`CompositeFault`) with window-pruned trial-space generation,
+  for attackers who inject multiple precisely-timed faults.
 """
 
+from repro.faults.adversary import (
+    CompositeFault,
+    PrunedSpace,
+    SpaceStats,
+    adversary_sweep,
+    compose_space,
+)
 from repro.faults.arithmetic import (
     ArithmeticCampaignResult,
     FaultOutcome,
@@ -20,6 +34,7 @@ from repro.faults.models import (
     BranchDirectionFlip,
     FaultModel,
     FlagFlip,
+    FlagFlipAt,
     InstructionSkip,
     MemoryBitFlip,
     RegisterBitFlip,
@@ -40,18 +55,24 @@ __all__ = [
     "AttackResult",
     "BranchDirectionFlip",
     "CampaignReport",
+    "CompositeFault",
     "FaultModel",
     "FaultOutcome",
     "FlagFlip",
+    "FlagFlipAt",
     "GoldenTrace",
     "InstructionSkip",
     "MemoryBitFlip",
+    "PrunedSpace",
     "RegisterBitFlip",
     "RepeatedBranchDirectionFlip",
     "RepeatedFlagFlip",
     "RepeatedInstructionSkip",
     "SchedulerStats",
+    "SpaceStats",
     "TrialScheduler",
+    "adversary_sweep",
+    "compose_space",
     "exhaustive_campaign",
     "golden_trace",
     "run_attack",

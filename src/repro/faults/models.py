@@ -22,10 +22,25 @@ additionally declares
 
 Third-party models without these methods are forked from the initial
 checkpoint, which is exactly a full replay.
+
+Multi-fault composition (:mod:`repro.faults.adversary`) adds a third
+method, ``resumed_hook(trace)``: a hook valid when execution resumes from
+a mid-run checkpoint while *other* faults may fire later in the same
+trial.  Unlike ``forked_hook`` it may only assume the prefix *before the
+checkpoint* matches the golden trace — once any composed fault fires the
+execution diverges, so occurrence counters cannot be translated to
+absolute golden indices.  Instead, occurrence-counting models charge the
+counter for the golden prefix the fork skipped (computable exactly from
+the trace, because nothing fires before the fork point) and then count
+live occurrences on the actual — possibly divergent — execution.  The
+base-class default returns the raw ``hook()``, which is already correct
+for stateless hooks and for hooks timed on ``cpu.dyn_index`` (the dynamic
+index is restored by the checkpoint).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.isa import instructions as ins
@@ -44,6 +59,13 @@ class FaultModel:
 
     def forked_hook(self, trace):
         """Hook for mid-run forking; stateless hooks fork as-is."""
+        return self.hook()
+
+    def resumed_hook(self, trace):
+        """Hook for mid-run forking when *other* faults fire in the same
+        trial (composite trials).  Stateless and ``dyn_index``-timed hooks
+        resume as-is; occurrence-counting models must override this to
+        pre-charge their counter for the skipped golden prefix."""
         return self.hook()
 
 
@@ -155,6 +177,68 @@ class FlagFlip(FaultModel):
 
         return pre
 
+    def resumed_hook(self, trace):
+        return _resumed_branch_counter(
+            trace,
+            self.branch_occurrence,
+            lambda cpu, instr: setattr(
+                cpu, self.flag, getattr(cpu, self.flag) ^ 1
+            ),
+        )
+
+
+def _resumed_branch_counter(trace, target: int, fire):
+    """A branch-occurrence counter that is exact after a mid-run fork.
+
+    On first invocation the counter is charged for the conditional
+    branches the fork skipped: the prefix up to the checkpoint is
+    golden-identical (no composed fault has fired yet), so they are
+    exactly the golden ``bcc`` retirements with a dynamic index below the
+    resume point.  From there it counts live branches on the actual —
+    possibly divergent — execution, matching a from-start run exactly.
+    """
+    bcc_hits = trace.indices("bcc")
+    seen = [None]
+
+    def pre(cpu: CPU, instr) -> bool:
+        if seen[0] is None:
+            seen[0] = bisect_left(bcc_hits, cpu.dyn_index)
+        if isinstance(instr, ins.Bcc):
+            seen[0] += 1
+            if seen[0] == target:
+                fire(cpu, instr)
+        return False
+
+    return pre
+
+
+@dataclass(frozen=True)
+class FlagFlipAt(FaultModel):
+    """Flip a condition flag before the ``occurrence``-th dynamic instruction.
+
+    The index-timed sibling of :class:`FlagFlip`: the attacker fires at an
+    absolute point in time rather than counting branches.  That makes it
+    the natural *second* fault of a :class:`~repro.faults.adversary.
+    CompositeFault` — absolute timing stays meaningful after an earlier
+    fault diverges the control flow, whereas "the N-th branch" does not.
+    """
+
+    flag: str = "z"
+    occurrence: int = 1
+
+    def hook(self):
+        def pre(cpu: CPU, instr) -> bool:
+            if cpu.dyn_index == self.occurrence:
+                setattr(cpu, self.flag, getattr(cpu, self.flag) ^ 1)
+            return False
+
+        return pre
+
+    def first_fire_index(self, trace):
+        if self.occurrence < 1 or self.occurrence > trace.result.instructions:
+            return None
+        return self.occurrence
+
 
 @dataclass(frozen=True)
 class RepeatedFlagFlip(FaultModel):
@@ -228,6 +312,13 @@ class BranchDirectionFlip(FaultModel):
             return False
 
         return pre
+
+    def resumed_hook(self, trace):
+        return _resumed_branch_counter(
+            trace,
+            self.branch_occurrence,
+            lambda cpu, instr: _invert_branch(cpu, instr.cond),
+        )
 
 
 @dataclass(frozen=True)

@@ -123,6 +123,12 @@ class TrialScheduler:
         self.reuse_cpu = reuse_cpu
         self._trial_cpu = None
         self._pristine: bytes | None = None
+        #: Final ``cpu.dyn_index`` of the most recent trial — where its
+        #: execution actually ended, including skipped instructions (which
+        #: ``ExecutionResult.instructions`` excludes).  The multi-fault
+        #: adversary layer prunes composite trials whose later faults are
+        #: timed past this point: they provably cannot fire.
+        self.last_trial_end: int | None = None
         self._capture_golden(interval, max_checkpoints, golden_max_cycles)
 
     #: Workloads memoized per program; the LRU bound keeps argument sweeps
@@ -212,6 +218,9 @@ class TrialScheduler:
                     and golden.cycles <= max_cycles
                 ):
                     self.stats.short_circuited += 1
+                    # Nothing fired, so nothing was skipped: the final
+                    # dynamic index equals the retired count.
+                    self.last_trial_end = golden.instructions
                     return golden
                 first_fire = 1
                 hook = model.hook()
@@ -225,6 +234,7 @@ class TrialScheduler:
         cpu = self._fork_cpu(snap)
         cpu.pre_hooks.append(hook)
         result = cpu.run(max_cycles)
+        self.last_trial_end = cpu.dyn_index
         self.stats.forked += 1
         self.stats.simulated_instructions += result.instructions - snap.retired
         self.stats.simulated_cycles += result.cycles - snap.cycles

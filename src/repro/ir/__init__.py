@@ -1,4 +1,4 @@
-"""A small SSA intermediate representation (S3 in DESIGN.md).
+"""A small SSA intermediate representation (docs/architecture.md: Middle end).
 
 Deliberately LLVM-shaped: modules hold globals and functions, functions hold
 basic blocks of instructions in SSA form (after :class:`~repro.passes.mem2reg`

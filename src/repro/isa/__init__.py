@@ -1,4 +1,4 @@
-"""ARMv7-M-subset ISA and cycle-accurate simulator (S8 in DESIGN.md).
+"""ARMv7-M-subset ISA and cycle-accurate simulator (docs/architecture.md: Target).
 
 The instruction set mirrors the Thumb-2 subset the paper's prototype needs
 (Table II names ADD/SUB/UDIV/MLS explicitly), with a faithful 16/32-bit

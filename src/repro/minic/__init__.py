@@ -1,4 +1,4 @@
-"""MiniC front end (S4 in DESIGN.md).
+"""MiniC front end (docs/architecture.md: Front end).
 
 A small C subset sufficient for the paper's benchmarks (integer compare,
 memcmp, the secure bootloader with SHA-256 and ECDSA): ``u32``/``u8``

@@ -27,6 +27,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
+from repro.faults.adversary import adversary_sweep
 from repro.faults.isa_campaign import (
     AttackResult,
     CampaignReport,
@@ -46,6 +47,7 @@ ATTACK_SUITES: dict[str, Callable[..., AttackResult]] = {
     "branch-flip": branch_flip_sweep,
     "repeated-branch-flip": repeated_branch_flip,
     "operand-corruption": operand_corruption_sweep,
+    "adversary": adversary_sweep,
 }
 
 #: Parameters of the suites that the *service* controls, not the job.
@@ -349,7 +351,9 @@ class CampaignJob:
     def _run_attack(self, program, spec, executor, emit):
         attack_fn = ATTACK_SUITES[spec.suite]
         kwargs = dict(spec.kwargs)
-        if "window" in kwargs and kwargs["window"] is not None:
+        # operand-corruption's window is a (lo, hi) pair that JSON turned
+        # into a list; the adversary suite's window is a plain int width.
+        if isinstance(kwargs.get("window"), list):
             kwargs["window"] = tuple(kwargs["window"])
         if executor is None:
             return attack_fn(

@@ -275,6 +275,26 @@ class CampaignBuilder:
         self._attacks.append((name, attack_fn, kwargs))
         return self
 
+    def adversary(
+        self,
+        k: int = 2,
+        window: int = 16,
+        *,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "CampaignBuilder":
+        """Queue a pruned k-fault adversary sweep (multi-fault trials).
+
+        Sugar for ``.attack(adversary_sweep, k=k, window=window, ...)`` —
+        see :func:`repro.faults.adversary.adversary_sweep` for the
+        pruning knobs (``second_kinds``, ``focus``, ``max_first``,
+        ``prune_terminal``).  Serialises to a service job like any stock
+        suite.
+        """
+        from repro.faults.adversary import adversary_sweep
+
+        return self.attack(adversary_sweep, name=name, k=k, window=window, **kwargs)
+
     def run(
         self,
         executor=None,
