@@ -1,0 +1,159 @@
+"""E8 — fault-coverage analytics: maps, diffs, Table III from data.
+
+Two artefact-producing checks (both written under ``benchmarks/results/``
+and uploaded by CI):
+
+* the **bootloader vulnerability map** — the paper's macro workload
+  (``accept_signature`` with an invalid signature) swept per scheme,
+  folded onto its instructions; the AN-code prototype must show *zero*
+  exploitable instructions while CFI-only leaves the decision itself
+  open, and the none→ancode scheme diff must say so mechanically;
+* the **Table III reproduction** — :func:`repro.analysis.reproduce_table3`
+  must reproduce the qualitative ranking the E6 bench asserts piecewise
+  (prototype > duplication > CFI-only).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import reproduce_table3
+from repro.bench import record_bench_json, save_table
+from repro.bench.tables import RESULTS_DIR
+from repro.crypto.image import (
+    bootloader_initializers,
+    bootloader_params,
+    bootloader_source,
+    build_signed_image,
+)
+from repro.faults.isa_campaign import (
+    branch_flip_sweep,
+    operand_corruption_sweep,
+    repeated_branch_flip,
+)
+from repro.toolchain import CompileConfig
+
+#: An (r, s) pair that is *not* a valid signature for the image: the
+#: honest decision is "reject", so every wrong result is a forge.
+BOGUS_SIG = [0x00C0FFEE & 0xFFFFF, 0x000BEEF1 & 0xFFFFF]
+
+
+def _save_json(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="module")
+def bootloader_analyses(workbench):
+    image = build_signed_image(b"ANALYSIS-BENCH-1" * 4)
+    initializers = bootloader_initializers(image)
+    source = bootloader_source()
+    analyses = {}
+    for scheme in ("none", "ancode"):
+        config = CompileConfig(
+            scheme=scheme, params=bootloader_params(), cfi_policy="edge"
+        )
+        analyses[scheme] = (
+            workbench.campaign(
+                source, "accept_signature", BOGUS_SIG, config, initializers
+            )
+            .attack(branch_flip_sweep, max_branches=16)
+            .attack(repeated_branch_flip)
+            .attack(
+                operand_corruption_sweep, regs=[0, 1], bits=[0, 16], occurrence=2
+            )
+            .analyze()
+        )
+    # Artefacts first (even a failing assertion below leaves them for CI).
+    diff = analyses["none"].diff(analyses["ancode"])
+    _save_json("bootloader_vulnmap", analyses["ancode"].map.to_json())
+    _save_json("bootloader_scheme_diff", diff.to_json())
+    save_table("bootloader_vulnmap", analyses["ancode"].map.render())
+    save_table("bootloader_scheme_diff", diff.render())
+    return analyses
+
+
+def test_bootloader_vulnerability_map(benchmark, bootloader_analyses):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    baseline = bootloader_analyses["none"]
+    prototype = bootloader_analyses["ancode"]
+
+    # CFI-only: the signature decision is itself exploitable, and the map
+    # pins the forges to conditional branches of the protected function.
+    assert baseline.map.exploitable > 0
+    assert all(
+        cell.mnemonic == "bcc" for cell in baseline.map.exploitable_cells()
+    )
+    # The prototype closes every single-fault hole: no instruction on the
+    # map retains an undetected wrong result.
+    assert prototype.map.exploitable == 0
+    assert prototype.map.exploitable_cells() == []
+
+    diff = baseline.diff(prototype)
+    assert "branch-flip" in diff.closed
+    assert diff.opened == []
+    assert diff.residual_b == []
+
+    record_bench_json(
+        "analysis_coverage",
+        {
+            "bootloader": {
+                scheme: {
+                    "instructions_mapped": len(analysis.map.cells),
+                    "trials": analysis.map.trials,
+                    "exploitable_instructions": len(
+                        analysis.map.exploitable_cells()
+                    ),
+                    "totals": analysis.map.totals(),
+                }
+                for scheme, analysis in bootloader_analyses.items()
+            },
+            "diff_none_to_ancode": {
+                "closed": diff.closed,
+                "still_open": diff.still_open,
+                "exploitable_delta": diff.exploitable_delta,
+            },
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def table3_repro(workbench):
+    reproduction = reproduce_table3(workbench)
+    _save_json("table3_reproduction", reproduction.to_json())
+    save_table("table3_reproduction", reproduction.render())
+    return reproduction
+
+
+def test_table3_reproduction(benchmark, table3_repro):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    reproduction = table3_repro
+    # The ranking the E6 bench asserts piecewise, reproduced from data.
+    assert reproduction.ranking == ["ancode", "duplication", "none"]
+    assert reproduction.row("ancode").undetected_wrong == 0
+    assert reproduction.row("duplication").defeated_by == ["repeated-flip"]
+    assert set(reproduction.row("none").defeated_by) == {
+        "single-flip",
+        "repeated-flip",
+    }
+
+
+def test_artifacts_parse_back(table3_repro, bootloader_analyses):
+    """The uploaded artefacts must round-trip through the public codecs."""
+    from repro.analysis import SchemeDiff, Table3Reproduction, VulnerabilityMap
+
+    vmap = VulnerabilityMap.from_dict(
+        json.loads((RESULTS_DIR / "bootloader_vulnmap.json").read_text())
+    )
+    assert vmap.scheme == "ancode" and vmap.function == "accept_signature"
+    diff = SchemeDiff.from_dict(
+        json.loads((RESULTS_DIR / "bootloader_scheme_diff.json").read_text())
+    )
+    assert (diff.scheme_a, diff.scheme_b) == ("none", "ancode")
+    table = Table3Reproduction.from_dict(
+        json.loads((RESULTS_DIR / "table3_reproduction.json").read_text())
+    )
+    assert table.ranking[0] == "ancode"

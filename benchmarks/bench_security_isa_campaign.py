@@ -176,12 +176,23 @@ def test_campaign_engine_speedup(benchmark, engine_programs):
 
 
 def _parallel_measurement(engine_programs):
-    """CampaignExecutor throughput (informational: needs >1 CPU to win)."""
+    """CampaignExecutor throughput — always measured, never ``null``.
+
+    On a single-CPU host the process pool cannot win, so the measurement
+    degrades to a correctness smoke (2 workers, annotated as such) rather
+    than silently disappearing from ``BENCH_campaign.json``.
+    """
     from repro.toolchain import CampaignExecutor
 
-    workers = min(4, os.cpu_count() or 1)
+    cpus = os.cpu_count() or 1
+    workers = min(4, cpus)
+    note = None
     if workers < 2:
-        return None
+        workers = 2
+        note = (
+            f"single-cpu host (os.cpu_count()={cpus}): 2-worker run is a "
+            f"correctness smoke, no speedup expected"
+        )
     memcmp = engine_programs["memcmp-ancode"]
     models = _memcmp_models(memcmp)
     with CampaignExecutor(max_workers=workers) as executor:
@@ -190,9 +201,13 @@ def _parallel_measurement(engine_programs):
             memcmp, "run_memcmp", [128], models, "strided-skip", executor=executor
         )
         seconds = time.perf_counter() - start
-    return {
+    payload = {
         "workers": workers,
+        "cpus": cpus,
         "trials": result.trials,
         "seconds": round(seconds, 3),
         "trials_per_sec": round(result.trials / seconds, 1),
     }
+    if note is not None:
+        payload["note"] = note
+    return payload

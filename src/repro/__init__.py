@@ -19,6 +19,8 @@ Public API highlights
   pipeline (Figure 3) to an ARMv7-M-like binary.
 * :class:`repro.isa.CPU` — the ISA simulator with CFI monitor and fault hooks.
 * :mod:`repro.faults` — fault models and injection campaigns.
+* :mod:`repro.analysis` — fault-coverage analytics: per-instruction
+  vulnerability maps, scheme diffs, Table III reproduction.
 
 See README.md for a quickstart and docs/architecture.md for the
 subsystem map.
@@ -37,7 +39,7 @@ def _detect_version() -> str:
 
         return version("repro-secure-branches")
     except Exception:
-        return "1.3.0"  # keep in sync with pyproject.toml
+        return "1.4.0"  # keep in sync with pyproject.toml
 
 
 __version__ = _detect_version()

@@ -1,0 +1,260 @@
+"""Reproduce the paper's Table III security comparison from campaign data.
+
+Table III's qualitative ranking — CFI-only falls to a single branch
+flip, duplication to a repeated flip, the AN-code prototype to neither —
+previously lived only as ad-hoc assertions inside
+``benchmarks/bench_security_isa_campaign.py``.  :func:`reproduce_table3`
+rebuilds the table as a first-class value from any of three sources, in
+precedence order:
+
+1. ``reports`` — scheme -> :class:`~repro.faults.isa_campaign.
+   CampaignReport` the caller already holds;
+2. ``store`` — a :class:`~repro.service.store.ResultStore`: the canonical
+   per-scheme jobs (:func:`table3_jobs`, stable content-hash ids) are
+   answered from persisted results without re-executing a trial;
+3. a :class:`~repro.toolchain.workbench.Workbench` — the campaigns run
+   in-process (the default when neither of the above is given).
+
+The canonical campaign matches the bench: ``single-flip`` (one branch
+flip at the protected decision), ``repeated-flip`` (the
+duplication-defeating repeated glitch), and a full ``skip-sweep``,
+against ``integer_compare(7, 7)`` under every registered Table III
+scheme.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.vulnmap import EXPLOITABLE, AnalysisError
+from repro.faults.isa_campaign import CampaignReport
+
+#: The canonical Table III attacks: (label, wire suite, kwargs).
+TABLE3_ATTACKS = (
+    ("single-flip", "branch-flip", {"max_branches": 1}),
+    ("repeated-flip", "repeated-branch-flip", {}),
+    ("skip-sweep", "skip-sweep", {}),
+)
+
+#: The canonical workload (the paper's minimal protected decision).
+TABLE3_WORKLOAD = ("integer_compare", "integer_compare", (7, 7))
+
+
+def table3_jobs(schemes=None) -> dict:
+    """The canonical Table III campaign per scheme, as serialisable
+    :class:`~repro.service.jobs.CampaignJob` values.  Content-hash job
+    ids make these the lookup keys for store-backed reproduction — run
+    them through a service once and every later
+    :func:`reproduce_table3(store=...) <reproduce_table3>` is free."""
+    from repro.programs import load_source
+    from repro.service.jobs import AttackSpec, CampaignJob
+    from repro.toolchain.config import CompileConfig
+    from repro.toolchain.registry import table3_schemes
+
+    program_name, function, args = TABLE3_WORKLOAD
+    source = load_source(program_name)
+    return {
+        scheme: CampaignJob(
+            source=source,
+            function=function,
+            args=args,
+            config=CompileConfig(scheme=scheme),
+            attacks=tuple(
+                AttackSpec.make(suite, label=label, **kwargs)
+                for label, suite, kwargs in TABLE3_ATTACKS
+            ),
+            title=f"table3/{scheme}",
+        )
+        for scheme in (schemes or table3_schemes())
+    }
+
+
+@dataclass
+class Table3Row:
+    """One scheme's line of the reproduced table."""
+
+    scheme: str
+    #: attack label -> (outcome value -> count)
+    attacks: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def exploitable(self, attack: str) -> int:
+        return self.attacks.get(attack, {}).get(EXPLOITABLE, 0)
+
+    @property
+    def undetected_wrong(self) -> int:
+        """Total undetected wrong results across all attacks — the number
+        the ranking sorts on (0 = survives the whole single-fault table)."""
+        return sum(self.exploitable(attack) for attack in self.attacks)
+
+    @property
+    def defeated_by(self) -> list[str]:
+        return [a for a in self.attacks if self.exploitable(a) > 0]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "attacks": {
+                attack: dict(sorted(outcomes.items()))
+                for attack, outcomes in self.attacks.items()
+            },
+            "undetected_wrong": self.undetected_wrong,
+            "defeated_by": self.defeated_by,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Table3Row":
+        return cls(
+            scheme=data["scheme"],
+            attacks={
+                attack: dict(outcomes)
+                for attack, outcomes in (data.get("attacks") or {}).items()
+            },
+        )
+
+
+@dataclass
+class Table3Reproduction:
+    """The reproduced Table III: one row per scheme, ranked best-first."""
+
+    function: str
+    args: list[int]
+    rows: list[Table3Row] = field(default_factory=list)
+    #: where each row's report came from: "reports", "store", or "run"
+    source: str = "run"
+
+    def __post_init__(self) -> None:
+        self.rows.sort(key=lambda row: (row.undetected_wrong, row.scheme))
+
+    @property
+    def ranking(self) -> list[str]:
+        """Schemes best-first (fewest undetected wrong results; ties
+        break alphabetically, matching the build sort)."""
+        return [row.scheme for row in self.rows]
+
+    def row(self, scheme: str) -> Table3Row:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise KeyError(scheme)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "table3-reproduction",
+            "function": self.function,
+            "args": list(self.args),
+            "source": self.source,
+            "ranking": self.ranking,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Table3Reproduction":
+        return cls(
+            function=data["function"],
+            args=[int(a) for a in data.get("args") or ()],
+            rows=[Table3Row.from_dict(row) for row in data.get("rows") or ()],
+            source=data.get("source", "run"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        from repro.analysis.render import render_table3
+
+        return render_table3(self)
+
+
+def _row_from_report(scheme: str, report: CampaignReport) -> Table3Row:
+    return Table3Row(
+        scheme=scheme,
+        attacks={
+            label: {
+                outcome.value: count for outcome, count in result.outcomes.items()
+            }
+            for label, result in report.attacks.items()
+        },
+    )
+
+
+def reproduce_table3(
+    workbench=None,
+    *,
+    reports: Optional[dict] = None,
+    store=None,
+    schemes=None,
+    executor=None,
+    require_stored: bool = False,
+) -> Table3Reproduction:
+    """Rebuild Table III (see module docstring for the source precedence).
+
+    With ``store``, schemes whose canonical job has no stored result fall
+    back to an in-process run — pass ``require_stored=True`` to raise
+    instead (strict no-re-execution mode).  ``executor`` shards any
+    in-process runs across a
+    :class:`~repro.toolchain.executor.CampaignExecutor`.
+    """
+    from repro.toolchain.registry import table3_schemes
+
+    _, function, args = TABLE3_WORKLOAD
+    schemes = tuple(schemes or table3_schemes())
+    rows: list[Table3Row] = []
+    if reports is not None:
+        missing = [s for s in schemes if s not in reports]
+        if missing:
+            raise AnalysisError(f"reports missing schemes: {missing}")
+        return Table3Reproduction(
+            function=function,
+            args=list(args),
+            rows=[_row_from_report(s, reports[s]) for s in schemes],
+            source="reports",
+        )
+
+    jobs = table3_jobs(schemes)
+    stored: dict[str, CampaignReport] = {}
+    if store is not None:
+        from repro.service.jobs import _scheme_revision, report_from_dict
+
+        for scheme, job in jobs.items():
+            payload = store.get_result(job.job_id())
+            # Same freshness rule as the service's store-dedup layer: a
+            # result computed before register_scheme(replace=True) swapped
+            # the scheme's builder is stale and must be re-run.
+            if payload is not None and payload.get(
+                "scheme_revision"
+            ) == _scheme_revision(job.config):
+                stored[scheme] = report_from_dict(payload["report"])
+        if require_stored and len(stored) < len(schemes):
+            missing = sorted(set(schemes) - set(stored))
+            raise AnalysisError(
+                f"store has no result for Table III jobs of schemes "
+                f"{missing}; submit table3_jobs() first or drop "
+                f"require_stored"
+            )
+
+    if workbench is None and len(stored) < len(schemes):
+        from repro.toolchain.workbench import Workbench
+
+        workbench = Workbench()
+    for scheme in schemes:
+        report = stored.get(scheme)
+        if report is None:
+            job = jobs[scheme]
+            payload = job.execute(workbench, executor=executor)
+            report = _report_of(payload)
+            if store is not None:
+                store.record_job(job.job_id(), job.kind, job.to_dict())
+                store.store_result(job.job_id(), payload)
+        rows.append(_row_from_report(scheme, report))
+    source = "store" if store is not None and len(stored) == len(schemes) else "run"
+    return Table3Reproduction(
+        function=function, args=list(args), rows=rows, source=source
+    )
+
+
+def _report_of(payload: dict) -> CampaignReport:
+    from repro.service.jobs import report_from_dict
+
+    return report_from_dict(payload["report"])

@@ -385,6 +385,7 @@ def adversary_sweep(
     max_cycles: int = 2_000_000,
     engine: str = "fork",
     executor=None,
+    record_trials: bool = False,
 ) -> AttackResult:
     """Run the pruned k-fault adversary campaign as one attack suite.
 
@@ -416,6 +417,7 @@ def adversary_sweep(
         max_cycles=max_cycles,
         engine=engine,
         executor=executor,
+        record_trials=record_trials,
     )
     return result
 

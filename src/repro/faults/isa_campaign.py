@@ -54,12 +54,29 @@ class AttackResult:
     #: cycles the engine actually simulated (forked trials exclude their
     #: checkpointed prefix) — bench bookkeeping, not part of equality
     simulated_cycles: int = field(default=0, compare=False)
+    #: optional per-trial rows ``[fire_index, outcome value, exit_code]``
+    #: in trial order, where ``fire_index`` is the fault's first possible
+    #: firing index against the golden trace (0 = the fault can never
+    #: fire, or the model carries no scheduler metadata).  Filled when a
+    #: campaign runs with ``record_trials=True``; the rows are engine-
+    #: independent, feed the per-instruction vulnerability maps of
+    #: :mod:`repro.analysis`, and — like ``simulated_cycles`` — are not
+    #: part of equality.
+    records: list[list] | None = field(default=None, compare=False)
 
     def record(self, outcome: Outcome, exit_code: int | None = None) -> None:
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         self.trials += 1
         if outcome is Outcome.WRONG_RESULT and exit_code is not None:
             self.wrong_codes.append(exit_code)
+
+    def record_trial(
+        self, fire_index: int | None, outcome: Outcome, exit_code: int
+    ) -> None:
+        """Append one per-trial row (see :attr:`records`)."""
+        if self.records is None:
+            self.records = []
+        self.records.append([int(fire_index or 0), outcome.value, exit_code])
 
     def rate(self, outcome: Outcome) -> float:
         return self.outcomes.get(outcome, 0) / self.trials if self.trials else 0.0
@@ -91,6 +108,15 @@ def _golden(program, function, args, engine: str) -> ExecutionResult:
     return program.run(function, args, dispatch=dispatch)
 
 
+def fire_index_of(model, trace) -> int:
+    """The model's first possible firing index against ``trace``, as the
+    per-trial records report it (0 = never fires / no scheduler metadata)."""
+    first_fire_index = getattr(model, "first_fire_index", None)
+    if first_fire_index is None:
+        return 0
+    return first_fire_index(trace) or 0
+
+
 def run_attack(
     program: CompiledProgram,
     function: str,
@@ -100,8 +126,18 @@ def run_attack(
     max_cycles: int = 2_000_000,
     engine: str = "fork",
     executor=None,
+    record_trials: bool = False,
 ) -> AttackResult:
-    """Run one fault model per trial against a fixed golden run."""
+    """Run one fault model per trial against a fixed golden run.
+
+    ``record_trials`` additionally fills :attr:`AttackResult.records`
+    with one ``[fire_index, outcome, exit_code]`` row per trial — the raw
+    material of :mod:`repro.analysis` vulnerability maps.  The rows are
+    engine-independent (fire indices resolve against the golden trace),
+    but on the replay/reference engines recording instantiates the
+    workload's :class:`~repro.faults.scheduler.TrialScheduler` for its
+    trace, so leave it off when isolating those engines.
+    """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if executor is not None:
@@ -117,25 +153,44 @@ def run_attack(
             list(fault_models),
             attack_name=attack_name,
             max_cycles=max_cycles,
+            record_trials=record_trials,
         )
     result = AttackResult(attack_name)
+    if record_trials:
+        result.records = []
     if engine == "fork":
         scheduler = TrialScheduler.for_program(program, function, list(args))
         golden = scheduler.golden
+        trace = scheduler.trace
         cycles_before = scheduler.stats.simulated_cycles
         for model in fault_models:
             faulted = scheduler.run_trial(model, max_cycles)
-            result.record(classify(golden, faulted), faulted.exit_code)
+            outcome = classify(golden, faulted)
+            result.record(outcome, faulted.exit_code)
+            if record_trials:
+                result.record_trial(
+                    fire_index_of(model, trace), outcome, faulted.exit_code
+                )
         result.simulated_cycles = scheduler.stats.simulated_cycles - cycles_before
     else:
         dispatch = "reference" if engine == "reference" else "cached"
         golden = program.run(function, args, dispatch=dispatch)
+        trace = (
+            TrialScheduler.for_program(program, function, list(args)).trace
+            if record_trials
+            else None
+        )
         for model in fault_models:
             cpu = program.prepare_cpu(
                 function, args, pre_hooks=[model.hook()], dispatch=dispatch
             )
             faulted = cpu.run(max_cycles)
-            result.record(classify(golden, faulted), faulted.exit_code)
+            outcome = classify(golden, faulted)
+            result.record(outcome, faulted.exit_code)
+            if record_trials:
+                result.record_trial(
+                    fire_index_of(model, trace), outcome, faulted.exit_code
+                )
             result.simulated_cycles += faulted.cycles
     return result
 
@@ -144,7 +199,14 @@ def run_attack(
 # Stock attack suites
 # ---------------------------------------------------------------------------
 def skip_sweep(
-    program, function, args, first=1, last=None, engine="fork", executor=None
+    program,
+    function,
+    args,
+    first=1,
+    last=None,
+    engine="fork",
+    executor=None,
+    record_trials=False,
 ) -> AttackResult:
     """Skip each dynamic instruction in [first, last] (one per trial)."""
     if last is None:
@@ -158,6 +220,7 @@ def skip_sweep(
         skip_sweep.attack_label,
         engine=engine,
         executor=executor,
+        record_trials=record_trials,
     )
 
 
@@ -167,7 +230,13 @@ skip_sweep.attack_label = "instruction-skip"
 
 
 def branch_flip_sweep(
-    program, function, args, max_branches=64, engine="fork", executor=None
+    program,
+    function,
+    args,
+    max_branches=64,
+    engine="fork",
+    executor=None,
+    record_trials=False,
 ) -> AttackResult:
     """Invert each dynamic conditional branch (one per trial)."""
     models = [BranchDirectionFlip(i) for i in range(1, max_branches + 1)]
@@ -179,6 +248,7 @@ def branch_flip_sweep(
         branch_flip_sweep.attack_label,
         engine=engine,
         executor=executor,
+        record_trials=record_trials,
     )
 
 
@@ -186,7 +256,7 @@ branch_flip_sweep.attack_label = "branch-flip"
 
 
 def repeated_branch_flip(
-    program, function, args, engine="fork", executor=None
+    program, function, args, engine="fork", executor=None, record_trials=False
 ) -> AttackResult:
     """Invert every conditional branch in the target function's code range."""
     addr_range = program.image.function_ranges[function]
@@ -199,6 +269,7 @@ def repeated_branch_flip(
         repeated_branch_flip.attack_label,
         engine=engine,
         executor=executor,
+        record_trials=record_trials,
     )
 
 
@@ -258,6 +329,7 @@ def operand_corruption_sweep(
     window=None,
     engine="fork",
     executor=None,
+    record_trials=False,
 ) -> AttackResult:
     """Flip register bits (comparison operand corruption).
 
@@ -282,6 +354,7 @@ def operand_corruption_sweep(
         operand_corruption_sweep.attack_label,
         engine=engine,
         executor=executor,
+        record_trials=record_trials,
     )
 
 

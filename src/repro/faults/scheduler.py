@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.isa.cpu import PAGE_BITS, PAGE_SIZE, CpuSnapshot, ExecutionResult, Status
 
@@ -60,6 +60,12 @@ class GoldenTrace:
     #: code address of each retired conditional branch (parallel to
     #: ``mnemonic_indices["bcc"]``)
     bcc_addrs: array
+    #: mnemonic -> code address of each retirement (parallel to
+    #: ``mnemonic_indices[mnemonic]``) — lets :meth:`locate` map any
+    #: dynamic index back to its static instruction, which is what the
+    #: per-instruction vulnerability maps of :mod:`repro.analysis` are
+    #: built from.  ``bcc_addrs`` aliases ``mnemonic_addrs["bcc"]``.
+    mnemonic_addrs: dict[str, array] = field(default_factory=dict)
 
     def indices(self, mnemonic: str):
         """All dynamic indices at which ``mnemonic`` retired."""
@@ -77,6 +83,19 @@ class GoldenTrace:
         for index, addr in zip(self.indices("bcc"), self.bcc_addrs):
             if lo <= addr < hi:
                 return index
+        return None
+
+    def locate(self, index: int):
+        """``(mnemonic, code address)`` of the golden retirement at dynamic
+        index ``index`` (1-based), or None when the index is out of range
+        or the trace carries no address information (hand-built traces)."""
+        for mnemonic, hits in self.mnemonic_indices.items():
+            pos = bisect_left(hits, index)
+            if pos < len(hits) and hits[pos] == index:
+                addrs = self.mnemonic_addrs.get(mnemonic)
+                if addrs is None or pos >= len(addrs):
+                    return None
+                return mnemonic, addrs[pos]
         return None
 
 
@@ -108,7 +127,14 @@ class TrialScheduler:
         max_checkpoints: int = MAX_CHECKPOINTS,
         golden_max_cycles: int = 10_000_000,
         reuse_cpu: bool = True,
+        record_addrs: bool = True,
     ):
+        """``record_addrs=False`` skips the per-retirement address capture
+        for non-``bcc`` mnemonics (roughly half the trace memory).
+        Conditional-branch addresses are always recorded — fault models
+        resolve code ranges through them — but ``trace.locate()`` then
+        only answers for branches, so vulnerability maps need the default.
+        Executor workers run trials, never build maps, and opt out."""
         self.program = program
         self.function = function
         self.args = list(args)
@@ -129,7 +155,9 @@ class TrialScheduler:
         #: adversary layer prunes composite trials whose later faults are
         #: timed past this point: they provably cannot fire.
         self.last_trial_end: int | None = None
-        self._capture_golden(interval, max_checkpoints, golden_max_cycles)
+        self._capture_golden(
+            interval, max_checkpoints, golden_max_cycles, record_addrs
+        )
 
     #: Workloads memoized per program; the LRU bound keeps argument sweeps
     #: (thousands of distinct (function, args) pairs, each scheduler
@@ -155,10 +183,14 @@ class TrialScheduler:
 
     # ------------------------------------------------------------------
     def _capture_golden(
-        self, interval: int, max_checkpoints: int, golden_max_cycles: int
+        self,
+        interval: int,
+        max_checkpoints: int,
+        golden_max_cycles: int,
+        record_addrs: bool,
     ) -> None:
         mnemonic_indices: dict[str, array] = {}
-        bcc_addrs = array("I")
+        mnemonic_addrs: dict[str, array] = {}
         addr_of = self.program.image.addr_of
 
         def record(cpu, instr, events):
@@ -166,9 +198,12 @@ class TrialScheduler:
             hits = mnemonic_indices.get(mnemonic)
             if hits is None:
                 hits = mnemonic_indices[mnemonic] = array("I")
+                if record_addrs or mnemonic == "bcc":
+                    mnemonic_addrs[mnemonic] = array("I")
             hits.append(cpu.dyn_index)
-            if mnemonic == "bcc":
-                bcc_addrs.append(addr_of[id(instr)])
+            addrs = mnemonic_addrs.get(mnemonic)
+            if addrs is not None:
+                addrs.append(addr_of[id(instr)])
 
         cpu = self.program.prepare_cpu(self.function, self.args, track_pages=True)
         cpu.retire_hooks.append(record)
@@ -186,7 +221,12 @@ class TrialScheduler:
                 checkpoints = checkpoints[::2]
                 interval *= 2
         self.golden = result
-        self.trace = GoldenTrace(result, mnemonic_indices, bcc_addrs)
+        self.trace = GoldenTrace(
+            result,
+            mnemonic_indices,
+            mnemonic_addrs.get("bcc", array("I")),
+            mnemonic_addrs,
+        )
         self.checkpoints = checkpoints
         self._checkpoint_retired = [snap.retired for snap in checkpoints]
         self.stats.checkpoints = len(checkpoints)

@@ -8,6 +8,10 @@ Commands
              final tally)
 ``status``   service health, one job's status, or the recent job list
 ``results``  a finished job's merged outcome tally
+``map``      a finished job's per-instruction vulnerability map
+             (rendered; ``--json`` for the raw payload)
+``diff``     residual-vulnerability diff of two finished jobs (same
+             workload, two schemes)
 
 Quickstart::
 
@@ -214,6 +218,31 @@ def _cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_map(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.host, args.port)
+    payload = client.map(args.job_id)
+    if args.json:
+        print(json.dumps(payload))
+        return 0
+    from repro.analysis import VulnerabilityMap, render_map
+
+    vmap = VulnerabilityMap.from_dict(payload["map"])
+    print(render_map(vmap, max_cells=args.max_cells))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.host, args.port)
+    payload = client.diff(args.job_a, args.job_b)
+    if args.json:
+        print(json.dumps(payload))
+        return 0
+    from repro.analysis import SchemeDiff, render_diff
+
+    print(render_diff(SchemeDiff.from_dict(payload["diff"])))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -292,6 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--wait", action="store_true", help="block until the job finishes"
     )
     results.set_defaults(func=_cmd_results)
+
+    map_cmd = sub.add_parser(
+        "map", help="per-instruction vulnerability map of a finished job"
+    )
+    _add_endpoint_args(map_cmd)
+    map_cmd.add_argument("job_id")
+    map_cmd.add_argument(
+        "--max-cells",
+        type=int,
+        default=40,
+        help="truncate the rendered table to N instructions (JSON is never truncated)",
+    )
+    map_cmd.set_defaults(func=_cmd_map)
+
+    diff_cmd = sub.add_parser(
+        "diff", help="residual-vulnerability diff of two finished jobs"
+    )
+    _add_endpoint_args(diff_cmd)
+    diff_cmd.add_argument("job_a", help="job id of scheme A")
+    diff_cmd.add_argument("job_b", help="job id of scheme B")
+    diff_cmd.set_defaults(func=_cmd_diff)
     return parser
 
 

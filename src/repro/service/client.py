@@ -116,6 +116,18 @@ class ServiceClient:
         path = f"/jobs/{job_id}/result" + ("?wait=1" if wait else "")
         return self._request("GET", path)["result"]
 
+    def map(self, job_id: str) -> dict[str, Any]:
+        """The finished job's per-instruction vulnerability map payload
+        (``{"job_id", "kind", "map"}``; rebuild with
+        ``VulnerabilityMap.from_dict(payload["map"])``)."""
+        return self._request("GET", f"/jobs/{job_id}/map")
+
+    def diff(self, job_a: str, job_b: str) -> dict[str, Any]:
+        """Residual-vulnerability diff of two finished campaigns
+        (``{"a", "b", "kind", "diff"}``; rebuild with
+        ``SchemeDiff.from_dict(payload["diff"])``)."""
+        return self._request("GET", f"/diff?a={job_a}&b={job_b}")
+
     def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
         """Yield the job's NDJSON progress events until it terminates."""
         connection = http.client.HTTPConnection(

@@ -20,6 +20,12 @@ Method      Path                           Meaning
                                            per-batch progress until terminal
 ``GET``     ``/jobs/<id>/result``          result payload (``?wait=1`` blocks
                                            until the job finishes)
+``GET``     ``/jobs/<id>/map``             per-instruction vulnerability map
+                                           built from the stored result
+                                           (:mod:`repro.analysis`)
+``GET``     ``/diff?a=<id>&b=<id>``        residual-vulnerability diff of two
+                                           finished campaigns (same workload,
+                                           two schemes)
 ==========  =============================  =====================================
 
 Every response carries ``Connection: close``; the event stream has no
@@ -36,6 +42,7 @@ from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
 
 import repro
+from repro.analysis.vulnmap import AnalysisError
 from repro.service.jobs import JobError, job_from_dict
 from repro.service.queue import PRIORITY_DEFAULT, JobScheduler, UnknownJobError
 from repro.service.store import ResultStore
@@ -171,6 +178,15 @@ class ServiceServer:
                 and method == "GET"
             ):
                 await self._result(writer, parts[1], wait="wait" in query)
+            elif (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "map"
+                and method == "GET"
+            ):
+                await self._map(writer, parts[1])
+            elif parts == ["diff"] and method == "GET":
+                await self._diff(writer, query)
             else:
                 await self._respond(
                     writer, 404, {"error": f"no route for {method} {url.path}"}
@@ -178,6 +194,8 @@ class ServiceServer:
         except UnknownJobError as exc:
             await self._respond(writer, 404, {"error": f"unknown job {exc.args[0]}"})
         except JobError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+        except AnalysisError as exc:
             await self._respond(writer, 400, {"error": str(exc)})
 
     def _service_status(self) -> dict[str, Any]:
@@ -244,6 +262,43 @@ class ServiceServer:
         await self._respond(
             writer, 200, {"job_id": job_id, "state": "done", "result": payload}
         )
+
+    async def _finished_or_409(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> bool:
+        """True when the job has a stored result; otherwise answers 409
+        (or raises :class:`UnknownJobError` for a 404)."""
+        if self.scheduler.store.has_result(job_id):
+            return True
+        status = self.scheduler.status(job_id)  # raises 404 if unknown
+        await self._respond(
+            writer,
+            409,
+            {
+                "error": f"job {job_id} is {status['state']}; analysis "
+                f"needs a finished campaign",
+                "state": status["state"],
+            },
+        )
+        return False
+
+    async def _map(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        if not await self._finished_or_409(writer, job_id):
+            return
+        payload = await self.scheduler.vulnerability_map(job_id)
+        await self._respond(writer, 200, payload)
+
+    async def _diff(
+        self, writer: asyncio.StreamWriter, query: dict[str, str]
+    ) -> None:
+        job_a, job_b = query.get("a"), query.get("b")
+        if not job_a or not job_b:
+            raise JobError("diff needs ?a=<job_id>&b=<job_id>")
+        for job_id in (job_a, job_b):
+            if not await self._finished_or_409(writer, job_id):
+                return
+        payload = await self.scheduler.scheme_diff(job_a, job_b)
+        await self._respond(writer, 200, payload)
 
     async def _stream_events(
         self, writer: asyncio.StreamWriter, job_id: str

@@ -50,8 +50,17 @@ ATTACK_SUITES: dict[str, Callable[..., AttackResult]] = {
     "adversary": adversary_sweep,
 }
 
-#: Parameters of the suites that the *service* controls, not the job.
-_RESERVED_SUITE_PARAMS = {"program", "function", "args", "engine", "executor"}
+#: Parameters of the suites that the *service* controls, not the job
+#: (``record_trials`` is always on server-side so stored results can
+#: build vulnerability maps without re-execution).
+_RESERVED_SUITE_PARAMS = {
+    "program",
+    "function",
+    "args",
+    "engine",
+    "executor",
+    "record_trials",
+}
 
 
 class JobError(ValueError):
@@ -332,13 +341,18 @@ class CampaignJob:
             if spec.label and spec.label != result.attack:
                 result = dataclasses.replace(result, attack=spec.label)
             report.attacks[result.attack] = result
+            # Progress consumers only need the tallies; the per-trial
+            # records (one row per trial) stay out of the event stream and
+            # the persisted event log — they live once, in the result.
+            event_result = attack_result_to_dict(result)
+            event_result.pop("records", None)
             emit(
                 {
                     "event": "attack-finished",
                     "attack": result.attack,
                     "index": index,
                     "of": len(self.attacks),
-                    "result": attack_result_to_dict(result),
+                    "result": event_result,
                 }
             )
         return {
@@ -357,7 +371,12 @@ class CampaignJob:
             kwargs["window"] = tuple(kwargs["window"])
         if executor is None:
             return attack_fn(
-                program, self.function, list(self.args), engine="fork", **kwargs
+                program,
+                self.function,
+                list(self.args),
+                engine="fork",
+                record_trials=True,
+                **kwargs,
             )
 
         def on_batch(done, total, trials_done, trial_count):
@@ -380,6 +399,7 @@ class CampaignJob:
                 list(self.args),
                 engine="fork",
                 executor=executor,
+                record_trials=True,
                 **kwargs,
             )
         finally:
@@ -525,7 +545,7 @@ def job_from_dict(data: dict[str, Any]):
 # Result (de)serialisation — AttackResult / CampaignReport <-> JSON
 # ---------------------------------------------------------------------------
 def attack_result_to_dict(result: AttackResult) -> dict[str, Any]:
-    return {
+    payload = {
         "attack": result.attack,
         "outcomes": {
             outcome.value: count for outcome, count in result.outcomes.items()
@@ -534,11 +554,17 @@ def attack_result_to_dict(result: AttackResult) -> dict[str, Any]:
         "wrong_codes": list(result.wrong_codes),
         "simulated_cycles": result.simulated_cycles,
     }
+    if result.records is not None:
+        # Per-trial [fire_index, outcome, exit_code] rows: what the
+        # vulnerability maps of repro.analysis are rebuilt from.
+        payload["records"] = [list(row) for row in result.records]
+    return payload
 
 
 def attack_result_from_dict(data: dict[str, Any]) -> AttackResult:
     from repro.faults.classify import Outcome
 
+    records = data.get("records")
     return AttackResult(
         attack=data["attack"],
         outcomes={
@@ -548,6 +574,7 @@ def attack_result_from_dict(data: dict[str, Any]) -> AttackResult:
         trials=data.get("trials", 0),
         wrong_codes=list(data.get("wrong_codes") or ()),
         simulated_cycles=data.get("simulated_cycles", 0),
+        records=None if records is None else [list(row) for row in records],
     )
 
 

@@ -246,10 +246,20 @@ class JobScheduler:
         from repro.service.jobs import _scheme_revision
 
         payload = self.store.get_result(job_id)
-        return (
-            payload is not None
-            and payload.get("scheme_revision") == _scheme_revision(job.config)
-        )
+        if (
+            payload is None
+            or payload.get("scheme_revision") != _scheme_revision(job.config)
+        ):
+            return False
+        if job.kind == "campaign":
+            # Pre-analytics payloads (stored before per-trial recording
+            # existed) cannot build vulnerability maps; treat them as
+            # stale so a resubmission re-executes and upgrades the row —
+            # the one escape hatch a service client has.
+            attacks = (payload.get("report") or {}).get("attacks") or {}
+            if any("records" not in attack for attack in attacks.values()):
+                return False
+        return True
 
     def _enqueue(self, job, job_id: str, priority: int, requeue: bool) -> None:
         # A resubmission supersedes a failed/cancelled attempt's overlays
@@ -362,6 +372,65 @@ class JobScheduler:
         finally:
             if queue in handle.subscribers:
                 handle.subscribers.remove(queue)
+
+    # -- analysis ----------------------------------------------------------
+    async def vulnerability_map(self, job_id: str) -> dict[str, Any]:
+        """The stored campaign's per-instruction vulnerability map, as a
+        JSON payload.  Built off-loop (compile is a cache hit for jobs
+        this process ran; the golden run is memoized per program)."""
+        loop = asyncio.get_running_loop()
+        vmap = await loop.run_in_executor(None, self._locked_map, job_id)
+        return {"job_id": job_id, "kind": "vulnerability-map", "map": vmap.to_dict()}
+
+    async def scheme_diff(self, job_a: str, job_b: str) -> dict[str, Any]:
+        """Residual-vulnerability diff of two stored campaigns.
+
+        The two jobs must attack the *same program input* — identical
+        (source, initializers) content and (function, args) workload —
+        otherwise the verdicts would compare unrelated binaries."""
+        from repro.analysis.diff import SchemeDiff, require_same_program_input
+
+        require_same_program_input(self.store, job_a, job_b)
+        loop = asyncio.get_running_loop()
+        # Independent builds (different schemes -> different programs and
+        # workload locks): overlap their executor slots.
+        map_a, map_b = await asyncio.gather(
+            loop.run_in_executor(None, self._locked_map, job_a),
+            loop.run_in_executor(None, self._locked_map, job_b),
+        )
+        diff = SchemeDiff.build(map_a, map_b)
+        return {"a": job_a, "b": job_b, "kind": "scheme-diff", "diff": diff.to_dict()}
+
+    def _campaign_job(self, job_id: str):
+        from repro.service.jobs import job_from_dict
+
+        record = self.store.get_job(job_id)
+        if record is None:
+            raise UnknownJobError(job_id)
+        try:
+            job = job_from_dict(record.spec)
+        except JobError as exc:
+            raise JobError(f"job {job_id} has an unparsable spec: {exc}") from exc
+        if job.kind != "campaign":
+            raise JobError(f"job {job_id} is a {job.kind!r} job; maps need a campaign")
+        return job
+
+    def _locked_map(self, job_id: str):
+        """Map a stored job under its workload lock — the golden-trace
+        scheduler reuses one trial CPU per workload and must not be
+        touched while a runner slot attacks the same workload.  The map
+        is built from the exact program object the lock is keyed on
+        (re-consulting the LRU could return a different one)."""
+        from repro.analysis.vulnmap import map_from_store
+
+        job = self._campaign_job(job_id)
+        program = self.workbench.compile(
+            job.source,
+            job.config,
+            initializers=_initializers_of(job) or None,
+        )
+        with _workload_lock(program, job.function, tuple(job.args)):
+            return map_from_store(self.store, job_id, program=program)
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         """Cancel a job: immediately when still queued, at the next

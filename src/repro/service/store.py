@@ -284,6 +284,43 @@ class ResultStore:
             ).fetchone()
         return json.loads(row["payload"]) if row is not None else None
 
+    def has_result(self, job_id: str) -> bool:
+        """Existence check without deserialising the (possibly large)
+        payload — the HTTP tier's gate for the analysis endpoints."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return row is not None
+
+    # -- analysis ----------------------------------------------------------
+    def get_report(self, job_id: str):
+        """The stored campaign result as a live
+        :class:`~repro.faults.isa_campaign.CampaignReport` (None when the
+        job has no stored result)."""
+        payload = self.get_result(job_id)
+        if payload is None or "report" not in payload:
+            return None
+        from repro.service.jobs import report_from_dict
+
+        return report_from_dict(payload["report"])
+
+    def vulnerability_map(self, job_id: str, workbench=None):
+        """Build the job's per-instruction
+        :class:`~repro.analysis.vulnmap.VulnerabilityMap` from its stored
+        result — compile (cached) + one golden run, zero trial
+        re-executions.  See :func:`repro.analysis.map_from_store`."""
+        from repro.analysis.vulnmap import map_from_store
+
+        return map_from_store(self, job_id, workbench=workbench)
+
+    def scheme_diff(self, job_a: str, job_b: str, workbench=None):
+        """Residual-vulnerability diff of two stored campaigns over the
+        same workload (see :func:`repro.analysis.diff_from_store`)."""
+        from repro.analysis.diff import diff_from_store
+
+        return diff_from_store(self, job_a, job_b, workbench=workbench)
+
     # -- events ------------------------------------------------------------
     def append_event(self, job_id: str, payload: dict[str, Any]) -> int:
         """Append one lifecycle event; returns its sequence number."""

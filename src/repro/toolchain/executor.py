@@ -11,10 +11,12 @@ across a ``multiprocessing`` pool:
 * each worker builds its own :class:`~repro.faults.scheduler.
   TrialScheduler` on first use (one golden run per worker, then
   checkpoint-forked trials);
-* workers stream back compact ``(outcome, exit_code)`` pairs which the
+* workers stream back compact ``(outcome, exit_code)`` pairs — plus the
+  fault's golden fire index when ``record_trials`` is set — which the
   parent merges into an :class:`~repro.faults.isa_campaign.AttackResult`
   in submission order, so parallel tallies — including the order-sensitive
-  ``wrong_codes`` list — are byte-identical to the single-process engine.
+  ``wrong_codes`` and per-trial ``records`` lists — are byte-identical to
+  the single-process engine.
 
 Usage::
 
@@ -54,17 +56,32 @@ def _init_worker(program) -> None:
     _WORKER_PROGRAM = program
 
 
-def _run_batch(function, args, models, max_cycles):
+def _run_batch(function, args, models, max_cycles, record_trials=False):
     from repro.faults.classify import classify
+    from repro.faults.isa_campaign import fire_index_of
     from repro.faults.scheduler import TrialScheduler
 
-    scheduler = TrialScheduler.for_program(_WORKER_PROGRAM, function, args)
+    # Workers run trials and report fire *indices*; only the parent ever
+    # maps indices to addresses, so skip the per-retirement address
+    # capture (halves the worker's golden-trace memory).
+    scheduler = TrialScheduler.for_program(
+        _WORKER_PROGRAM, function, args, record_addrs=False
+    )
     golden = scheduler.golden
     cycles_before = scheduler.stats.simulated_cycles
     results = []
     for model in models:
         faulted = scheduler.run_trial(model, max_cycles)
-        results.append((classify(golden, faulted), faulted.exit_code))
+        outcome = classify(golden, faulted)
+        if record_trials:
+            # The fire index resolves against the worker's own golden
+            # trace, which is deterministic and therefore identical in
+            # every worker and in the single-process engine.
+            results.append(
+                (outcome, faulted.exit_code, fire_index_of(model, scheduler.trace))
+            )
+        else:
+            results.append((outcome, faulted.exit_code))
     return results, scheduler.stats.simulated_cycles - cycles_before
 
 
@@ -128,10 +145,13 @@ class CampaignExecutor:
         models,
         attack_name: str = "attack",
         max_cycles: int = 2_000_000,
+        record_trials: bool = False,
     ) -> AttackResult:
         """Shard ``models`` into batches and merge the streamed outcomes."""
         models = list(models)
         result = AttackResult(attack_name)
+        if record_trials:
+            result.records = []
         if not models:
             return result
         pool = self._pool_for(program)
@@ -139,7 +159,9 @@ class CampaignExecutor:
         batch_size = max(1, -(-len(models) // target_batches))
         batches = [models[i : i + batch_size] for i in range(0, len(models), batch_size)]
         futures = [
-            pool.submit(_run_batch, function, list(args), batch, max_cycles)
+            pool.submit(
+                _run_batch, function, list(args), batch, max_cycles, record_trials
+            )
             for batch in batches
         ]
         trials_done = 0
@@ -170,8 +192,11 @@ class CampaignExecutor:
                     f"models: {leads})",
                     fault_models=models_in_flight,
                 ) from exc
-            for outcome, exit_code in outcomes:
+            for row in outcomes:
+                outcome, exit_code = row[0], row[1]
                 result.record(outcome, exit_code)
+                if record_trials:
+                    result.record_trial(row[2], outcome, exit_code)
             result.simulated_cycles += batch_cycles
             trials_done += len(batches[index])
             if self.on_batch is not None:

@@ -338,6 +338,37 @@ class CampaignBuilder:
             if owned_executor is not None:
                 owned_executor.close()
 
+    def analyze(
+        self,
+        executor=None,
+        engine: Optional[str] = None,
+        service=None,
+    ):
+        """Run the campaign and fold it into a per-instruction
+        vulnerability map: the fluent terminal of :mod:`repro.analysis`.
+
+        Same execution semantics as :meth:`run` (including ``service=``),
+        but returns a :class:`~repro.analysis.vulnmap.CampaignAnalysis`
+        bundling the report with its
+        :class:`~repro.analysis.vulnmap.VulnerabilityMap`;
+        ``analysis_a.diff(analysis_b)`` then answers "what did the other
+        scheme close".  Map construction happens locally either way and
+        costs one (memoized) golden run — no trial re-executes.
+        """
+        from repro.analysis.vulnmap import CampaignAnalysis, VulnerabilityMap
+
+        report = self.run(executor=executor, engine=engine, service=service)
+        vmap = VulnerabilityMap.build(
+            self.program, self.function, self.args, report
+        )
+        return CampaignAnalysis(
+            program=self.program,
+            function=self.function,
+            args=list(self.args),
+            report=report,
+            map=vmap,
+        )
+
     def to_job(self, title: str = ""):
         """This campaign as a serialisable
         :class:`~repro.service.jobs.CampaignJob`.
@@ -354,7 +385,14 @@ class CampaignBuilder:
                 "jobs need source text — use workbench.campaign(source, ...)"
             )
         specs = tuple(
-            AttackSpec.make(suite_name_for(attack_fn), label=name, **kwargs)
+            AttackSpec.make(
+                suite_name_for(attack_fn),
+                label=name,
+                # record_trials is an execution-mode knob, not part of the
+                # campaign: the service always records (its stored results
+                # must build maps), so a local override cannot ship.
+                **{k: v for k, v in kwargs.items() if k != "record_trials"},
+            )
             for name, attack_fn, kwargs in self._attacks
         )
         return CampaignJob(
@@ -396,6 +434,12 @@ class CampaignBuilder:
                 call_kwargs.setdefault("executor", executor)
             if engine is not None and "engine" in accepted:
                 call_kwargs.setdefault("engine", engine)
+            # Builder campaigns always carry per-trial records, so every
+            # report feeds repro.analysis (maps/diffs) and every service
+            # result is identical to a direct run.  Override per attack
+            # with .attack(fn, record_trials=False).
+            if "record_trials" in accepted:
+                call_kwargs.setdefault("record_trials", True)
             result = attack_fn(self.program, self.function, self.args, **call_kwargs)
             label = name or result.attack
             if label != result.attack:

@@ -95,5 +95,26 @@ def test_architecture_covers_every_subsystem():
         "repro.faults",
         "repro.toolchain",
         "repro.service",
+        "repro.analysis",
     ):
         assert subsystem in text, f"architecture.md never mentions {subsystem}"
+
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)\s]*)?\)")
+
+
+def test_no_dead_intra_docs_links():
+    """Every relative markdown link inside docs/ (and every docs/ link in
+    the README) must point at a file that exists — the CI docs job fails
+    on a dead link before a reader can."""
+    pages = doc_pages() + [DOCS.parent / "README.md"]
+    dead = []
+    for page in pages:
+        for match in _MD_LINK.finditer(page.read_text()):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue  # external links are out of scope
+            resolved = (page.parent / target).resolve()
+            if not resolved.exists():
+                dead.append(f"{page.name} -> {target}")
+    assert not dead, f"dead intra-docs links: {dead}"
