@@ -1,0 +1,79 @@
+"""Spectre-style attack on the secure bootloader's signature check.
+
+The paper's schemes harden the *architectural* boot decision: encoded
+comparisons, duplication trees, CFI linking.  This demo runs the same
+bootloader on the speculative simulator of ``repro.spec`` and faults the
+**branch predictor** at the signature check instead of the branch
+itself.  The misprediction is squashed — every scheme reports a clean
+architectural verdict — but the wrong path's transient memory accesses
+differ between "accept" and "reject", and the predictor fault steers
+which wrong path runs.  The transient-trace digest moves:
+``TRANSIENT_LEAK``, under every Table III scheme.
+
+Run:  python examples/spectre_branch.py   (about a minute: full crypto
+on a cycle-accurate simulator, once per scheme)
+"""
+
+from repro.backend import compile_ir
+from repro.crypto import build_signed_image
+from repro.crypto.image import BOOT_OK, bootloader_params, prepare_bootloader_module
+from repro.faults.classify import Outcome
+from repro.spec import SpecConfig
+from repro.spec.campaign import speculative_sweep
+from repro.toolchain import CompileConfig, table3_schemes
+
+FIRMWARE = b"FIRMWARE v3.0 " * 9
+WINDOW = 8
+
+
+def main() -> None:
+    image = build_signed_image(FIRMWARE)
+    print(f"signed {len(FIRMWARE)}-byte firmware; speculative window W={WINDOW}\n")
+
+    print(f"{'Scheme':<14} {'Trials':>6} {'Leaks':>6}  Outcomes")
+    for scheme in table3_schemes():
+        program = compile_ir(
+            prepare_bootloader_module(image),
+            config=CompileConfig(scheme=scheme, params=bootloader_params()),
+        )
+        # Sanity: speculation is architecturally invisible — the genuine
+        # image still boots, mispredictions only cost cycles.
+        golden = program.run(
+            "bootloader_main", [], max_cycles=60_000_000,
+            spec=SpecConfig(window=WINDOW),
+        )
+        assert golden.exit_code == BOOT_OK
+
+        # Flip the prediction at each conditional branch inside the
+        # signature-acceptance function (occurrences resolved against
+        # the golden run; trials fork from mid-run checkpoints).
+        result = speculative_sweep(
+            program,
+            "bootloader_main",
+            [],
+            window=WINDOW,
+            focus="accept_signature",
+            max_branches=8,
+            max_cycles=60_000_000,
+        )
+        leaks = result.outcomes.get(Outcome.TRANSIENT_LEAK, 0)
+        outcome_text = ", ".join(
+            f"{o.value}:{n}" for o, n in sorted(
+                result.outcomes.items(), key=lambda e: e[0].value
+            )
+        )
+        print(f"{scheme:<14} {result.trials:>6} {leaks:>6}  {outcome_text}")
+        # The subsystem's headline: architecturally protected ...
+        assert result.undetected_wrong == 0
+        # ... transiently broken, whatever the scheme.
+        assert leaks >= 1
+
+    print(
+        "\nEvery scheme masks the fault architecturally — and every scheme"
+        "\nleaks the branch decision through the transient trace.  The"
+        "\ndefence operates one layer above the channel (docs/speculation.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

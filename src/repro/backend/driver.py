@@ -65,9 +65,11 @@ class CompiledProgram:
         cycle_model: Optional[CycleModel] = None,
         setup=None,
         dispatch: str = "cached",
+        spec=None,
     ) -> ExecutionResult:
         cpu, result = self.run_cpu(
-            function, args, max_cycles, cycle_model, setup, dispatch=dispatch
+            function, args, max_cycles, cycle_model, setup, dispatch=dispatch,
+            spec=spec,
         )
         return result
 
@@ -80,10 +82,12 @@ class CompiledProgram:
         setup=None,
         pre_hooks=None,
         dispatch: str = "cached",
+        spec=None,
     ):
         """Run and return (cpu, result) for tests that inspect state."""
         cpu = self.prepare_cpu(
-            function, args, cycle_model, setup, pre_hooks, dispatch=dispatch
+            function, args, cycle_model, setup, pre_hooks, dispatch=dispatch,
+            spec=spec,
         )
         return cpu, cpu.run(max_cycles)
 
@@ -96,8 +100,18 @@ class CompiledProgram:
         pre_hooks=None,
         dispatch: str = "cached",
         track_pages: bool = False,
+        spec=None,
     ) -> CPU:
-        cpu = CPU(self.image, cycle_model, dispatch=dispatch, track_pages=track_pages)
+        """``spec`` (a :class:`repro.spec.SpecConfig`) attaches the
+        speculative front end — predictor, bounded transient window, and
+        observable-trace digest (see :mod:`repro.spec`)."""
+        cpu = CPU(
+            self.image,
+            cycle_model,
+            dispatch=dispatch,
+            track_pages=track_pages,
+            spec=spec,
+        )
         if self.cfi:
             CfiMonitor(cpu, function)
         if setup is not None:
@@ -108,12 +122,17 @@ class CompiledProgram:
         return cpu
 
     # -- campaign support -------------------------------------------------
-    def trial_scheduler(self, function: str, args: list[int] | None = None):
+    def trial_scheduler(
+        self, function: str, args: list[int] | None = None, spec=None
+    ):
         """The cached checkpoint/trace scheduler for one (function, args)
         workload (see :class:`repro.faults.scheduler.TrialScheduler`)."""
         from repro.faults.scheduler import TrialScheduler
 
-        return TrialScheduler.for_program(self, function, list(args or []))
+        # Only widen the memo key when speculation is requested, so
+        # speculation-free callers keep sharing the existing entries.
+        kwargs = {} if spec is None else {"spec": spec}
+        return TrialScheduler.for_program(self, function, list(args or []), **kwargs)
 
     def __getstate__(self):
         # The scheduler cache holds per-process CPU checkpoints; workers

@@ -64,6 +64,7 @@ from repro.faults.models import (
     FaultModel,
     FlagFlipAt,
     InstructionSkip,
+    PredictorFlip,
 )
 from repro.faults.scheduler import TrialScheduler
 
@@ -208,23 +209,33 @@ def first_fault_space(
     kinds: Sequence[str] = ("branch-flip",),
     focus: Optional[str] = None,
     max_first: Optional[int] = None,
+    spec=None,
 ) -> list[tuple[FaultModel, int]]:
     """The first-fault models for a workload, with their golden fire index.
 
     ``kinds``: ``"branch-flip"`` (one
     :class:`~repro.faults.models.BranchDirectionFlip` per golden
-    conditional branch) and/or ``"skip"`` (one
+    conditional branch), ``"skip"`` (one
     :class:`~repro.faults.models.InstructionSkip` per golden dynamic
-    instruction — exhaustive, only tractable for small workloads).
-    ``focus`` restricts branch flips to the named function's code range
-    (e.g. the protected decision of a long bootloader run).  ``max_first``
-    caps the space, keeping the earliest-firing models.
+    instruction — exhaustive, only tractable for small workloads), and/or
+    ``"predictor-flip"`` (one :class:`~repro.faults.models.PredictorFlip`
+    per golden conditional branch — requires running the campaign with a
+    :class:`repro.spec.SpecConfig`).  ``focus`` restricts branch-targeted
+    kinds to the named function's code range (e.g. the protected decision
+    of a long bootloader run).  ``max_first`` caps the space, keeping the
+    earliest-firing models.
     """
-    scheduler = TrialScheduler.for_program(program, function, list(args))
+    spec_kwargs = {} if spec is None else {"spec": spec}
+    scheduler = TrialScheduler.for_program(
+        program, function, list(args), **spec_kwargs
+    )
     trace = scheduler.trace
     firsts: list[tuple[FaultModel, int]] = []
     for kind in kinds:
-        if kind == "branch-flip":
+        if kind in ("branch-flip", "predictor-flip"):
+            model_of = (
+                BranchDirectionFlip if kind == "branch-flip" else PredictorFlip
+            )
             focus_range = (
                 program.image.function_ranges[focus] if focus else None
             )
@@ -235,7 +246,7 @@ def first_fault_space(
                     focus_range[0] <= addr < focus_range[1]
                 ):
                     continue
-                firsts.append((BranchDirectionFlip(occurrence), index))
+                firsts.append((model_of(occurrence), index))
         elif kind == "skip":
             firsts.extend(
                 (InstructionSkip(index), index)
@@ -244,7 +255,7 @@ def first_fault_space(
         else:
             raise ValueError(
                 f"unknown first-fault kind {kind!r}; "
-                f"known: ['branch-flip', 'skip']"
+                f"known: ['branch-flip', 'predictor-flip', 'skip']"
             )
     firsts.sort(key=lambda entry: entry[1])
     if max_first is not None:
@@ -281,6 +292,7 @@ def compose_space(
     max_first: Optional[int] = None,
     prune_terminal: bool = True,
     max_cycles: int = 2_000_000,
+    spec=None,
 ) -> PrunedSpace:
     """Generate the pruned k-fault :class:`CompositeFault` space.
 
@@ -297,7 +309,10 @@ def compose_space(
         raise ValueError(f"adversary campaigns need k >= 2, got k={k}")
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
-    scheduler = TrialScheduler.for_program(program, function, list(args))
+    spec_kwargs = {} if spec is None else {"spec": spec}
+    scheduler = TrialScheduler.for_program(
+        program, function, list(args), **spec_kwargs
+    )
     trace = scheduler.trace
 
     if first_models is not None:
@@ -312,7 +327,7 @@ def compose_space(
             firsts = firsts[:max_first]
     else:
         firsts = first_fault_space(
-            program, function, args, first_kinds, focus, max_first
+            program, function, args, first_kinds, focus, max_first, spec=spec
         )
 
     per_index = len(list(second_kinds))
@@ -386,6 +401,7 @@ def adversary_sweep(
     engine: str = "fork",
     executor=None,
     record_trials: bool = False,
+    spec=None,
 ) -> AttackResult:
     """Run the pruned k-fault adversary campaign as one attack suite.
 
@@ -394,6 +410,11 @@ def adversary_sweep(
     run on ``engine`` — or shard across a
     :class:`~repro.toolchain.executor.CampaignExecutor` unchanged, since
     a :class:`CompositeFault` is as picklable as any single fault.
+
+    ``spec`` runs the whole campaign speculatively, which is required
+    when ``first_kinds`` includes ``"predictor-flip"`` and lets any
+    composite surface :data:`~repro.faults.classify.Outcome.
+    TRANSIENT_LEAK` alongside the architectural verdicts.
     """
     space = compose_space(
         program,
@@ -407,6 +428,7 @@ def adversary_sweep(
         max_first=max_first,
         prune_terminal=prune_terminal,
         max_cycles=max_cycles,
+        spec=spec,
     )
     result = run_attack(
         program,
@@ -418,6 +440,7 @@ def adversary_sweep(
         engine=engine,
         executor=executor,
         record_trials=record_trials,
+        spec=spec,
     )
     return result
 

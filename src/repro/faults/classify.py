@@ -18,17 +18,38 @@ class Outcome(enum.Enum):
     DETECTED_TRAP = "detected-trap"
     #: the program exited normally but with a wrong result — attack success
     WRONG_RESULT = "wrong-result"
+    #: architecturally masked or detected, but the speculative wrong path
+    #: touched different addresses than the golden run — the transient
+    #: trace leaks the protected branch decision past the squash
+    TRANSIENT_LEAK = "transient-leak"
     #: crash-type outcomes (memory error, timeout, decode error)
     CRASH = "crash"
 
 
+#: architectural verdicts a transient leak can hide behind — the scheme
+#: "won" architecturally, yet the observable channel still moved.
+_ARCH_PROTECTED = frozenset(
+    (Outcome.MASKED, Outcome.DETECTED_CFI, Outcome.DETECTED_TRAP)
+)
+
+
 def classify(golden: ExecutionResult, faulted: ExecutionResult) -> Outcome:
     if faulted.status is Status.CFI_VIOLATION:
-        return Outcome.DETECTED_CFI
-    if faulted.status is Status.FAULT_DETECTED:
-        return Outcome.DETECTED_TRAP
-    if faulted.status is Status.EXIT:
+        outcome = Outcome.DETECTED_CFI
+    elif faulted.status is Status.FAULT_DETECTED:
+        outcome = Outcome.DETECTED_TRAP
+    elif faulted.status is Status.EXIT:
         if golden.status is Status.EXIT and faulted.exit_code == golden.exit_code:
-            return Outcome.MASKED
-        return Outcome.WRONG_RESULT
-    return Outcome.CRASH
+            outcome = Outcome.MASKED
+        else:
+            outcome = Outcome.WRONG_RESULT
+    else:
+        outcome = Outcome.CRASH
+    if (
+        outcome in _ARCH_PROTECTED
+        and golden.spec is not None
+        and faulted.spec is not None
+        and faulted.spec.digest != golden.spec.digest
+    ):
+        return Outcome.TRANSIENT_LEAK
+    return outcome

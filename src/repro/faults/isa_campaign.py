@@ -127,6 +127,7 @@ def run_attack(
     engine: str = "fork",
     executor=None,
     record_trials: bool = False,
+    spec=None,
 ) -> AttackResult:
     """Run one fault model per trial against a fixed golden run.
 
@@ -137,9 +138,14 @@ def run_attack(
     but on the replay/reference engines recording instantiates the
     workload's :class:`~repro.faults.scheduler.TrialScheduler` for its
     trace, so leave it off when isolating those engines.
+
+    ``spec`` (a :class:`repro.spec.SpecConfig`) runs the golden execution
+    and every trial on speculative CPUs; classification then compares the
+    transient-trace digests too, surfacing :data:`Outcome.TRANSIENT_LEAK`.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    spec_kwargs = {} if spec is None else {"spec": spec}
     if executor is not None:
         if engine != "fork":
             raise ValueError(
@@ -154,12 +160,15 @@ def run_attack(
             attack_name=attack_name,
             max_cycles=max_cycles,
             record_trials=record_trials,
+            spec=spec,
         )
     result = AttackResult(attack_name)
     if record_trials:
         result.records = []
     if engine == "fork":
-        scheduler = TrialScheduler.for_program(program, function, list(args))
+        scheduler = TrialScheduler.for_program(
+            program, function, list(args), **spec_kwargs
+        )
         golden = scheduler.golden
         trace = scheduler.trace
         cycles_before = scheduler.stats.simulated_cycles
@@ -174,15 +183,18 @@ def run_attack(
         result.simulated_cycles = scheduler.stats.simulated_cycles - cycles_before
     else:
         dispatch = "reference" if engine == "reference" else "cached"
-        golden = program.run(function, args, dispatch=dispatch)
+        golden = program.run(function, args, dispatch=dispatch, spec=spec)
         trace = (
-            TrialScheduler.for_program(program, function, list(args)).trace
+            TrialScheduler.for_program(
+                program, function, list(args), **spec_kwargs
+            ).trace
             if record_trials
             else None
         )
         for model in fault_models:
             cpu = program.prepare_cpu(
-                function, args, pre_hooks=[model.hook()], dispatch=dispatch
+                function, args, pre_hooks=[model.hook()], dispatch=dispatch,
+                spec=spec,
             )
             faulted = cpu.run(max_cycles)
             outcome = classify(golden, faulted)

@@ -347,6 +347,83 @@ class RepeatedBranchDirectionFlip(FaultModel):
         return trace.first_bcc_in_range(lo, hi)
 
 
+def _spec_engine(cpu: CPU):
+    """The CPU's speculation engine, or a clear error for plain CPUs."""
+    engine = getattr(cpu, "spec", None)
+    if engine is None:
+        raise RuntimeError(
+            "predictor fault models require a speculative CPU — run the "
+            "campaign with spec=repro.spec.SpecConfig(...) (or use the "
+            "speculative_sweep suite, which configures one)"
+        )
+    return engine
+
+
+@dataclass(frozen=True)
+class PredictorFlip(FaultModel):
+    """Invert the branch predictor's prediction at the N-th conditional
+    branch (:mod:`repro.spec` required).
+
+    The architectural direction is untouched — the glitch lands in the
+    front end, forces a misprediction, and the wrong path runs
+    *transiently* before the squash.  The only residue is the transient
+    trace, which is exactly what :data:`~repro.faults.classify.Outcome.
+    TRANSIENT_LEAK` classifies.
+    """
+
+    branch_occurrence: int = 1
+
+    def _fire(self, cpu: CPU, instr) -> None:
+        _spec_engine(cpu).flip_next = True
+
+    def hook(self):
+        seen = [0]
+
+        def pre(cpu: CPU, instr) -> bool:
+            if isinstance(instr, ins.Bcc):
+                seen[0] += 1
+                if seen[0] == self.branch_occurrence:
+                    self._fire(cpu, instr)
+            return False
+
+        return pre
+
+    def first_fire_index(self, trace):
+        return trace.nth("bcc", self.branch_occurrence)
+
+    def forked_hook(self, trace):
+        fire = trace.nth("bcc", self.branch_occurrence)
+
+        def pre(cpu: CPU, instr) -> bool:
+            if cpu.dyn_index == fire:
+                self._fire(cpu, instr)
+            return False
+
+        return pre
+
+    def resumed_hook(self, trace):
+        return _resumed_branch_counter(trace, self.branch_occurrence, self._fire)
+
+
+@dataclass(frozen=True)
+class HistoryPoison(PredictorFlip):
+    """Overwrite the predictor's global branch history just before the
+    N-th conditional branch — BHB aliasing in the Spectre-BHI style
+    (:mod:`repro.spec` required).
+
+    The victim branch then indexes an attacker-chosen prediction-table
+    slot; whether that forces a misprediction depends on the training the
+    aliased slot received, making this the *probabilistic* sibling of the
+    surgical :class:`PredictorFlip`.  A no-op under history-free
+    predictors (static, plain two-bit).
+    """
+
+    pattern: int = 0
+
+    def _fire(self, cpu: CPU, instr) -> None:
+        _spec_engine(cpu).predictor.poison(self.pattern)
+
+
 @dataclass(frozen=True)
 class RepeatedInstructionSkip(FaultModel):
     """Skip every dynamic instruction matching a mnemonic (repeated glitch)."""

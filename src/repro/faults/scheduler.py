@@ -128,16 +128,23 @@ class TrialScheduler:
         golden_max_cycles: int = 10_000_000,
         reuse_cpu: bool = True,
         record_addrs: bool = True,
+        spec=None,
     ):
         """``record_addrs=False`` skips the per-retirement address capture
         for non-``bcc`` mnemonics (roughly half the trace memory).
         Conditional-branch addresses are always recorded — fault models
         resolve code ranges through them — but ``trace.locate()`` then
         only answers for branches, so vulnerability maps need the default.
-        Executor workers run trials, never build maps, and opt out."""
+        Executor workers run trials, never build maps, and opt out.
+
+        ``spec`` (a :class:`repro.spec.SpecConfig`) makes the golden run
+        *and* every forked trial speculative: checkpoints carry predictor
+        and transient-trace state, so a forked trial reconstructs the
+        exact observable digest a full replay would produce."""
         self.program = program
         self.function = function
         self.args = list(args)
+        self.spec = spec
         self.stats = SchedulerStats()
         #: Reuse one CPU across trials (dirty pages scrubbed back to the
         #: pristine image between trials) instead of re-allocating the
@@ -205,7 +212,9 @@ class TrialScheduler:
             if addrs is not None:
                 addrs.append(addr_of[id(instr)])
 
-        cpu = self.program.prepare_cpu(self.function, self.args, track_pages=True)
+        cpu = self.program.prepare_cpu(
+            self.function, self.args, track_pages=True, spec=self.spec
+        )
         cpu.retire_hooks.append(record)
         checkpoints = [cpu.snapshot()]
         while True:
@@ -283,13 +292,15 @@ class TrialScheduler:
     def _fork_cpu(self, snap: CpuSnapshot):
         """A CPU in exactly the checkpoint's state, ready for one trial."""
         if not self.reuse_cpu:
-            cpu = self.program.prepare_cpu(self.function, self.args)
+            cpu = self.program.prepare_cpu(self.function, self.args, spec=self.spec)
             if snap.retired:
                 cpu.restore(snap)
             return cpu
         cpu = self._trial_cpu
         if cpu is None:
-            cpu = self.program.prepare_cpu(self.function, self.args, track_pages=True)
+            cpu = self.program.prepare_cpu(
+                self.function, self.args, track_pages=True, spec=self.spec
+            )
             self._pristine = bytes(cpu.memory)
             self._trial_cpu = cpu
         else:

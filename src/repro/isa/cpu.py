@@ -44,14 +44,18 @@ trap that was never implemented; it has been removed.)
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.isa import instructions as ins
 from repro.isa.assembler import CodeImage
 from repro.isa.cycles import CycleModel
 from repro.isa.mmio import MMIO
 from repro.isa.registers import LR, PC, SP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spec.config import SpecConfig
+    from repro.spec.transient import SpecSummary
 
 WORD = 0xFFFFFFFF
 MAGIC_RETURN = 0xFFFF_FFFE
@@ -61,6 +65,14 @@ MEM_SIZE = 0x0020_0000
 #: Dirty-page granularity for copy-on-write snapshots (1 KiB pages).
 PAGE_BITS = 10
 PAGE_SIZE = 1 << PAGE_BITS
+
+#: Schema version of :class:`CpuSnapshot`.  Bumped whenever the captured
+#: state changes shape; :meth:`CPU.restore` refuses a mismatched snapshot
+#: instead of silently reinstating partial state.
+#:
+#: v1: architectural state + CFI monitor.
+#: v2: + speculation state (predictor, counters, transient-trace hash).
+SNAPSHOT_VERSION = 2
 
 
 class Status(enum.Enum):
@@ -81,6 +93,11 @@ class ExecutionResult:
     instructions: int
     detect_code: int = 0
     console: str = ""
+    #: speculation summary when the CPU ran with a SpecConfig (None
+    #: otherwise).  Excluded from equality: two runs are architecturally
+    #: equal regardless of what their wrong paths touched — transient
+    #: observability is compared explicitly via ``spec.digest``.
+    spec: Optional["SpecSummary"] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -121,6 +138,11 @@ class CpuSnapshot:
     pages: Optional[dict[int, bytes]]
     memory: Optional[bytes]
     monitor: Optional[tuple]
+    #: schema guard — restore() refuses snapshots from another schema.
+    version: int = SNAPSHOT_VERSION
+    #: speculation-engine state (predictor, counters, trace hash), or
+    #: None when the CPU runs without a SpecConfig.
+    spec: Optional[tuple] = None
 
 
 class CPU:
@@ -131,6 +153,7 @@ class CPU:
         memory_size: int = MEM_SIZE,
         dispatch: str = "cached",
         track_pages: bool = False,
+        spec: Optional["SpecConfig"] = None,
     ):
         if dispatch not in ("cached", "reference"):
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
@@ -177,6 +200,16 @@ class CPU:
         self._c_call = model.call()
         self._c_ret = model.ret()
         self._c_nop = model.nop()
+        #: the attached SpecEngine when speculating, else None.  With a
+        #: non-zero window the decode cache's Bcc entries are wrapped so
+        #: every execution path (fast loop, hooked loop, reference step)
+        #: retires conditional branches through one shared helper.
+        self.spec = None
+        if spec is not None:
+            from repro.spec.transient import SpecEngine
+
+            self.spec = SpecEngine(self, spec)
+            self._decode = self.spec.wrap_decode(self._decode)
 
     # ------------------------------------------------------------------
     # Setup / top-level run
@@ -227,6 +260,7 @@ class CPU:
             instructions=self.retired,
             detect_code=self.detect_code,
             console="".join(self.console_chars),
+            spec=self.spec.summary() if self.spec is not None else None,
         )
 
     def _run_fast(self, max_cycles: int) -> None:
@@ -314,6 +348,16 @@ class CPU:
             return
 
         self._cfi_events.clear()
+        if self.spec is not None and self.spec.window and isinstance(instr, ins.Bcc):
+            # Speculating CPUs retire conditional branches through the
+            # same pre-bound helper both cached loops use — predictor
+            # updates cannot drift between the dispatch paths.
+            self.regs[PC] = entry[0](self)
+            self.retired += 1
+            events = list(self._cfi_events)
+            for hook in self.retire_hooks:
+                hook(self, instr, events)
+            return
         self._pending_pc = None
         self.execute(instr)
         self.retired += 1
@@ -356,6 +400,8 @@ class CPU:
             pages=pages,
             memory=full,
             monitor=self.monitor.snapshot_state() if self.monitor else None,
+            version=SNAPSHOT_VERSION,
+            spec=self.spec.snapshot_state() if self.spec is not None else None,
         )
 
     def restore(self, snap: CpuSnapshot) -> None:
@@ -365,6 +411,20 @@ class CPU:
         same program (its memory equals the pre-run state the deltas are
         relative to).
         """
+        if snap.version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"cannot restore CpuSnapshot schema v{snap.version} onto a "
+                f"v{SNAPSHOT_VERSION} simulator — re-capture the snapshot "
+                f"with the current repro.isa build"
+            )
+        if (snap.spec is None) != (self.spec is None):
+            have = "a speculative" if self.spec is not None else "a plain"
+            took = "a speculative" if snap.spec is not None else "a plain"
+            raise ValueError(
+                f"snapshot was captured on {took} CPU but is being restored "
+                f"onto {have} one — prepare the target with the same "
+                f"SpecConfig the snapshot was taken under"
+            )
         self.regs[:] = snap.regs
         self.n, self.z, self.c, self.v = snap.n, snap.z, snap.c, snap.v
         self.status = snap.status
@@ -385,6 +445,8 @@ class CPU:
             self.memory[:] = snap.memory
         if snap.monitor is not None and self.monitor is not None:
             self.monitor.restore_state(snap.monitor)
+        if snap.spec is not None:
+            self.spec.restore_state(snap.spec)
         self._pending_pc = None
         self._cfi_events.clear()
 

@@ -70,6 +70,15 @@ class CycleModel:
     def branch_not_taken(self) -> int:
         return 1
 
+    def misprediction(self) -> int:
+        """Flush penalty when the speculative front end guessed wrong.
+
+        A Cortex-M4 does not speculate; this figure models the deeper
+        speculating pipeline of :mod:`repro.spec` — wrong-path issue plus
+        a full refill, on top of the normal branch cost.
+        """
+        return 12
+
     def call(self) -> int:
         return 4
 

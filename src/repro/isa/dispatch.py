@@ -654,6 +654,20 @@ def bind(instr: ins.Instr, addr: int, width: int) -> Callable:
     return binder(instr, addr, addr + width)
 
 
+def bind_spec_bcc(instr: ins.Bcc, addr: int, width: int):
+    """Pre-bound operands for the speculative branch-retire helper.
+
+    Returns ``(holds, target, fall_through)`` — the same condition
+    evaluator and addresses :func:`_bind_bcc` closes over, so the
+    speculative engine (:mod:`repro.spec.transient`) resolves branches
+    through exactly one source of truth.  Both cached run loops *and*
+    the reference interpreter route conditional branches through the
+    handler built from these operands when speculation is enabled, which
+    is what keeps predictor updates from drifting between the paths.
+    """
+    return _COND[instr.cond], instr.target, addr + width
+
+
 def build_decode_cache(image) -> dict[int, DecodeEntry]:
     """Decode every instruction of ``image`` once, keyed by address."""
     cache: dict[int, DecodeEntry] = {}

@@ -199,6 +199,7 @@ class ServiceServer:
             await self._respond(writer, 400, {"error": str(exc)})
 
     def _service_status(self) -> dict[str, Any]:
+        from repro.spec import PREDICTORS, SpecConfig
         from repro.toolchain.registry import list_schemes
 
         workbench = self.scheduler.workbench
@@ -206,6 +207,11 @@ class ServiceServer:
             "service": "repro.service",
             "version": repro.__version__,
             "schemes": list(list_schemes()),
+            "speculation": {
+                "suite": "speculative",
+                "predictors": sorted(PREDICTORS),
+                "defaults": SpecConfig().to_dict(),
+            },
             "runners": self.scheduler.runners,
             "trial_workers": self.scheduler.trial_workers,
             "queue": self.scheduler.stats.to_dict(),

@@ -36,6 +36,7 @@ from repro.faults.isa_campaign import (
     repeated_branch_flip,
     skip_sweep,
 )
+from repro.spec.campaign import speculative_sweep
 from repro.toolchain.config import CompileConfig
 
 #: Job wire-format version (bump on incompatible layout changes).
@@ -48,6 +49,7 @@ ATTACK_SUITES: dict[str, Callable[..., AttackResult]] = {
     "repeated-branch-flip": repeated_branch_flip,
     "operand-corruption": operand_corruption_sweep,
     "adversary": adversary_sweep,
+    "speculative": speculative_sweep,
 }
 
 #: Parameters of the suites that the *service* controls, not the job
@@ -60,6 +62,7 @@ _RESERVED_SUITE_PARAMS = {
     "engine",
     "executor",
     "record_trials",
+    "spec",
 }
 
 

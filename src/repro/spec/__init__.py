@@ -1,0 +1,47 @@
+"""repro.spec — the speculative-execution adversary.
+
+The paper hardens the *architectural* branch decision; this subsystem
+models the attack surface it never considers: transient execution down
+the mispredicted path.  A :class:`~repro.spec.config.SpecConfig` attaches
+a pluggable :class:`~repro.spec.predictor.BranchPredictor` and a bounded
+transient window to any :class:`~repro.isa.cpu.CPU`; on a misprediction
+the CPU follows the wrong path for up to W retirements into a shadow
+frame (registers restored, stores buffered, nothing retires), and a
+:class:`~repro.spec.transient.TransientTrace` records what the wrong path
+*touched* — load addresses, MMIO reads, cycle deltas — as the observable
+covert channel that survives the architectural squash.
+
+Fault models targeting the predictor itself
+(:class:`~repro.faults.models.PredictorFlip`,
+:class:`~repro.faults.models.HistoryPoison`) live in :mod:`repro.faults`
+and run under every campaign engine; :func:`~repro.spec.campaign.
+speculative_sweep` is the stock attack suite wiring it all into
+``CampaignBuilder.speculative(...)`` and the service's ``"speculative"``
+suite.  See docs/speculation.md for the executable guide.
+"""
+
+from repro.spec.config import SpecConfig
+from repro.spec.predictor import (
+    PREDICTORS,
+    BranchPredictor,
+    HistoryPredictor,
+    StaticPredictor,
+    TwoBitPredictor,
+    build_predictor,
+)
+from repro.spec.transient import SpecEngine, SpecSummary, TransientTrace
+from repro.spec.campaign import speculative_sweep
+
+__all__ = [
+    "SpecConfig",
+    "BranchPredictor",
+    "StaticPredictor",
+    "TwoBitPredictor",
+    "HistoryPredictor",
+    "PREDICTORS",
+    "build_predictor",
+    "SpecEngine",
+    "SpecSummary",
+    "TransientTrace",
+    "speculative_sweep",
+]

@@ -1,0 +1,69 @@
+"""Speculation configuration: one frozen, hashable, picklable value.
+
+A :class:`SpecConfig` is everything the CPU needs to speculate: which
+predictor to build, how far down the wrong path a transient frame may
+run, and what a pipeline flush costs.  It is built from JSON primitives
+only, so it survives the trial-scheduler memo key, the multiprocessing
+executor, and the service wire format unchanged.
+
+``window=0`` disables speculation entirely: a zero-length transient
+frame can never make wrong-path state observable, so the CPU runs the
+plain decode path and campaign reports are byte-identical to a
+speculation-free run (the equivalence suite enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SpecConfig:
+    """Knobs of the speculative front end attached to a CPU."""
+
+    #: Maximum transient retirements down a mispredicted path (W).
+    window: int = 8
+    #: Predictor registry name (see :data:`repro.spec.predictor.PREDICTORS`).
+    predictor: str = "twobit"
+    #: Prediction-table entries (twobit/gshare).
+    table_size: int = 64
+    #: Global branch-history register width in bits (gshare).
+    history_bits: int = 4
+    #: Cycles a misprediction flush costs; ``None`` uses
+    #: :meth:`repro.isa.cycles.CycleModel.misprediction`.
+    penalty: Optional[int] = None
+    #: Keep full per-frame event lists on the :class:`~repro.spec.
+    #: transient.TransientTrace` (the sha256 observable digest is always
+    #: maintained; frames are for inspection/rendering and cost memory).
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError(f"speculation window must be >= 0, got {self.window}")
+        if self.table_size < 1:
+            raise ValueError(f"table_size must be >= 1, got {self.table_size}")
+        if not 1 <= self.history_bits <= 16:
+            raise ValueError(
+                f"history_bits must be in [1, 16], got {self.history_bits}"
+            )
+        if self.penalty is not None and self.penalty < 0:
+            raise ValueError(f"penalty must be >= 0, got {self.penalty}")
+        from repro.spec.predictor import PREDICTORS
+
+        if self.predictor not in PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; known: "
+                f"{sorted(PREDICTORS)}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-primitive view (the service ``/status`` reports this)."""
+        return {
+            "window": self.window,
+            "predictor": self.predictor,
+            "table_size": self.table_size,
+            "history_bits": self.history_bits,
+            "penalty": self.penalty,
+            "record_trace": self.record_trace,
+        }

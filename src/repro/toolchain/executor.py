@@ -56,7 +56,7 @@ def _init_worker(program) -> None:
     _WORKER_PROGRAM = program
 
 
-def _run_batch(function, args, models, max_cycles, record_trials=False):
+def _run_batch(function, args, models, max_cycles, record_trials=False, spec=None):
     from repro.faults.classify import classify
     from repro.faults.isa_campaign import fire_index_of
     from repro.faults.scheduler import TrialScheduler
@@ -64,8 +64,9 @@ def _run_batch(function, args, models, max_cycles, record_trials=False):
     # Workers run trials and report fire *indices*; only the parent ever
     # maps indices to addresses, so skip the per-retirement address
     # capture (halves the worker's golden-trace memory).
+    spec_kwargs = {} if spec is None else {"spec": spec}
     scheduler = TrialScheduler.for_program(
-        _WORKER_PROGRAM, function, args, record_addrs=False
+        _WORKER_PROGRAM, function, args, record_addrs=False, **spec_kwargs
     )
     golden = scheduler.golden
     cycles_before = scheduler.stats.simulated_cycles
@@ -146,8 +147,15 @@ class CampaignExecutor:
         attack_name: str = "attack",
         max_cycles: int = 2_000_000,
         record_trials: bool = False,
+        spec=None,
     ) -> AttackResult:
-        """Shard ``models`` into batches and merge the streamed outcomes."""
+        """Shard ``models`` into batches and merge the streamed outcomes.
+
+        ``spec`` (a :class:`repro.spec.SpecConfig` — frozen and built from
+        primitives, so it pickles to workers unchanged) runs every
+        worker's golden execution and trials speculatively; the
+        per-worker schedulers reconstruct identical transient digests, so
+        sharded speculative reports match the single-process engine."""
         models = list(models)
         result = AttackResult(attack_name)
         if record_trials:
@@ -160,7 +168,8 @@ class CampaignExecutor:
         batches = [models[i : i + batch_size] for i in range(0, len(models), batch_size)]
         futures = [
             pool.submit(
-                _run_batch, function, list(args), batch, max_cycles, record_trials
+                _run_batch, function, list(args), batch, max_cycles,
+                record_trials, spec,
             )
             for batch in batches
         ]

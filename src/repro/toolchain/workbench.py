@@ -295,6 +295,30 @@ class CampaignBuilder:
 
         return self.attack(adversary_sweep, name=name, k=k, window=window, **kwargs)
 
+    def speculative(
+        self,
+        window: int = 8,
+        predictor: str = "twobit",
+        *,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "CampaignBuilder":
+        """Queue a speculative-execution sweep (predictor-targeted faults
+        under a bounded transient window).
+
+        Sugar for ``.attack(speculative_sweep, window=window,
+        predictor=predictor, ...)`` — see :func:`repro.spec.campaign.
+        speculative_sweep` for the sweep knobs (``kinds``,
+        ``poison_patterns``, ``focus``, ``max_branches``).  Serialises to
+        a service job like any stock suite.
+        """
+        from repro.spec.campaign import speculative_sweep
+
+        return self.attack(
+            speculative_sweep, name=name, window=window, predictor=predictor,
+            **kwargs,
+        )
+
     def run(
         self,
         executor=None,

@@ -96,6 +96,7 @@ def test_architecture_covers_every_subsystem():
         "repro.toolchain",
         "repro.service",
         "repro.analysis",
+        "repro.spec",
     ):
         assert subsystem in text, f"architecture.md never mentions {subsystem}"
 

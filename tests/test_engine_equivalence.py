@@ -292,3 +292,176 @@ class TestTrialEquivalence:
         clone = program.prepare_cpu("run_memcmp", [64])
         clone.restore(snap)
         assert clone.run(10_000_000) == final
+
+
+# ---------------------------------------------------------------------------
+# Speculative-execution equivalence: the adversary of repro.spec must not
+# perturb any of the guarantees above — and must itself be engine- and
+# dispatch-independent.
+# ---------------------------------------------------------------------------
+from repro.faults.models import PredictorFlip
+from repro.isa.cpu import SNAPSHOT_VERSION
+from repro.spec import PREDICTORS, SpecConfig
+from repro.spec.campaign import speculative_sweep
+
+
+class TestSpeculativeEquivalence:
+    @pytest.mark.parametrize("scheme", TABLE3)
+    @pytest.mark.parametrize(
+        "name,function,args",
+        [
+            ("integer_compare", "integer_compare", [7, 7]),
+            ("memcmp", "run_memcmp", [8]),
+        ],
+    )
+    def test_sweep_all_engines(self, scheme, name, function, args):
+        program = compile_source(
+            load_source(name), config=CompileConfig(scheme=scheme)
+        )
+        tallies = {
+            engine: _tally(
+                speculative_sweep(
+                    program, function, args, max_branches=8, engine=engine
+                )
+            )
+            for engine in ("reference", "replay", "fork")
+        }
+        assert tallies["reference"] == tallies["replay"] == tallies["fork"]
+
+    @pytest.mark.parametrize("predictor", sorted(PREDICTORS))
+    def test_golden_dispatch_parity_per_predictor(self, predictor):
+        # Both dispatchers must retire branches through the same
+        # speculative path: identical results *and* identical transient
+        # digests, whatever the predictor.
+        program = compile_source(
+            load_source("integer_compare"), config=CompileConfig(scheme="ancode")
+        )
+        spec = SpecConfig(window=8, predictor=predictor)
+        for args in ([7, 7], [7, 8]):
+            reference = program.run(
+                "integer_compare", args, dispatch="reference", spec=spec
+            )
+            cached = program.run(
+                "integer_compare", args, dispatch="cached", spec=spec
+            )
+            assert_same_result(reference, cached, f"{predictor}{args}")
+            assert reference.spec == cached.spec
+
+    @pytest.mark.parametrize("predictor", sorted(PREDICTORS))
+    def test_fast_and_hooked_loops_share_the_retire_path(self, predictor):
+        # CPU.run's no-hook fast loop and hooked loop both dispatch
+        # through the same wrapped decode entry, so predictor training
+        # (and therefore every transient digest) cannot drift between
+        # them: a run forced onto the hooked loop by a no-op retire hook
+        # must match the fast loop bit for bit, spec summary included.
+        program = compile_source(
+            load_source("memcmp"), config=CompileConfig(scheme="ancode")
+        )
+        spec = SpecConfig(window=8, predictor=predictor)
+        fast_cpu = program.prepare_cpu("run_memcmp", [8], spec=spec)
+        fast = fast_cpu.run(2_000_000)
+        hooked_cpu = program.prepare_cpu("run_memcmp", [8], spec=spec)
+        hooked_cpu.retire_hooks.append(lambda cpu, instr, events: None)
+        hooked = hooked_cpu.run(2_000_000)
+        assert_same_result(fast, hooked, f"fast-vs-hooked/{predictor}")
+        assert fast.spec == hooked.spec
+
+    def test_parallel_executor_matches_serial(self):
+        from repro.toolchain import CampaignExecutor
+
+        program = compile_source(
+            load_source("memcmp"), config=CompileConfig(scheme="ancode")
+        )
+        serial = speculative_sweep(
+            program, "run_memcmp", [8], max_branches=16, record_trials=True
+        )
+        with CampaignExecutor(max_workers=2) as executor:
+            parallel = speculative_sweep(
+                program,
+                "run_memcmp",
+                [8],
+                max_branches=16,
+                executor=executor,
+                record_trials=True,
+            )
+        assert _tally(serial) == _tally(parallel)
+        assert serial.records == parallel.records
+
+    def test_window_zero_is_byte_identical(self):
+        # W=0 never enters a transient frame and never trains the
+        # predictor; a campaign run at W=0 must serialise to exactly the
+        # bytes a speculation-free campaign produces.
+        import json
+
+        from repro.service.jobs import attack_result_to_dict
+
+        program = compile_source(
+            load_source("integer_compare"), config=CompileConfig(scheme="ancode")
+        )
+        models = [BranchDirectionFlip(n) for n in range(1, 9)]
+        baseline = run_attack(
+            program, "integer_compare", [7, 8], models, "bf", record_trials=True
+        )
+        at_w0 = run_attack(
+            program,
+            "integer_compare",
+            [7, 8],
+            models,
+            "bf",
+            record_trials=True,
+            spec=SpecConfig(window=0),
+        )
+        dump = lambda r: json.dumps(attack_result_to_dict(r), sort_keys=True)
+        assert dump(baseline) == dump(at_w0)
+
+    def test_snapshot_restore_carries_spec_state(self):
+        program = compile_source(
+            load_source("memcmp"), config=CompileConfig(scheme="ancode")
+        )
+        spec = SpecConfig(window=8)
+        cpu = program.prepare_cpu("run_memcmp", [16], track_pages=True, spec=spec)
+        cpu.run(10_000_000, stop_at_instruction=200)
+        snap = cpu.snapshot()
+        assert snap.version == SNAPSHOT_VERSION
+        assert snap.spec is not None
+        final = cpu.run(10_000_000)
+        clone = program.prepare_cpu("run_memcmp", [16], spec=spec)
+        clone.restore(snap)
+        resumed = clone.run(10_000_000)
+        assert resumed == final
+        assert resumed.spec == final.spec  # digest included
+
+    def test_restore_rejects_foreign_snapshots(self):
+        import dataclasses
+
+        program = compile_source(
+            load_source("integer_compare"), config=CompileConfig(scheme="none")
+        )
+        spec_cpu = program.prepare_cpu("integer_compare", [1, 2], spec=SpecConfig())
+        snap = spec_cpu.snapshot()
+        plain_cpu = program.prepare_cpu("integer_compare", [1, 2])
+        with pytest.raises(ValueError, match="speculative"):
+            plain_cpu.restore(snap)
+        with pytest.raises(ValueError, match="schema v1"):
+            spec_cpu.restore(dataclasses.replace(snap, version=1))
+
+    def test_forked_trials_equal_replay_with_speculation(self):
+        # The trial-level guarantee of TestTrialEquivalence, under spec:
+        # a checkpoint-forked PredictorFlip trial returns the same
+        # ExecutionResult (and transient digest) as a fresh full replay.
+        program = compile_source(
+            load_source("memcmp"), config=CompileConfig(scheme="ancode")
+        )
+        spec = SpecConfig(window=8)
+        scheduler = TrialScheduler.for_program(
+            program, "run_memcmp", [8], spec=spec
+        )
+        for occurrence in (1, 3, 5, 9):
+            model = PredictorFlip(occurrence)
+            forked = scheduler.run_trial(model)
+            cpu = program.prepare_cpu(
+                "run_memcmp", [8], pre_hooks=[model.hook()], spec=spec
+            )
+            replayed = cpu.run(2_000_000)
+            assert_same_result(forked, replayed, f"predictor-flip@{occurrence}")
+            assert forked.spec == replayed.spec
