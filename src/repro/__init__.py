@@ -39,7 +39,7 @@ def _detect_version() -> str:
 
         return version("repro-secure-branches")
     except Exception:
-        return "1.5.0"  # keep in sync with pyproject.toml
+        return "1.6.0"  # keep in sync with pyproject.toml
 
 
 __version__ = _detect_version()

@@ -16,10 +16,20 @@ The serving tier over the compile/attack stack (S13):
   (:class:`ServiceServer`, NDJSON progress) plus the
   :class:`BackgroundService` thread harness;
 * :mod:`repro.service.client` — blocking :class:`ServiceClient`
-  (``submit``/``status``/``stream``/``results``), the transport behind
-  ``CampaignBuilder.run(service=...)``;
+  (``submit``/``status``/``stream``/``results``) with connect/read
+  timeouts and bounded retry-with-backoff (:class:`RetryPolicy`), the
+  transport behind ``CampaignBuilder.run(service=...)``;
+* :mod:`repro.service.fleet` — the distributed worker fleet:
+  :class:`FleetCoordinator` (leased shards, heartbeat expiry,
+  work-stealing, idempotent content-keyed results, local degradation)
+  and :class:`FleetRunner` (the worker loop behind ``python -m
+  repro.service worker``);
+* :mod:`repro.service.chaos` — deterministic fault injection for the
+  service itself (:class:`WorkerChaos`, :class:`ChaosProxy`,
+  :class:`CrashingStore`), used by the resilience test suite and the
+  chaos CI job;
 * :mod:`repro.service.cli` — ``python -m repro.service
-  serve|submit|status|results``.
+  serve|worker|submit|status|results``.
 
 Submodules load lazily (PEP 562): importing :mod:`repro.service` itself
 does not pull in the compiler stack or the simulator.
@@ -45,6 +55,15 @@ _EXPORTS = {
     "ServiceServer": "repro.service.http",
     "ServiceClient": "repro.service.client",
     "ServiceError": "repro.service.client",
+    "RetryPolicy": "repro.service.client",
+    "FleetCoordinator": "repro.service.fleet",
+    "FleetRunner": "repro.service.fleet",
+    "FleetStats": "repro.service.fleet",
+    "ChaosProxy": "repro.service.chaos",
+    "ChaosSchedule": "repro.service.chaos",
+    "CrashingStore": "repro.service.chaos",
+    "SimulatedCrash": "repro.service.chaos",
+    "WorkerChaos": "repro.service.chaos",
 }
 
 __all__ = sorted(_EXPORTS)

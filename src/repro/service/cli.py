@@ -3,6 +3,8 @@
 Commands
 --------
 ``serve``    run the service (store + scheduler + HTTP API) until ^C
+``worker``   run a fleet worker that leases campaign shards from a
+             running service (``--host/--port``) until ^C
 ``submit``   build a campaign job from a bundled program or source file
              and submit it (``--wait`` streams progress and prints the
              final tally)
@@ -45,8 +47,15 @@ async def _serve(args: argparse.Namespace) -> int:
     from repro.service.store import ResultStore
 
     store = ResultStore(args.db)
+    # Phantom-RUNNING sweep: rows a dead coordinator left 'running' go
+    # back to 'queued' before we serve (they resume below, or — with
+    # --no-resume — at least report honestly as pending).
+    recovered = store.recover_interrupted()
     scheduler = JobScheduler(
-        store=store, runners=args.runners, trial_workers=args.trial_workers
+        store=store,
+        runners=args.runners,
+        trial_workers=args.trial_workers,
+        lease_ttl=args.lease_ttl,
     )
     await scheduler.start()
     resumed = scheduler.resume_from_store() if args.resume else 0
@@ -55,7 +64,8 @@ async def _serve(args: argparse.Namespace) -> int:
     print(
         f"repro.service listening on http://{host}:{port} "
         f"(db={args.db}, runners={args.runners}, "
-        f"trial_workers={args.trial_workers}, resumed {resumed} job(s))",
+        f"trial_workers={args.trial_workers}, lease_ttl={args.lease_ttl}s, "
+        f"recovered {recovered}, resumed {resumed} job(s))",
         flush=True,
     )
     try:
@@ -75,6 +85,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nrepro.service stopped", flush=True)
         return 0
+
+
+# ---------------------------------------------------------------------------
+# worker
+# ---------------------------------------------------------------------------
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.fleet import FleetRunner
+
+    runner = FleetRunner(
+        f"{args.host}:{args.port}",
+        worker_id=args.id,
+        ttl=args.ttl,
+        trial_workers=args.trial_workers,
+    )
+    print(
+        f"fleet worker {runner.worker_id} leasing from "
+        f"http://{args.host}:{args.port} (ttl={args.ttl}s, "
+        f"trial_workers={args.trial_workers})",
+        flush=True,
+    )
+    try:
+        runner.run_forever(max_shards=args.max_shards)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.stop(join=False)
+        print(
+            f"\nfleet worker {runner.worker_id} stopped "
+            f"({runner.shards_done} shard(s) done, "
+            f"{runner.shards_failed} failed)",
+            flush=True,
+        )
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -282,7 +325,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="do not re-enqueue jobs left queued/running in the store",
     )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=10.0,
+        dest="lease_ttl",
+        help="fleet shard lease TTL in seconds (a worker silent this long "
+        "loses its shard to work-stealing)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a fleet worker: lease campaign shards from a service",
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=DEFAULT_PORT)
+    worker.add_argument("--id", help="worker id (default: generated)")
+    worker.add_argument(
+        "--ttl",
+        type=float,
+        default=5.0,
+        help="lease TTL this worker requests (heartbeats run at ttl/3)",
+    )
+    worker.add_argument(
+        "--trial-workers",
+        type=int,
+        default=0,
+        help="processes for trial sharding within each shard (0 = in-process)",
+    )
+    worker.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="exit after completing N shards (default: run until ^C)",
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     submit = sub.add_parser("submit", help="submit a campaign job")
     _add_endpoint_args(submit)

@@ -1,17 +1,36 @@
 """Blocking HTTP client for the campaign service (stdlib ``http.client``).
 
 The client is deliberately synchronous — it serves the CLI, the test
-suite, and :meth:`repro.toolchain.workbench.CampaignBuilder.run`
-(``service=...``), all of which want a plain call-and-return API.  Each
-request uses a fresh connection (the server closes after every response),
-and :meth:`stream` consumes the NDJSON event feed line by line until the
-server ends it.
+suite, :meth:`repro.toolchain.workbench.CampaignBuilder.run`
+(``service=...``), and the fleet's :class:`~repro.service.fleet.
+FleetRunner`, all of which want a plain call-and-return API.  Each
+request uses a fresh connection (the server closes after every
+response).
+
+Failure handling is explicit and bounded:
+
+* **connect vs read timeouts** — a service that is down fails fast
+  (``connect_timeout``, default 10 s) while a long-running streamed job
+  may legitimately stay quiet for minutes (``timeout``); a hung socket
+  can no longer block :meth:`stream` forever.
+* **retry with exponential backoff + jitter** (:class:`RetryPolicy`) —
+  transport errors and 503s are retried; every mutating endpoint the
+  client talks to is idempotent (job and shard ids are content hashes),
+  so a retried POST whose first response was lost is harmless.
+* **Retry-After** — a 503's ``Retry-After`` header is surfaced on
+  :class:`ServiceError` and honoured by the backoff loop.
+* **stream resume** — :meth:`stream` reconnects after a mid-stream
+  transport failure and skips the already-seen event prefix (the server
+  replays a job's full event history to each new subscriber).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Union
 
 
@@ -26,18 +45,76 @@ TERMINAL_EVENTS = frozenset({"finished", "failed", "cancelled"})
 class ServiceError(RuntimeError):
     """An HTTP-level or job-level service failure."""
 
-    def __init__(self, message: str, status: Optional[int] = None):
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
+        #: Server-suggested delay (seconds) from a ``Retry-After`` header.
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient transport/503 failures.
+
+    Delays run ``base_delay * multiplier**n`` capped at ``max_delay``,
+    each stretched by up to ``jitter`` (fractional) so a fleet of
+    runners hammered by the same outage does not retry in lockstep.
+    ``seed`` pins the jitter stream for deterministic tests.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    retry_statuses: tuple[int, ...] = (503,)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+    def should_retry(self, error: ServiceError) -> bool:
+        # status=None means the transport failed (refused, reset, timed
+        # out) before any HTTP status arrived.
+        return error.status is None or error.status in self.retry_statuses
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        backoff = min(
+            self.max_delay, self.base_delay * (self.multiplier ** attempt)
+        )
+        return backoff * (1.0 + self.jitter * rng.random())
+
+
+#: Zero-retry policy: fail on the first error (used by tests asserting
+#: on raw failures, and anywhere a caller runs its own retry loop).
+NO_RETRY = RetryPolicy(attempts=1)
 
 
 class ServiceClient:
     """Talks to one ``repro.service`` HTTP endpoint."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8731, timeout: float = 300.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+        timeout: float = 300.0,
+        connect_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.connect_timeout = (
+            min(10.0, timeout) if connect_timeout is None else connect_timeout
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = random.Random(self.retry.seed)
 
     @classmethod
     def parse(cls, address: Union[str, "ServiceClient"], **kwargs) -> "ServiceClient":
@@ -56,12 +133,44 @@ class ServiceClient:
         return f"ServiceClient({self.host}:{self.port})"
 
     # -- plumbing ----------------------------------------------------------
+    def _connect(self, read_timeout: float) -> http.client.HTTPConnection:
+        """Open a connection with the short connect timeout, then widen
+        the socket to the (long) read timeout for the exchange itself."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout
+        )
+        connection.connect()
+        if connection.sock is not None:
+            connection.sock.settimeout(read_timeout)
+        return connection
+
     def _request(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> dict[str, Any]:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        """One API call with bounded retry-with-backoff on transient
+        failures (see :class:`RetryPolicy`)."""
+        for attempt in range(self.retry.attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                last = attempt == self.retry.attempts - 1
+                if last or not self.retry.should_retry(exc):
+                    raise
+                delay = self.retry.delay(attempt, self._rng)
+                if exc.retry_after is not None:
+                    delay = max(delay, exc.retry_after)
+                time.sleep(min(delay, self.retry.max_delay))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict[str, Any]:
+        try:
+            connection = self._connect(self.timeout)
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
         try:
             body = json.dumps(payload).encode() if payload is not None else None
             headers = {"Content-Type": "application/json"} if body else {}
@@ -83,6 +192,7 @@ class ServiceClient:
                 raise ServiceError(
                     data.get("error", f"HTTP {response.status}"),
                     status=response.status,
+                    retry_after=_retry_after(response),
                 )
             return data
         finally:
@@ -94,7 +204,10 @@ class ServiceClient:
 
     def submit(self, job, priority: Optional[int] = None) -> dict[str, Any]:
         """Submit a job (a ``CampaignJob``/``CompileJob`` or its dict
-        envelope); returns ``{"job_id", "deduplicated", "state"}``."""
+        envelope); returns ``{"job_id", "deduplicated", "state"}``.
+
+        Safe to retry: job ids are content hashes, so a resubmission
+        whose first ack was lost simply deduplicates."""
         envelope = job.to_dict() if hasattr(job, "to_dict") else dict(job)
         payload: dict[str, Any] = {"job": envelope}
         if priority is not None:
@@ -128,11 +241,93 @@ class ServiceClient:
         ``SchemeDiff.from_dict(payload["diff"])``)."""
         return self._request("GET", f"/diff?a={job_a}&b={job_b}")
 
-    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
-        """Yield the job's NDJSON progress events until it terminates."""
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+    # -- fleet protocol ----------------------------------------------------
+    def fleet_lease(
+        self, worker: str, ttl: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Ask the coordinator for one shard lease:
+        ``{"shard": {...} | null, "retry_after": seconds}``."""
+        payload: dict[str, Any] = {"worker": worker}
+        if ttl is not None:
+            payload["ttl"] = ttl
+        return self._request("POST", "/fleet/lease", payload)
+
+    def fleet_heartbeat(
+        self, shard_id: str, worker: str, token: str, ttl: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Renew a shard lease; ``{"valid": bool, ...}`` (``False`` means
+        the lease was stolen — abandon the shard)."""
+        payload: dict[str, Any] = {"worker": worker, "token": token}
+        if ttl is not None:
+            payload["ttl"] = ttl
+        return self._request(
+            "POST", f"/fleet/shards/{shard_id}/heartbeat", payload
         )
+
+    def fleet_result(
+        self,
+        shard_id: str,
+        worker: str,
+        token: Optional[str] = None,
+        result: Optional[dict[str, Any]] = None,
+        error: Optional[str] = None,
+        fault_models: Optional[list[str]] = None,
+    ) -> dict[str, Any]:
+        """Post a shard's result payload — or a structured failure naming
+        the in-flight fault models.  Idempotent: shard ids are content
+        hashes, so retried/duplicate submissions collapse server-side."""
+        payload: dict[str, Any] = {"worker": worker}
+        if token is not None:
+            payload["token"] = token
+        if result is not None:
+            payload["result"] = result
+        if error is not None:
+            payload["error"] = error
+            payload["fault_models"] = list(fault_models or [])
+        return self._request("POST", f"/fleet/shards/{shard_id}/result", payload)
+
+    # -- streaming ---------------------------------------------------------
+    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield the job's NDJSON progress events until it terminates.
+
+        Survives mid-stream transport failures: the server replays a
+        job's full event history to every new subscriber, so on
+        reconnect the already-delivered prefix is skipped and the stream
+        resumes where it broke.  Consecutive failed reconnects are
+        bounded by the retry policy."""
+        seen = 0
+        failures = 0
+        while True:
+            made_progress = False
+            try:
+                for event in self._stream_once(job_id, skip=seen):
+                    seen += 1
+                    made_progress = True
+                    failures = 0
+                    yield event
+                    if event.get("event") in TERMINAL_EVENTS:
+                        return
+                return  # server ended the stream without a terminal event
+            except ServiceError as exc:
+                if exc.status is not None:
+                    raise  # HTTP-level rejection (404 etc.), not weather
+                failures += 1
+                if failures >= self.retry.attempts and not made_progress:
+                    raise
+                time.sleep(
+                    min(
+                        self.retry.delay(failures - 1, self._rng),
+                        self.retry.max_delay,
+                    )
+                )
+
+    def _stream_once(self, job_id: str, skip: int = 0) -> Iterator[dict[str, Any]]:
+        try:
+            connection = self._connect(self.timeout)
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
         try:
             try:
                 connection.request("GET", f"/jobs/{job_id}/events")
@@ -148,14 +343,23 @@ class ServiceClient:
                 except (UnicodeDecodeError, json.JSONDecodeError):
                     error = repr(raw[:200])
                 raise ServiceError(error, status=response.status)
-            for line in response:
-                line = line.strip()
-                if not line:
-                    continue
-                event = json.loads(line.decode())
-                yield event
-                if event.get("event") in TERMINAL_EVENTS:
-                    return
+            try:
+                position = 0
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line.decode())
+                    position += 1
+                    if position <= skip:
+                        continue  # replayed prefix from before a reconnect
+                    yield event
+                    if event.get("event") in TERMINAL_EVENTS:
+                        return
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"event stream for {job_id} broke mid-read: {exc}"
+                ) from exc
         finally:
             connection.close()
 
@@ -178,3 +382,13 @@ class ServiceClient:
         job_id = submitted["job_id"]
         self.wait(job_id)
         return self.results(job_id, wait=True)
+
+
+def _retry_after(response: http.client.HTTPResponse) -> Optional[float]:
+    value = response.getheader("Retry-After")
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None

@@ -1,0 +1,741 @@
+"""Worker-fleet protocol: leased shards, heartbeats, work-stealing.
+
+One campaign job splits into **shards** — one per attack spec — each
+identified by a content hash (:meth:`CampaignJob.shard_id`).  Remote
+runners pull shards over the existing NDJSON HTTP surface:
+
+1. ``POST /fleet/lease`` — a :class:`FleetRunner` asks for work and
+   receives a shard (the full job envelope + attack index) under a
+   time-limited lease;
+2. ``POST /fleet/shards/<id>/heartbeat`` — the runner renews the lease
+   while the attack executes;
+3. ``POST /fleet/shards/<id>/result`` — the runner posts the shard's
+   :class:`~repro.faults.isa_campaign.AttackResult` payload (or a
+   structured failure naming the in-flight fault models, extending
+   :class:`~repro.toolchain.executor.CampaignExecutorError` across the
+   network boundary).
+
+Robustness invariants:
+
+* **Lease expiry = work-stealing.**  A runner that dies or partitions
+  mid-shard stops heartbeating; the coordinator returns its shard to the
+  pending pool (``steals`` counter) and the next ``lease`` call — any
+  healthy worker — picks it up.
+* **Idempotent, content-keyed results.**  Shard execution is
+  deterministic, so duplicate completions (a stolen lease's original
+  worker finishing late, a retried POST after a dropped response) carry
+  byte-identical payloads; the first one wins, the rest are counted and
+  dropped.  Completed shards are persisted *before* the ack, so a
+  coordinator crash never loses acknowledged work — on restart the job
+  resumes from its stored shards.
+* **Graceful degradation.**  A coordinator with no live workers executes
+  pending shards on its own runner slot (``local_shards`` counter), so
+  an empty or fully-dead fleet is never worse than the single-host
+  service of PR 3.
+
+The merged report is byte-identical to a single-host run by
+construction: shards are merged in attack-spec order and each shard's
+payload is the same ``attack_result_to_dict`` dict the local path
+produces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.service.jobs import JobCancelled, JobError
+
+#: Worker name the coordinator uses for shards it degrades to local
+#: execution (never a valid remote worker id).
+LOCAL_WORKER = "<local>"
+
+#: A shard that failed (worker error report or stolen lease) more than
+#: this many times fails the whole job instead of retrying forever.
+MAX_SHARD_ATTEMPTS = 5
+
+
+@dataclass
+class FleetStats:
+    """The ``/status`` ``fleet`` counter block (and what tests assert on)."""
+
+    leases: int = 0
+    heartbeats: int = 0
+    completed: int = 0
+    #: Duplicate shard completions dropped by the idempotent merge.
+    duplicates: int = 0
+    #: Worker-reported shard failures that were re-queued.
+    retries: int = 0
+    #: Expired leases returned to the pool (dead/partitioned worker).
+    steals: int = 0
+    #: Shards executed by the coordinator itself (empty/dead fleet).
+    local_shards: int = 0
+    #: Shards answered from the store after a coordinator restart.
+    resumed_shards: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Shard:
+    shard_id: str
+    job_id: str
+    index: int
+    attack: str
+    suite: str
+    state: str = "pending"  # pending | leased | done
+    worker: Optional[str] = None
+    token: Optional[str] = None
+    expires: float = 0.0
+    attempts: int = 0
+    payload: Optional[dict[str, Any]] = None
+
+
+@dataclass
+class _FleetJob:
+    job: Any
+    job_id: str
+    envelope: dict[str, Any]
+    shards: list[_Shard]
+    emit: Callable[[dict[str, Any]], None]
+    scheme_revision: int
+    error: Optional[str] = None
+    done: int = field(default=0)
+
+
+class FleetCoordinator:
+    """Owns the shard table; safe to call from the event loop (HTTP
+    handlers) and from runner threads (job execution) concurrently.
+
+    All state transitions happen under one condition variable; lease
+    expiry is swept lazily on every lease/heartbeat/wait tick, so the
+    coordinator needs no background task of its own.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        *,
+        lease_ttl: float = 10.0,
+        worker_ttl: Optional[float] = None,
+        max_shard_attempts: int = MAX_SHARD_ATTEMPTS,
+    ):
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.store = store
+        self.lease_ttl = lease_ttl
+        #: A worker silent for longer than this no longer counts as
+        #: *active* — the threshold for degrading shards to local
+        #: execution.  Defaults to the lease TTL: a live worker talks at
+        #: least that often (heartbeats run at ttl/3).
+        self.worker_ttl = worker_ttl if worker_ttl is not None else lease_ttl
+        self.max_shard_attempts = max_shard_attempts
+        self.stats = FleetStats()
+        self._cond = threading.Condition()
+        self._jobs: dict[str, _FleetJob] = {}
+        self._shards: dict[str, _Shard] = {}
+        self._workers: dict[str, float] = {}
+        self._token_seq = 0
+
+    # -- worker bookkeeping ------------------------------------------------
+    def _touch_worker_locked(self, worker: str, now: float) -> None:
+        if worker == LOCAL_WORKER:
+            return
+        self._workers[worker] = now
+        if len(self._workers) > 1024:  # bounded: drop the longest-silent
+            for stale in sorted(self._workers, key=self._workers.get)[:256]:
+                del self._workers[stale]
+
+    def active_workers(self, now: Optional[float] = None) -> list[str]:
+        now = time.monotonic() if now is None else now
+        with self._cond:
+            return [
+                worker
+                for worker, seen in self._workers.items()
+                if now - seen <= self.worker_ttl
+            ]
+
+    # -- lazy lease expiry -------------------------------------------------
+    def _sweep_locked(self, now: float) -> None:
+        for shard in self._shards.values():
+            if shard.state == "leased" and shard.worker != LOCAL_WORKER and (
+                shard.expires < now
+            ):
+                lost_worker = shard.worker
+                shard.state = "pending"
+                shard.worker = None
+                shard.token = None
+                shard.attempts += 1
+                self.stats.steals += 1
+                job = self._jobs.get(shard.job_id)
+                if job is not None:
+                    job.emit(
+                        {
+                            "event": "shard-stolen",
+                            "shard": shard.shard_id,
+                            "attack": shard.attack,
+                            "index": shard.index,
+                            "worker": lost_worker,
+                            "attempts": shard.attempts,
+                        }
+                    )
+                    if shard.attempts >= self.max_shard_attempts:
+                        job.error = (
+                            f"shard {shard.shard_id} ({shard.attack}) lost "
+                            f"{shard.attempts} leases in a row; giving up"
+                        )
+        self._cond.notify_all()
+
+    # -- worker-facing protocol -------------------------------------------
+    def lease(
+        self, worker: str, ttl: Optional[float] = None
+    ) -> Optional[dict[str, Any]]:
+        """Hand the longest-waiting pending shard to ``worker`` (or
+        ``None`` when there is no work).  Called by ``POST /fleet/lease``."""
+        if not worker or worker == LOCAL_WORKER:
+            raise JobError(f"invalid fleet worker id {worker!r}")
+        ttl = self.lease_ttl if ttl is None else float(ttl)
+        ttl = max(0.05, min(ttl, 10 * self.lease_ttl))
+        now = time.monotonic()
+        with self._cond:
+            self._touch_worker_locked(worker, now)
+            self._sweep_locked(now)
+            for job in self._jobs.values():
+                if job.error is not None:
+                    continue
+                for shard in job.shards:
+                    if shard.state != "pending":
+                        continue
+                    self._token_seq += 1
+                    shard.state = "leased"
+                    shard.worker = worker
+                    shard.token = f"{worker}:{self._token_seq}"
+                    shard.expires = now + ttl
+                    self.stats.leases += 1
+                    job.emit(
+                        {
+                            "event": "attack-started",
+                            "attack": shard.attack,
+                            "suite": shard.suite,
+                            "index": shard.index,
+                            "of": len(job.shards),
+                            "worker": worker,
+                            "attempt": shard.attempts + 1,
+                        }
+                    )
+                    return {
+                        "shard_id": shard.shard_id,
+                        "job_id": shard.job_id,
+                        "attack_index": shard.index,
+                        "attack": shard.attack,
+                        "suite": shard.suite,
+                        "token": shard.token,
+                        "ttl": ttl,
+                        "job": job.envelope,
+                    }
+        return None
+
+    def heartbeat(
+        self, shard_id: str, worker: str, token: str, ttl: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Renew a lease; ``valid: False`` tells the worker its lease was
+        stolen (or the shard is gone) and it should abandon the shard."""
+        ttl = self.lease_ttl if ttl is None else float(ttl)
+        now = time.monotonic()
+        with self._cond:
+            self._touch_worker_locked(worker, now)
+            self.stats.heartbeats += 1
+            self._sweep_locked(now)
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                return {"valid": False, "state": "unknown"}
+            if shard.state != "leased" or shard.token != token:
+                return {"valid": False, "state": shard.state}
+            shard.expires = now + max(0.05, ttl)
+            return {"valid": True, "state": "leased", "ttl": ttl}
+
+    def submit_result(
+        self,
+        shard_id: str,
+        worker: str,
+        payload: Optional[dict[str, Any]] = None,
+        token: Optional[str] = None,
+        error: Optional[str] = None,
+        fault_models: Optional[list[str]] = None,
+    ) -> dict[str, Any]:
+        """Record a shard completion (idempotently) or a worker-reported
+        failure (re-queues the shard and names the in-flight fault
+        models in the job's event stream)."""
+        now = time.monotonic()
+        with self._cond:
+            self._touch_worker_locked(worker, now)
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                return {"accepted": False, "unknown": True}
+            job = self._jobs.get(shard.job_id)
+            if error is not None:
+                return self._record_failure_locked(
+                    shard, job, worker, token, error, fault_models
+                )
+            if payload is None:
+                raise JobError("shard result needs 'result' or 'error'")
+            if shard.state == "done":
+                self.stats.duplicates += 1
+                return {"accepted": True, "duplicate": True}
+        # Durability before the ack (and outside the condition — a slow
+        # store write must not stall lease/heartbeat traffic): a worker
+        # whose ack is lost will retry, and the retry lands on the
+        # duplicate path above.
+        if self.store is not None and job is not None:
+            self.store.store_shard(
+                shard_id,
+                shard.job_id,
+                shard.index,
+                job.scheme_revision,
+                payload,
+            )
+        with self._cond:
+            shard = self._shards.get(shard_id)
+            if shard is None:  # job finished/cancelled while we wrote
+                return {"accepted": False, "unknown": True}
+            if shard.state == "done":
+                self.stats.duplicates += 1
+                return {"accepted": True, "duplicate": True}
+            shard.payload = payload
+            shard.state = "done"
+            shard.worker = worker
+            self.stats.completed += 1
+            job = self._jobs.get(shard.job_id)
+            if job is not None:
+                job.done += 1
+                event_result = dict(payload.get("result") or {})
+                event_result.pop("records", None)
+                job.emit(
+                    {
+                        "event": "attack-finished",
+                        "attack": shard.attack,
+                        "index": shard.index,
+                        "of": len(job.shards),
+                        "result": event_result,
+                        "worker": worker,
+                    }
+                )
+            self._cond.notify_all()
+            return {"accepted": True, "duplicate": False}
+
+    def _record_failure_locked(
+        self, shard, job, worker, token, error, fault_models
+    ) -> dict[str, Any]:
+        if shard.state != "leased" or (token is not None and shard.token != token):
+            # A stale worker (stolen lease) reporting failure must not
+            # re-queue a shard someone else now owns.
+            return {"accepted": False, "stale": True, "state": shard.state}
+        shard.state = "pending"
+        shard.worker = None
+        shard.token = None
+        shard.attempts += 1
+        self.stats.retries += 1
+        if job is not None:
+            job.emit(
+                {
+                    "event": "shard-retried",
+                    "shard": shard.shard_id,
+                    "attack": shard.attack,
+                    "index": shard.index,
+                    "worker": worker,
+                    "error": error,
+                    "fault_models": list(fault_models or []),
+                    "attempts": shard.attempts,
+                }
+            )
+            if shard.attempts >= self.max_shard_attempts:
+                job.error = (
+                    f"shard {shard.shard_id} ({shard.attack}) failed "
+                    f"{shard.attempts} times; last error: {error}"
+                )
+        self._cond.notify_all()
+        return {"accepted": True, "requeued": True}
+
+    # -- coordinator-side job execution -----------------------------------
+    def execute_job(
+        self,
+        job,
+        *,
+        local_run: Callable[[Any, int], dict[str, Any]],
+        emit: Optional[Callable[[dict[str, Any]], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        poll_interval: float = 0.05,
+    ) -> dict[str, Any]:
+        """Shard ``job``, feed the fleet, and block until every shard is
+        done; returns the merged result payload.
+
+        Runs on a scheduler runner thread.  ``local_run(job, index)``
+        executes one shard in-process (compile + workload lock + attack)
+        — the degradation path used whenever no worker is active.
+        Partial results stored by a previous coordinator incarnation are
+        consumed instead of re-executed.
+        """
+        from repro.service.jobs import _scheme_revision
+
+        emit = emit or (lambda payload: None)
+        should_stop = should_stop or (lambda: False)
+        job_id = job.job_id()
+        revision = _scheme_revision(job.config)
+        shards = [
+            _Shard(
+                shard_id=job.shard_id(index),
+                job_id=job_id,
+                index=index,
+                attack=spec.default_label,
+                suite=spec.suite,
+            )
+            for index, spec in enumerate(job.attacks)
+        ]
+        fleet_job = _FleetJob(
+            job=job,
+            job_id=job_id,
+            envelope=job.to_dict(),
+            shards=shards,
+            emit=emit,
+            scheme_revision=revision,
+        )
+        stored = self.store.shard_payloads(job_id) if self.store else {}
+        with self._cond:
+            if job_id in self._jobs:
+                raise JobError(f"job {job_id} is already executing on the fleet")
+            self._jobs[job_id] = fleet_job
+            for shard in shards:
+                self._shards[shard.shard_id] = shard
+                row = stored.get(shard.shard_id)
+                # Stale-revision rows (scheme builder replaced since the
+                # shard ran) are ignored and re-executed, mirroring the
+                # scheduler's store-dedup invalidation.
+                if row is not None and row[1] == revision:
+                    shard.payload = row[2]
+                    shard.state = "done"
+                    fleet_job.done += 1
+                    self.stats.resumed_shards += 1
+                    emit(
+                        {
+                            "event": "shard-resumed",
+                            "shard": shard.shard_id,
+                            "attack": shard.attack,
+                            "index": shard.index,
+                        }
+                    )
+            self._cond.notify_all()
+        try:
+            while True:
+                claimed = None
+                with self._cond:
+                    now = time.monotonic()
+                    self._sweep_locked(now)
+                    if fleet_job.error is not None:
+                        raise JobError(fleet_job.error)
+                    if should_stop():
+                        raise JobCancelled(
+                            f"cancelled with {fleet_job.done} of "
+                            f"{len(shards)} shards done"
+                        )
+                    if fleet_job.done == len(shards):
+                        break
+                    if not any(
+                        now - seen <= self.worker_ttl
+                        for seen in self._workers.values()
+                    ):
+                        # Degradation: nobody to steal the work, so this
+                        # runner slot does it.  One shard per claim keeps
+                        # the event stream in attack order and lets a
+                        # late-joining worker pick up the rest.
+                        for shard in shards:
+                            if shard.state == "pending":
+                                shard.state = "leased"
+                                shard.worker = LOCAL_WORKER
+                                shard.token = LOCAL_WORKER
+                                shard.expires = float("inf")
+                                emit(
+                                    {
+                                        "event": "attack-started",
+                                        "attack": shard.attack,
+                                        "suite": shard.suite,
+                                        "index": shard.index,
+                                        "of": len(shards),
+                                        "worker": LOCAL_WORKER,
+                                        "attempt": shard.attempts + 1,
+                                    }
+                                )
+                                claimed = shard
+                                break
+                    if claimed is None:
+                        self._cond.wait(poll_interval)
+                        continue
+                payload = local_run(job, claimed.index)
+                self.stats.local_shards += 1
+                self.submit_result(
+                    claimed.shard_id,
+                    LOCAL_WORKER,
+                    payload=payload,
+                    token=LOCAL_WORKER,
+                )
+            return self._merge(fleet_job)
+        finally:
+            with self._cond:
+                self._jobs.pop(job_id, None)
+                for shard in shards:
+                    self._shards.pop(shard.shard_id, None)
+                self._cond.notify_all()
+
+    def _merge(self, fleet_job: _FleetJob) -> dict[str, Any]:
+        """Merged result payload, byte-identical to ``CampaignJob.execute``:
+        shards land in attack-spec order regardless of completion order."""
+        payloads = [shard.payload for shard in fleet_job.shards]
+        schemes = {p["scheme"] for p in payloads}
+        if len(schemes) != 1:
+            raise JobError(
+                f"fleet shards disagree on the compiled scheme: "
+                f"{sorted(schemes)} — are all workers running the same "
+                f"scheme registry?"
+            )
+        return {
+            "kind": fleet_job.job.kind,
+            "job_id": fleet_job.job_id,
+            "scheme_revision": fleet_job.scheme_revision,
+            "report": {
+                "scheme": payloads[0]["scheme"],
+                "attacks": {p["attack"]: p["result"] for p in payloads},
+            },
+        }
+
+    # -- introspection -----------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        now = time.monotonic()
+        with self._cond:
+            states: dict[str, int] = {}
+            for shard in self._shards.values():
+                states[shard.state] = states.get(shard.state, 0) + 1
+            return {
+                "workers": sorted(
+                    worker
+                    for worker, seen in self._workers.items()
+                    if now - seen <= self.worker_ttl
+                ),
+                "lease_ttl": self.lease_ttl,
+                "jobs": len(self._jobs),
+                "shards": states,
+                "counters": self.stats.to_dict(),
+            }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+class FleetRunner:
+    """A worker-fleet runner: lease, execute, heartbeat, report, repeat.
+
+    Transport failures never kill the loop — every call retries with the
+    client's exponential backoff, and an empty pool is polled at the
+    coordinator-suggested cadence.  A
+    :class:`~repro.toolchain.executor.CampaignExecutorError` (trial
+    worker process death) is reported to the coordinator with the
+    in-flight fault-model names, so the shard is re-queued and the
+    operator can see *what* took the worker down.
+
+    ``chaos`` accepts a :class:`repro.service.chaos.WorkerChaos` plan:
+    at scheduled lease ordinals the runner "dies" silently — it keeps
+    the lease, never heartbeats, never reports — which is exactly what a
+    SIGKILLed worker process looks like from the coordinator.
+    """
+
+    def __init__(
+        self,
+        address,
+        *,
+        worker_id: Optional[str] = None,
+        ttl: float = 5.0,
+        poll: float = 0.2,
+        workbench=None,
+        trial_workers: int = 0,
+        chaos=None,
+        client_kwargs: Optional[dict[str, Any]] = None,
+    ):
+        from repro.service.client import ServiceClient
+
+        self.client = ServiceClient.parse(address, **(client_kwargs or {}))
+        self.worker_id = worker_id or f"worker-{id(self):x}"
+        self.ttl = ttl
+        self.poll = poll
+        self.trial_workers = trial_workers
+        self.chaos = chaos
+        self._workbench = workbench
+        self._executor = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.leases = 0
+        self.shards_done = 0
+        self.shards_failed = 0
+        self.died = False
+
+    @property
+    def workbench(self):
+        if self._workbench is None:
+            from repro.toolchain.workbench import Workbench
+
+            self._workbench = Workbench()
+        return self._workbench
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "FleetRunner":
+        """Run the lease loop on a daemon thread (tests/harness use)."""
+        if self._thread is not None:
+            raise RuntimeError("runner already started")
+        self._thread = threading.Thread(
+            target=self.run_forever, name=f"repro-fleet-{self.worker_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, join: bool = True) -> None:
+        self._stop.set()
+        if join and self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "FleetRunner":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the loop ----------------------------------------------------------
+    def run_forever(self, max_shards: Optional[int] = None) -> None:
+        from repro.service.client import ServiceError
+
+        try:
+            while not self._stop.is_set():
+                if max_shards is not None and self.shards_done >= max_shards:
+                    return
+                try:
+                    leased = self.client.fleet_lease(self.worker_id, ttl=self.ttl)
+                except ServiceError:
+                    # Coordinator unreachable (the client already retried
+                    # with backoff): keep polling until stopped.
+                    if self._stop.wait(self.poll):
+                        return
+                    continue
+                shard = leased.get("shard")
+                if shard is None:
+                    delay = float(leased.get("retry_after") or self.poll)
+                    if self._stop.wait(min(delay, self.poll)):
+                        return
+                    continue
+                self.leases += 1
+                if self.chaos is not None and self.chaos.should_die(self.leases):
+                    # Vanish mid-shard: hold the lease, stop talking.
+                    self.died = True
+                    return
+                self._run_shard(shard)
+        finally:
+            if self._executor is not None:
+                self._executor.close(wait=False)
+                self._executor = None
+
+    def _run_shard(self, shard: dict[str, Any]) -> None:
+        from repro.service.client import ServiceError
+        from repro.service.jobs import job_from_dict
+        from repro.toolchain.executor import CampaignExecutorError
+
+        shard_id = shard["shard_id"]
+        token = shard["token"]
+        hb_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(shard_id, token, hb_stop),
+            name=f"repro-fleet-{self.worker_id}-hb",
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            try:
+                job = job_from_dict(shard["job"])
+                payload = job.run_shard(
+                    self.workbench,
+                    shard["attack_index"],
+                    executor=self._trial_executor(),
+                )
+            except CampaignExecutorError as exc:
+                # The network extension of local executor recovery: name
+                # the in-flight fault models in the shard's event stream.
+                self.shards_failed += 1
+                self._report_error(
+                    shard_id,
+                    token,
+                    str(exc),
+                    [repr(model) for model in exc.fault_models[:8]],
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 — shard bugs must not kill the loop
+                self.shards_failed += 1
+                self._report_error(
+                    shard_id, token, f"{type(exc).__name__}: {exc}", []
+                )
+                return
+            try:
+                self.client.fleet_result(
+                    shard_id, self.worker_id, token=token, result=payload
+                )
+                self.shards_done += 1
+            except ServiceError:
+                # The coordinator will steal the lease; the re-run is
+                # deterministic and the eventual duplicate merges cleanly.
+                self.shards_failed += 1
+        finally:
+            hb_stop.set()
+            heartbeat.join(timeout=5)
+
+    def _trial_executor(self):
+        if self.trial_workers and self._executor is None:
+            from repro.toolchain.executor import CampaignExecutor
+
+            # One in-shard recovery attempt before reporting the failure
+            # (and its fault models) back to the coordinator: a single
+            # dead trial process shouldn't cost a whole lease round-trip.
+            self._executor = CampaignExecutor(
+                max_workers=self.trial_workers, max_batch_retries=1
+            )
+        return self._executor
+
+    def _report_error(
+        self, shard_id: str, token: str, error: str, fault_models: list[str]
+    ) -> None:
+        from repro.service.client import ServiceError
+
+        try:
+            self.client.fleet_result(
+                shard_id,
+                self.worker_id,
+                token=token,
+                error=error,
+                fault_models=fault_models,
+            )
+        except ServiceError:
+            pass  # lease expiry re-queues the shard anyway
+
+    def _heartbeat_loop(
+        self, shard_id: str, token: str, stop: threading.Event
+    ) -> None:
+        from repro.service.client import ServiceError
+
+        interval = max(0.05, self.ttl / 3.0)
+        while not stop.wait(interval):
+            try:
+                renewed = self.client.fleet_heartbeat(
+                    shard_id, self.worker_id, token, ttl=self.ttl
+                )
+            except ServiceError:
+                continue  # transient; the next beat retries
+            if not renewed.get("valid"):
+                return  # lease stolen: stop renewing (result may still land)

@@ -26,7 +26,17 @@ Method      Path                           Meaning
 ``GET``     ``/diff?a=<id>&b=<id>``        residual-vulnerability diff of two
                                            finished campaigns (same workload,
                                            two schemes)
+``POST``    ``/fleet/lease``               lease one campaign shard to a fleet
+                                           worker (``{"worker", "ttl"}`` ->
+                                           ``{"shard", "retry_after"}``)
+``POST``    ``/fleet/shards/<id>/``        renew a shard lease (``{"worker",
+            ``heartbeat``                  "token", "ttl"}``)
+``POST``    ``/fleet/shards/<id>/result``  post a shard's result payload (or a
+                                           structured failure); idempotent
 ==========  =============================  =====================================
+
+A shutting-down scheduler answers mutating requests with ``503`` and a
+``Retry-After`` header instead of accepting doomed work.
 
 Every response carries ``Connection: close``; the event stream has no
 ``Content-Length`` and simply ends when the job does, which lets any
@@ -58,6 +68,7 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -154,7 +165,27 @@ class ServiceServer:
             if parts == ["status"] and method == "GET":
                 await self._respond(writer, 200, self._service_status())
             elif parts == ["jobs"] and method == "POST":
+                if await self._unavailable(writer):
+                    return
                 await self._submit(writer, body)
+            elif parts == ["fleet", "lease"] and method == "POST":
+                if await self._unavailable(writer):
+                    return
+                await self._fleet_lease(writer, body)
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["fleet", "shards"]
+                and parts[3] == "heartbeat"
+                and method == "POST"
+            ):
+                await self._fleet_heartbeat(writer, parts[2], body)
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["fleet", "shards"]
+                and parts[3] == "result"
+                and method == "POST"
+            ):
+                await self._fleet_result(writer, parts[2], body)
             elif parts == ["jobs"] and method == "GET":
                 jobs = self.scheduler.store.list_jobs(state=query.get("state"))
                 await self._respond(
@@ -215,6 +246,7 @@ class ServiceServer:
             "runners": self.scheduler.runners,
             "trial_workers": self.scheduler.trial_workers,
             "queue": self.scheduler.stats.to_dict(),
+            "fleet": self.scheduler.fleet.status(),
             "jobs": self.scheduler.store.counts(),
             "compile_cache": {
                 "hits": workbench.hits,
@@ -223,13 +255,99 @@ class ServiceServer:
             },
         }
 
-    async def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+    async def _unavailable(self, writer: asyncio.StreamWriter) -> bool:
+        """503 + Retry-After when the scheduler is shutting down."""
+        if not self.scheduler.closed:
+            return False
+        await self._respond(
+            writer,
+            503,
+            {"error": "service is shutting down; retry shortly"},
+            headers={"Retry-After": "1"},
+        )
+        return True
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict[str, Any]:
         try:
             data = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise JobError(f"request body is not valid JSON: {exc}") from exc
         if not isinstance(data, dict):
             raise JobError("request body must be a JSON object")
+        return data
+
+    # -- fleet endpoints ---------------------------------------------------
+    async def _fleet_lease(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        data = self._json_body(body)
+        worker = data.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise JobError("fleet lease needs a 'worker' id")
+        fleet = self.scheduler.fleet
+        loop = asyncio.get_running_loop()
+        # Off-loop: the coordinator lock is also taken by runner threads
+        # executing local shards; never let it stall the event loop.
+        shard = await loop.run_in_executor(
+            None, fleet.lease, worker, data.get("ttl")
+        )
+        await self._respond(
+            writer,
+            200,
+            {
+                "shard": shard,
+                # Empty pool: suggest a poll cadence well inside the
+                # lease TTL so workers notice new work promptly.
+                "retry_after": 0.0 if shard else min(0.2, fleet.lease_ttl / 4),
+            },
+        )
+
+    async def _fleet_heartbeat(
+        self, writer: asyncio.StreamWriter, shard_id: str, body: bytes
+    ) -> None:
+        data = self._json_body(body)
+        fleet = self.scheduler.fleet
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            None,
+            lambda: fleet.heartbeat(
+                shard_id,
+                str(data.get("worker") or ""),
+                str(data.get("token") or ""),
+                data.get("ttl"),
+            ),
+        )
+        await self._respond(writer, 200, payload)
+
+    async def _fleet_result(
+        self, writer: asyncio.StreamWriter, shard_id: str, body: bytes
+    ) -> None:
+        data = self._json_body(body)
+        result = data.get("result")
+        error = data.get("error")
+        if result is None and error is None:
+            raise JobError("shard result needs 'result' or 'error'")
+        if result is not None and not isinstance(result, dict):
+            raise JobError("shard 'result' must be an object")
+        fleet = self.scheduler.fleet
+        loop = asyncio.get_running_loop()
+        # Off-loop: accepting a result persists the shard synchronously
+        # (durability before the ack) — a store write must not block
+        # lease/heartbeat traffic on the event loop.
+        ack = await loop.run_in_executor(
+            None,
+            lambda: fleet.submit_result(
+                shard_id,
+                str(data.get("worker") or ""),
+                payload=result,
+                token=data.get("token"),
+                error=error,
+                fault_models=data.get("fault_models"),
+            ),
+        )
+        await self._respond(writer, 200, ack)
+
+    async def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        data = self._json_body(body)
         envelope = data.get("job", data)
         priority = data.get("priority", PRIORITY_DEFAULT)
         if not isinstance(priority, int):
@@ -328,13 +446,20 @@ class ServiceServer:
 
     @staticmethod
     async def _respond(
-        writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        headers: Optional[dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode()
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         )
         writer.write(head.encode() + body)
@@ -359,6 +484,7 @@ class BackgroundService:
         host: str = "127.0.0.1",
         port: int = 0,
         resume: bool = True,
+        lease_ttl: float = 10.0,
     ):
         self.db_path = db_path
         self.runners = runners
@@ -366,8 +492,11 @@ class BackgroundService:
         self.host = host
         self.port = port
         self.resume = resume
+        self.lease_ttl = lease_ttl
         self.scheduler: Optional[JobScheduler] = None
         self.resumed_jobs = 0
+        #: Phantom 'running' rows swept back to 'queued' at startup.
+        self.recovered_jobs = 0
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -404,10 +533,16 @@ class BackgroundService:
     def address_str(self) -> str:
         return f"{self.host}:{self.port}"
 
-    def client(self, timeout: float = 300.0):
+    def client(self, timeout: float = 300.0, **kwargs):
         from repro.service.client import ServiceClient
 
-        return ServiceClient(self.host, self.port, timeout=timeout)
+        return ServiceClient(self.host, self.port, timeout=timeout, **kwargs)
+
+    @property
+    def fleet(self):
+        """The scheduler's :class:`~repro.service.fleet.FleetCoordinator`."""
+        assert self.scheduler is not None, "service not started"
+        return self.scheduler.fleet
 
     # -- loop thread -------------------------------------------------------
     def _thread_main(self) -> None:
@@ -421,8 +556,16 @@ class BackgroundService:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         store = ResultStore(self.db_path)
+        # Startup sweep *before* serving: a coordinator killed between
+        # the ledger insert and its first event leaves phantom 'running'
+        # rows — reset them to 'queued' so they resume as PENDING (and
+        # never surface as running work nobody is doing).
+        self.recovered_jobs = store.recover_interrupted()
         self.scheduler = JobScheduler(
-            store=store, runners=self.runners, trial_workers=self.trial_workers
+            store=store,
+            runners=self.runners,
+            trial_workers=self.trial_workers,
+            lease_ttl=self.lease_ttl,
         )
         await self.scheduler.start()
         if self.resume:

@@ -264,6 +264,24 @@ class CampaignJob:
             object.__setattr__(self, "_job_id", cached)
         return cached
 
+    def shard_id(self, index: int) -> str:
+        """Stable content hash of one attack shard of this job.
+
+        The fleet protocol re-issues shards across workers; keying every
+        shard (and its stored result) by content means a duplicate
+        completion — a stolen lease's original worker finishing late, a
+        retried HTTP POST — collapses onto the same row instead of
+        corrupting the merge.
+        """
+        spec = self.attacks[index]
+        payload = {
+            "job": self.job_id(),
+            "index": index,
+            "attack": spec.to_dict(),
+        }
+        digest = hashlib.sha256(_canonical_json(payload).encode())
+        return f"sh-{digest.hexdigest()[:32]}"
+
     # -- serialisation ----------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -363,6 +381,42 @@ class CampaignJob:
             "job_id": self.job_id(),
             "scheme_revision": _scheme_revision(self.config),
             "report": report_to_dict(report),
+        }
+
+    def run_shard(
+        self,
+        workbench,
+        index: int,
+        executor=None,
+        emit: Optional[Callable[[dict], None]] = None,
+        program=None,
+    ) -> dict[str, Any]:
+        """Run one attack of this campaign — the unit of work a fleet
+        worker leases.  Returns the shard payload the coordinator merges:
+        ``{"shard", "attack", "index", "scheme", "result"}``.
+
+        Shard execution is deterministic (fixed golden run, exhaustive
+        fault spaces, ``engine="fork"`` with per-trial recording), so two
+        workers running the same shard produce byte-identical payloads —
+        the property the fleet's idempotent result merge rests on.
+        """
+        emit = emit or (lambda payload: None)
+        spec = self.attacks[index]
+        if program is None:
+            program = workbench.compile(
+                self.source,
+                self.config,
+                initializers=_decode_initializers(self.initializers) or None,
+            )
+        result = self._run_attack(program, spec, executor, emit)
+        if spec.label and spec.label != result.attack:
+            result = dataclasses.replace(result, attack=spec.label)
+        return {
+            "shard": self.shard_id(index),
+            "attack": result.attack,
+            "index": index,
+            "scheme": program.scheme,
+            "result": attack_result_to_dict(result),
         }
 
     def _run_attack(self, program, spec, executor, emit):

@@ -21,6 +21,12 @@ are serialised by a per-(program, workload) lock — the checkpoint-forked
 trial scheduler reuses one trial CPU per workload and is not
 re-entrant.
 
+Campaign jobs execute through the :class:`~repro.service.fleet.
+FleetCoordinator`: each attack becomes a leased shard that remote
+workers pull over HTTP, and when no worker is active the runner slot
+runs the shards itself — a fleet of zero degrades to exactly the
+pre-fleet single-host behaviour, same events, same bytes.
+
 Progress events stream to any number of subscribers per job (asyncio
 queues feeding the NDJSON HTTP endpoint); lifecycle events are also
 persisted for replay after the job — or the process — is gone.
@@ -45,9 +51,21 @@ from repro.service.store import ResultStore
 PRIORITY_DEFAULT = 10
 
 #: Event kinds persisted to the store for post-hoc replay (high-frequency
-#: per-batch progress stays in memory only).
+#: per-batch progress stays in memory only).  The fleet lifecycle events
+#: are persisted too: "which worker lost which shard" is exactly what an
+#: operator replays after the fact.
 PERSISTED_EVENTS = frozenset(
-    {"queued", "started", "attack-finished", "finished", "failed", "cancelled"}
+    {
+        "queued",
+        "started",
+        "attack-finished",
+        "finished",
+        "failed",
+        "cancelled",
+        "shard-stolen",
+        "shard-retried",
+        "shard-resumed",
+    }
 )
 
 
@@ -135,6 +153,8 @@ class JobScheduler:
         runners: int = 2,
         trial_workers: int = 0,
         cache_size: int = 64,
+        fleet=None,
+        lease_ttl: float = 10.0,
     ):
         if runners < 1:
             raise ValueError(f"runners must be >= 1, got {runners}")
@@ -148,6 +168,15 @@ class JobScheduler:
         self.workbench = workbench
         self.runners = runners
         self.trial_workers = trial_workers
+        if fleet is None:
+            from repro.service.fleet import FleetCoordinator
+
+            fleet = FleetCoordinator(store=self.store, lease_ttl=lease_ttl)
+        #: Every campaign executes through the fleet coordinator: remote
+        #: workers lease its shards over HTTP, and with no worker active
+        #: the runner slot degrades to executing shards locally — so a
+        #: fleet of zero behaves exactly like the pre-fleet service.
+        self.fleet = fleet
         self.stats = SchedulerStats()
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._inflight: dict[str, JobHandle] = {}
@@ -178,6 +207,12 @@ class JobScheduler:
             for i in range(self.runners)
         ]
         return self
+
+    @property
+    def closed(self) -> bool:
+        """True once shutdown began — the HTTP tier answers 503 with a
+        ``Retry-After`` hint instead of queueing doomed work."""
+        return self._closed
 
     async def close(self) -> None:
         self._closed = True
@@ -498,15 +533,27 @@ class JobScheduler:
                     job.config,
                     initializers=_initializers_of(job) or None,
                 )
-                lock = _workload_lock(program, job.function, job.args)
-                with lock:
-                    return job.execute(
-                        self.workbench,
-                        executor=executor,
-                        emit=emit,
-                        should_stop=lambda: handle.cancelled,
-                        program=program,  # the lock-keyed object, exactly
-                    )
+
+                def local_run(job_, index: int) -> dict[str, Any]:
+                    # Degradation path: this runner slot executes one
+                    # shard itself, under the workload lock keyed on the
+                    # exact compiled object (see _workload_lock).
+                    lock = _workload_lock(program, job_.function, job_.args)
+                    with lock:
+                        return job_.run_shard(
+                            self.workbench,
+                            index,
+                            executor=executor,
+                            emit=emit,
+                            program=program,
+                        )
+
+                return self.fleet.execute_job(
+                    job,
+                    local_run=local_run,
+                    emit=emit,
+                    should_stop=lambda: handle.cancelled,
+                )
             return job.execute(self.workbench, emit=emit)
 
         try:

@@ -28,7 +28,9 @@ from pathlib import Path
 from typing import Any, Iterable, Optional, Union
 
 #: Bump on incompatible schema changes (stored in ``PRAGMA user_version``).
-SCHEMA_VERSION = 1
+#: v2 added the ``shards`` table (partial fleet results); v1 databases
+#: are migrated in place (purely additive DDL).
+SCHEMA_VERSION = 2
 
 #: Job lifecycle states.
 STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -58,6 +60,22 @@ CREATE TABLE IF NOT EXISTS events (
     PRIMARY KEY (job_id, seq)
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state);
+"""
+
+#: Added in v2: one row per completed fleet shard, keyed by the shard's
+#: content hash so duplicate completions collapse.  Rows only exist
+#: while their job is unfinished (``store_result`` clears them); after a
+#: coordinator crash they are the resume points.
+_SCHEMA_V2 = """
+CREATE TABLE IF NOT EXISTS shards (
+    shard_id        TEXT PRIMARY KEY,
+    job_id          TEXT NOT NULL,
+    attack_index    INTEGER NOT NULL,
+    scheme_revision INTEGER NOT NULL,
+    payload         TEXT NOT NULL,
+    created_at      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS shards_by_job ON shards(job_id);
 """
 
 
@@ -119,10 +137,12 @@ class ResultStore:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-                if version == 0:
+                if version in (0, 1):
                     # No executescript here: it would implicitly commit the
-                    # BEGIN IMMEDIATE guarding concurrent creators.
-                    for statement in _SCHEMA.split(";"):
+                    # BEGIN IMMEDIATE guarding concurrent creators.  v1 is
+                    # migrated in place: v2 only *adds* the shards table,
+                    # so the upgrade is the same additive DDL.
+                    for statement in (_SCHEMA + _SCHEMA_V2).split(";"):
                         if statement.strip():
                             self._conn.execute(statement)
                     self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
@@ -225,6 +245,30 @@ class ResultStore:
             ).fetchall()
         return [self._record(row) for row in rows]
 
+    def recover_interrupted(self) -> int:
+        """Startup sweep: reset jobs a dead coordinator left ``running``.
+
+        A coordinator killed between the ledger insert and its first
+        event — or anywhere mid-execution — leaves the row ``running``
+        with no process behind it.  Until the scheduler re-enqueues it,
+        such a row is a *phantom*: ``/jobs/<id>`` reports RUNNING work
+        that nobody is doing (and ``--no-resume`` services would report
+        it forever).  The sweep resets those rows to ``queued`` (their
+        completed fleet shards, if any, stay in ``shards`` and are
+        reused on resume).  Returns the number of rows swept.
+
+        Call this only at startup, before serving: with two live
+        coordinator processes sharing one database it would re-queue the
+        other process's genuinely-running jobs (harmless — results are
+        content-keyed and idempotent — but wasteful).
+        """
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = 'queued', error = NULL, "
+                "started_at = NULL WHERE state = 'running'"
+            )
+        return cursor.rowcount
+
     def counts(self) -> dict[str, int]:
         with self._lock:
             rows = self._conn.execute(
@@ -272,6 +316,11 @@ class ResultStore:
                 )
                 if cursor.rowcount == 0:
                     raise StoreError(f"unknown job {job_id!r}")
+                # Partial fleet results are resume points, not archives:
+                # once the merged result is durable they are dead weight.
+                self._conn.execute(
+                    "DELETE FROM shards WHERE job_id = ?", (job_id,)
+                )
                 self._conn.execute("COMMIT")
             except BaseException:
                 self._conn.execute("ROLLBACK")
@@ -320,6 +369,71 @@ class ResultStore:
         from repro.analysis.diff import diff_from_store
 
         return diff_from_store(self, job_a, job_b, workbench=workbench)
+
+    # -- fleet shards ------------------------------------------------------
+    def store_shard(
+        self,
+        shard_id: str,
+        job_id: str,
+        attack_index: int,
+        scheme_revision: int,
+        payload: dict[str, Any],
+    ) -> bool:
+        """Persist one completed fleet shard; returns ``True`` when the
+        row is new, ``False`` for a duplicate completion (the row is
+        refreshed either way — shard ids are content hashes, so two
+        honest writers carry byte-identical payloads and a stale row
+        from a superseded scheme revision is safely replaced)."""
+        with self._lock:
+            existed = (
+                self._conn.execute(
+                    "SELECT 1 FROM shards WHERE shard_id = ?", (shard_id,)
+                ).fetchone()
+                is not None
+            )
+            self._conn.execute(
+                """
+                INSERT OR REPLACE INTO shards
+                    (shard_id, job_id, attack_index, scheme_revision,
+                     payload, created_at)
+                VALUES (?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    shard_id,
+                    job_id,
+                    attack_index,
+                    scheme_revision,
+                    json.dumps(payload),
+                    time.time(),
+                ),
+            )
+        return not existed
+
+    def shard_payloads(
+        self, job_id: str
+    ) -> dict[str, tuple[int, int, dict[str, Any]]]:
+        """The job's stored partial results:
+        ``{shard_id: (attack_index, scheme_revision, payload)}``."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard_id, attack_index, scheme_revision, payload "
+                "FROM shards WHERE job_id = ? ORDER BY attack_index",
+                (job_id,),
+            ).fetchall()
+        return {
+            row["shard_id"]: (
+                row["attack_index"],
+                row["scheme_revision"],
+                json.loads(row["payload"]),
+            )
+            for row in rows
+        }
+
+    def clear_shards(self, job_id: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM shards WHERE job_id = ?", (job_id,)
+            )
 
     # -- events ------------------------------------------------------------
     def append_event(self, job_id: str, payload: dict[str, Any]) -> int:

@@ -94,9 +94,24 @@ class CampaignExecutor:
     unpickled image); running a different program restarts the pool.
     """
 
-    def __init__(self, max_workers: Optional[int] = None, batches_per_worker: int = 4):
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        batches_per_worker: int = 4,
+        max_batch_retries: int = 0,
+    ):
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.batches_per_worker = batches_per_worker
+        #: Broken-pool recovery budget: when a worker dies, rebuild the
+        #: pool and resubmit the failed batches up to this many times per
+        #: attack before raising :class:`CampaignExecutorError`.  Trials
+        #: are deterministic, so a resubmitted batch merges into the same
+        #: byte-identical result.  The default (0) preserves fail-fast
+        #: behaviour; fleet workers opt in.
+        self.max_batch_retries = max_batch_retries
+        #: Batches resubmitted after pool rebuilds (across the executor's
+        #: lifetime) — surfaced in worker/service diagnostics.
+        self.batch_retries = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._program = None
         #: Optional progress hook, called after each merged batch with
@@ -174,7 +189,10 @@ class CampaignExecutor:
             for batch in batches
         ]
         trials_done = 0
-        for index, future in enumerate(futures):  # submission order == model order
+        retries_left = self.max_batch_retries
+        index = 0
+        while index < len(batches):  # submission order == model order
+            future = futures[index]
             try:
                 outcomes, batch_cycles = future.result()
             except BrokenExecutor as exc:
@@ -184,16 +202,31 @@ class CampaignExecutor:
                 # (the breakage fails all pending futures at once, so the
                 # first future to raise need not be the culprit); surface
                 # them all, leading fault models first.
-                in_flight = [
-                    batch
-                    for batch, future in zip(batches[index:], futures[index:])
-                    if future.cancelled() or future.exception() is not None
+                failed = [
+                    j
+                    for j in range(index, len(batches))
+                    if futures[j].cancelled() or futures[j].exception() is not None
                 ]
+                self.close()
+                if retries_left > 0:
+                    # Recovery: fresh pool, resubmit exactly the batches
+                    # that never completed.  Completed futures keep their
+                    # results and the merge below still walks submission
+                    # order, so the rebuilt run stays byte-identical.
+                    retries_left -= 1
+                    self.batch_retries += len(failed)
+                    pool = self._pool_for(program)
+                    for j in failed:
+                        futures[j] = pool.submit(
+                            _run_batch, function, list(args), batches[j],
+                            max_cycles, record_trials, spec,
+                        )
+                    continue
+                in_flight = [batches[j] for j in failed]
                 models_in_flight = [m for batch in in_flight for m in batch]
                 leads = ", ".join(repr(batch[0]) for batch in in_flight[:6])
                 if len(in_flight) > 6:
                     leads += ", ..."
-                self.close()
                 raise CampaignExecutorError(
                     f"worker process died during attack {attack_name!r}: "
                     f"{len(in_flight)} of {len(batches)} batches were in "
@@ -210,4 +243,5 @@ class CampaignExecutor:
             trials_done += len(batches[index])
             if self.on_batch is not None:
                 self.on_batch(index + 1, len(batches), trials_done, len(models))
+            index += 1
         return result
