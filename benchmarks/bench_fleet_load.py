@@ -26,6 +26,7 @@ from repro.bench import (
     bench_json_path,
     check_bench_regression,
     format_table,
+    latency_summary,
     record_bench_json,
     save_table,
 )
@@ -56,11 +57,6 @@ def _job(index):
             AttackSpec.make("repeated-branch-flip"),
         ),
     )
-
-
-def _percentile(samples, q):
-    ordered = sorted(samples)
-    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
 
 
 def _wait_for_worker(service, worker_id, timeout=10.0):
@@ -149,10 +145,16 @@ def test_fleet_load_latency():
         "fleet_carried_ratio": round(carried, 3),
         "wall_seconds": round(wall, 3),
         "shards_per_second": round(total / wall, 2),
-        "lease_p50_ms": round(_percentile(latencies["lease"], 0.50) * 1e3, 2),
-        "lease_p95_ms": round(_percentile(latencies["lease"], 0.95) * 1e3, 2),
-        "result_p50_ms": round(_percentile(latencies["result"], 0.50) * 1e3, 2),
-        "result_p95_ms": round(_percentile(latencies["result"], 0.95) * 1e3, 2),
+        # Percentiles via the shared repro.obs nearest-rank helper — the
+        # same convention the service's /metrics histograms use.
+        **{
+            f"lease_{key}_ms": value
+            for key, value in latency_summary(latencies["lease"]).items()
+        },
+        **{
+            f"result_{key}_ms": value
+            for key, value in latency_summary(latencies["result"]).items()
+        },
     }
     record_bench_json("fleet_load", payload, path=FLEET_JSON)
     # A healthy fleet carries every shard; the 0.5 tolerance only forgives

@@ -21,6 +21,9 @@ Public API highlights
 * :mod:`repro.faults` — fault models and injection campaigns.
 * :mod:`repro.analysis` — fault-coverage analytics: per-instruction
   vulnerability maps, scheme diffs, Table III reproduction.
+* :mod:`repro.obs` — unified metrics, tracing, and profiling across the
+  engine, the service, and the worker fleet (``GET /metrics``, span
+  traces, ``python -m repro.service top``).
 
 See README.md for a quickstart and docs/architecture.md for the
 subsystem map.
@@ -39,7 +42,7 @@ def _detect_version() -> str:
 
         return version("repro-secure-branches")
     except Exception:
-        return "1.6.0"  # keep in sync with pyproject.toml
+        return "1.7.0"  # keep in sync with pyproject.toml
 
 
 __version__ = _detect_version()

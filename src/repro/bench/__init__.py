@@ -6,6 +6,7 @@ from repro.bench.harness import (
     Measurement,
     bench_json_path,
     check_bench_regression,
+    latency_summary,
     measure,
     overhead_pct,
     record_bench_json,
@@ -21,6 +22,7 @@ __all__ = [
     "bench_json_path",
     "check_bench_regression",
     "format_table",
+    "latency_summary",
     "measure",
     "overhead_pct",
     "record_bench_json",

@@ -77,6 +77,28 @@ def overhead_pct(value: float, baseline: float) -> float:
     return 100.0 * (value - baseline) / baseline
 
 
+def latency_summary(
+    samples,
+    quantiles: tuple[float, ...] = (0.5, 0.95),
+    scale: float = 1e3,
+    digits: int = 2,
+) -> dict[str, float]:
+    """Percentile summary of a latency sample list: ``{"p50": ..., "p95":
+    ...}``, scaled (seconds → ms by default) and rounded.
+
+    Built on :func:`repro.obs.metrics.quantile` — the repo's one
+    nearest-rank implementation, shared with the streaming histograms
+    behind ``GET /metrics`` — so bench percentiles and service
+    percentiles can never use different rank conventions.
+    """
+    from repro.obs.metrics import quantile
+
+    return {
+        f"p{round(q * 100)}": round(quantile(samples, q) * scale, digits)
+        for q in quantiles
+    }
+
+
 @dataclass(frozen=True)
 class CompileTiming:
     """Wall-clock cost of one (source, config) compilation, cold vs cached."""

@@ -1,0 +1,61 @@
+"""repro.obs — unified metrics, tracing, and profiling (S15).
+
+One observability layer threaded through the engine, the service, and
+the fleet:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges, and streaming-quantile histograms; picklable snapshots that
+  merge across forked trial workers and fleet heartbeats; Prometheus
+  text rendering for ``GET /metrics``.
+* :mod:`repro.obs.trace` — :class:`Tracer` spans over the job →
+  shard-lease → attack → trial-batch lifecycle, NDJSON export, persisted
+  per job in the result store (schema v3) and served by
+  ``GET /jobs/<id>/trace``.
+* :mod:`repro.obs.profile` — :class:`EngineProfiler` samples the
+  engine's own counters (trial scheduler stats, compile-cache hit
+  rates, pool rebuilds) at batch/attack boundaries, so the no-hook
+  trial fast loop stays untouched.
+* :mod:`repro.obs.catalog` — the declared-series table backing
+  ``# HELP`` text and the docs-completeness test.
+
+Two invariants, both CI-gated: instrumentation adds no wall-clock value
+to any compared artifact (campaign reports stay byte-identical with
+tracing on), and metrics-enabled campaign throughput stays within 5 %
+of metrics-off (``benchmarks/bench_obs_overhead.py``).
+
+See ``docs/observability.md`` for the metric catalogue, the trace
+schema, and the ``python -m repro.service top`` walkthrough.
+"""
+
+from repro.obs.catalog import CATALOG, help_text, metric_type
+from repro.obs.metrics import (
+    BUCKETS_PER_DECADE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RegistryStats,
+    quantile,
+    snapshot_delta,
+)
+from repro.obs.profile import ENGINE_COUNTERS, EngineProfiler
+from repro.obs.trace import JobTraceRecorder, Span, Tracer
+
+__all__ = [
+    "BUCKETS_PER_DECADE",
+    "CATALOG",
+    "Counter",
+    "ENGINE_COUNTERS",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "JobTraceRecorder",
+    "MetricsRegistry",
+    "RegistryStats",
+    "Span",
+    "Tracer",
+    "help_text",
+    "metric_type",
+    "quantile",
+    "snapshot_delta",
+]

@@ -1,0 +1,424 @@
+"""Process-local metrics: counters, gauges, streaming-quantile histograms.
+
+One :class:`MetricsRegistry` per process (or per subsystem under test)
+holds every series.  Three design constraints shape the module:
+
+* **Mergeable.**  Campaign trials run in forked worker processes and on
+  remote fleet workers; a registry snapshot is a plain-dict (picklable,
+  JSON-able) value that :meth:`MetricsRegistry.merge` folds into another
+  registry — counters and histogram buckets add, gauges overwrite.  The
+  same mechanism carries worker metrics home on fleet heartbeats
+  (:meth:`MetricsRegistry.delta` ships only what changed since the last
+  acknowledged beat).
+* **Streaming quantiles.**  :class:`Histogram` keeps sparse logarithmic
+  buckets (:data:`BUCKETS_PER_DECADE` per decade, ~1.2 % relative
+  width) instead of samples, so p50/p90/p99 over millions of
+  observations cost a dict of small ints.  Quantile selection is the
+  same nearest-rank rule as :func:`quantile` — one implementation for
+  benches (exact, over raw samples) and registries (streaming).
+* **Deterministic-safe.**  Nothing here reads a clock; callers decide
+  what to observe.  Campaign *reports* never embed metric values, so
+  instrumented runs stay byte-identical to uninstrumented ones.
+
+Series names follow Prometheus conventions (``repro_*``, counters end in
+``_total``); :func:`render_prometheus` emits the text exposition format
+behind ``GET /metrics``.  Every public series is declared in
+:mod:`repro.obs.catalog` — the documentation test enforces the catalogue.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable, Optional
+
+#: Log-bucket resolution: buckets per factor-of-ten.  100 gives a
+#: relative bucket width of 10**(1/100) ≈ 2.3 %, i.e. quantiles are
+#: accurate to ~±1.2 % — far inside the tolerance of any latency figure.
+BUCKETS_PER_DECADE = 100
+
+
+def _nearest_rank(count: int, q: float) -> int:
+    """The sample index the ``q``-quantile selects (nearest-rank rule).
+
+    Matches the convention the fleet bench has always reported:
+    ``ordered[min(count - 1, round(q * (count - 1)))]``.
+    """
+    if count <= 0:
+        raise ValueError("quantile of an empty sample")
+    return min(count - 1, round(q * (count - 1)))
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Exact nearest-rank quantile of raw samples (``0 <= q <= 1``).
+
+    The single quantile implementation the benches share; for streaming
+    data use :meth:`Histogram.quantile`, which applies the same rank
+    rule over log buckets.
+    """
+    ordered = sorted(values)
+    return ordered[_nearest_rank(len(ordered), q)]
+
+
+class Counter:
+    """A monotonically increasing integer series."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Optional[dict[str, str]] = None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+    def add(self, amount: int) -> None:
+        self.inc(amount)
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache size, shard counts)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Optional[dict[str, str]] = None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Streaming quantiles over sparse logarithmic buckets.
+
+    ``observe(v)`` costs one dict increment; no samples are retained.
+    Non-positive observations land in a dedicated zero bucket (latency
+    and size distributions are non-negative; exact zeros are common for
+    cache-hit timings rounded to nothing).
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "zero", "buckets")
+
+    def __init__(self, name: str, labels: Optional[dict[str, str]] = None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.count = 0
+        self.sum = 0.0
+        self.zero = 0
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value <= 0.0:
+            self.zero += 1
+            return
+        index = math.floor(math.log10(value) * BUCKETS_PER_DECADE)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @staticmethod
+    def _representative(index: int) -> float:
+        """Geometric midpoint of bucket ``index``."""
+        return 10.0 ** ((index + 0.5) / BUCKETS_PER_DECADE)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the buckets (``0 <= q <= 1``)."""
+        rank = _nearest_rank(self.count, q)
+        if rank < self.zero:
+            return 0.0
+        seen = self.zero
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if rank < seen:
+                return self._representative(index)
+        raise AssertionError("rank beyond bucket population")  # pragma: no cover
+
+    def merge(self, other: dict[str, Any]) -> None:
+        """Fold a snapshot of another histogram into this one."""
+        self.count += int(other.get("count", 0))
+        self.sum += float(other.get("sum", 0.0))
+        self.zero += int(other.get("zero", 0))
+        for index, n in (other.get("buckets") or {}).items():
+            index = int(index)
+            self.buckets[index] = self.buckets.get(index, 0) + int(n)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "zero": self.zero,
+            "buckets": dict(self.buckets),
+        }
+
+
+def _key(name: str, labels: Optional[dict[str, str]]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric series in one process.
+
+    Thread-safe: one lock guards creation and mutation (the hot paths —
+    a counter bump per batch, a histogram observation per request — are
+    far off the per-trial fast loop, so the lock is never contended at
+    trial rates).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create -----------------------------------------------------
+    def counter(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> Counter:
+        key = _key(name, labels)
+        with self._lock:
+            series = self._counters.get(key)
+            if series is None:
+                series = self._counters[key] = Counter(name, labels)
+            return series
+
+    def gauge(self, name: str, labels: Optional[dict[str, str]] = None) -> Gauge:
+        key = _key(name, labels)
+        with self._lock:
+            series = self._gauges.get(key)
+            if series is None:
+                series = self._gauges[key] = Gauge(name, labels)
+            return series
+
+    def histogram(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> Histogram:
+        key = _key(name, labels)
+        with self._lock:
+            series = self._histograms.get(key)
+            if series is None:
+                series = self._histograms[key] = Histogram(name, labels)
+            return series
+
+    def series_count(self) -> int:
+        with self._lock:
+            return (
+                len(self._counters) + len(self._gauges) + len(self._histograms)
+            )
+
+    def names(self) -> set[str]:
+        """Base names (label-free) of every series ever created here."""
+        with self._lock:
+            return (
+                {c.name for c in self._counters.values()}
+                | {g.name for g in self._gauges.values()}
+                | {h.name for h in self._histograms.values()}
+            )
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict (picklable, JSON-able) copy of every series.
+
+        The exchange format for worker→parent merges, fleet heartbeats,
+        and tests: ``{"counters": {key: int}, "gauges": {key: float},
+        "histograms": {key: {...}}}`` with label-expanded keys.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    key: series.value for key, series in self._counters.items()
+                },
+                "gauges": {
+                    key: series.value for key, series in self._gauges.items()
+                },
+                "histograms": {
+                    key: series.to_dict()
+                    for key, series in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a snapshot (from a worker, a heartbeat, another process)
+        into this registry: counters and histograms add, gauges overwrite.
+        """
+        with self._lock:
+            for key, value in (snapshot.get("counters") or {}).items():
+                name, labels = _parse_key(key)
+                self.counter(name, labels).inc(int(value))
+            for key, value in (snapshot.get("gauges") or {}).items():
+                name, labels = _parse_key(key)
+                self.gauge(name, labels).set(float(value))
+            for key, data in (snapshot.get("histograms") or {}).items():
+                name, labels = _parse_key(key)
+                self.histogram(name, labels).merge(data)
+
+    def delta(self, previous: Optional[dict[str, Any]]) -> dict[str, Any]:
+        """What changed since ``previous`` (an earlier :meth:`snapshot`);
+        see :func:`snapshot_delta`."""
+        return snapshot_delta(previous, self.snapshot())
+
+    # -- rendering ---------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Counters and gauges render directly; histograms render as
+        summaries (``{quantile="0.5|0.9|0.99"}`` plus ``_sum``/``_count``)
+        since log buckets do not map onto Prometheus' cumulative ``le``
+        convention without inventing boundaries.
+        """
+        from repro.obs.catalog import help_text
+
+        lines: list[str] = []
+        with self._lock:
+            for kind, table in (
+                ("counter", self._counters),
+                ("gauge", self._gauges),
+            ):
+                seen: set[str] = set()
+                for key in sorted(table):
+                    series = table[key]
+                    if series.name not in seen:
+                        seen.add(series.name)
+                        lines.append(f"# HELP {series.name} {help_text(series.name)}")
+                        lines.append(f"# TYPE {series.name} {kind}")
+                    lines.append(f"{key} {_format_value(series.value)}")
+            seen = set()
+            for key in sorted(self._histograms):
+                series = self._histograms[key]
+                if series.name not in seen:
+                    seen.add(series.name)
+                    lines.append(f"# HELP {series.name} {help_text(series.name)}")
+                    lines.append(f"# TYPE {series.name} summary")
+                for q in (0.5, 0.9, 0.99):
+                    labels = dict(series.labels)
+                    labels["quantile"] = str(q)
+                    value = series.quantile(q) if series.count else 0.0
+                    lines.append(
+                        f"{_key(series.name, labels)} {_format_value(value)}"
+                    )
+                lines.append(f"{series.name}_sum {_format_value(series.sum)}")
+                lines.append(f"{series.name}_count {series.count}")
+        return "\n".join(lines) + "\n"
+
+
+def snapshot_delta(
+    previous: Optional[dict[str, Any]], current: dict[str, Any]
+) -> dict[str, Any]:
+    """The change between two registry snapshots.
+
+    Counters and histogram buckets are subtracted; gauges ship their
+    current value.  This is the fleet-heartbeat payload: merging a
+    sequence of deltas reconstructs the worker's totals exactly, without
+    double counting when a beat is retried or skipped.
+    """
+    if not previous:
+        return current
+    prev_counters = previous.get("counters") or {}
+    prev_hists = previous.get("histograms") or {}
+    counters = {
+        key: value - prev_counters.get(key, 0)
+        for key, value in current["counters"].items()
+        if value != prev_counters.get(key, 0)
+    }
+    histograms = {}
+    for key, data in current["histograms"].items():
+        prev = prev_hists.get(key)
+        if prev is None:
+            histograms[key] = data
+            continue
+        if data["count"] == prev["count"]:
+            continue
+        prev_buckets = prev.get("buckets") or {}
+        histograms[key] = {
+            "count": data["count"] - prev["count"],
+            "sum": data["sum"] - prev["sum"],
+            "zero": data["zero"] - prev["zero"],
+            "buckets": {
+                index: n - prev_buckets.get(index, 0)
+                for index, n in data["buckets"].items()
+                if n != prev_buckets.get(index, 0)
+            },
+        }
+    return {
+        "counters": counters,
+        "gauges": current["gauges"],
+        "histograms": histograms,
+    }
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _parse_key(key: str) -> tuple[str, Optional[dict[str, str]]]:
+    """Invert :func:`_key`: ``'name{a="b"}'`` → ``("name", {"a": "b"})``."""
+    if "{" not in key:
+        return key, None
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for item in rest.rstrip("}").split(","):
+        if not item:
+            continue
+        label, _, value = item.partition("=")
+        labels[label] = value.strip('"')
+    return name, labels
+
+
+class RegistryStats:
+    """An attribute-compatible counter block backed by a registry.
+
+    The pre-observability service kept ad-hoc dataclass counters
+    (``FleetStats``, ``SchedulerStats``) that ``/status`` serialised and
+    tests assert on as plain attributes.  Subclasses map each attribute
+    to a registry counter (``_FIELDS = {"leases": "repro_fleet_leases_total",
+    ...}``) so the *same storage* feeds ``stats.leases`` reads,
+    ``stats.leases += 1`` writes, ``/status`` counter blocks, and the
+    ``/metrics`` exposition — the two surfaces can no longer disagree.
+    """
+
+    _FIELDS: dict[str, str] = {}
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        object.__setattr__(
+            self, "registry", registry if registry is not None else MetricsRegistry()
+        )
+        for metric in self._FIELDS.values():
+            self.registry.counter(metric)
+
+    def __getattr__(self, name: str) -> int:
+        metric = type(self)._FIELDS.get(name)
+        if metric is None:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
+        return self.registry.counter(metric).value
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        metric = type(self)._FIELDS.get(name)
+        if metric is None:
+            object.__setattr__(self, name, value)
+            return
+        series = self.registry.counter(metric)
+        series.inc(int(value) - series.value)
+
+    def to_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __repr__(self) -> str:  # mirrors the old dataclass repr
+        inner = ", ".join(f"{k}={v}" for k, v in self.to_dict().items())
+        return f"{type(self).__name__}({inner})"

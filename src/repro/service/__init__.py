@@ -28,8 +28,16 @@ The serving tier over the compile/attack stack (S13):
   service itself (:class:`WorkerChaos`, :class:`ChaosProxy`,
   :class:`CrashingStore`), used by the resilience test suite and the
   chaos CI job;
+* :mod:`repro.service.top` — the live terminal view behind ``python -m
+  repro.service top`` (:func:`render_top` is pure and unit-testable);
 * :mod:`repro.service.cli` — ``python -m repro.service
-  serve|worker|submit|status|results``.
+  serve|worker|submit|status|results|top``.
+
+Observability (:mod:`repro.obs`) threads through the whole tier: the
+scheduler owns a :class:`~repro.obs.metrics.MetricsRegistry` shared with
+the fleet coordinator, serves it on ``GET /metrics``, and records one
+span trace per job (``GET /jobs/<id>/trace``) — see
+``docs/observability.md``.
 
 Submodules load lazily (PEP 562): importing :mod:`repro.service` itself
 does not pull in the compiler stack or the simulator.
@@ -64,6 +72,8 @@ _EXPORTS = {
     "CrashingStore": "repro.service.chaos",
     "SimulatedCrash": "repro.service.chaos",
     "WorkerChaos": "repro.service.chaos",
+    "render_top": "repro.service.top",
+    "run_top": "repro.service.top",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -31,10 +31,15 @@ import random
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.service.store import ResultStore
+
+#: Every decision a :class:`ChaosSchedule` can draw (the label space of
+#: ``repro_chaos_decisions_total``).
+CHAOS_ACTIONS = ("pass", "drop", "delay", "duplicate")
 
 
 class SimulatedCrash(RuntimeError):
@@ -81,17 +86,33 @@ class ChaosSchedule:
     delay: float = 0.0
     duplicate: float = 0.0
     delay_seconds: float = 0.05
-    #: Decision counters, by action name.
-    counts: dict[str, int] = field(
-        default_factory=lambda: {"pass": 0, "drop": 0, "delay": 0, "duplicate": 0}
-    )
+    #: Registry the decision counters live in
+    #: (``repro_chaos_decisions_total{action=...}``).  Inject the
+    #: service's registry to surface chaos decisions on its ``/metrics``
+    #: scrape; by default each schedule gets a private one.
+    registry: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         total = self.drop + self.delay + self.duplicate
         if total > 1.0:
             raise ValueError(f"chaos rates sum to {total} > 1")
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        for action in CHAOS_ACTIONS:  # pre-create: counts always has all keys
+            self._series(action)
         self._rng = random.Random(self.seed)
         self._lock = threading.Lock()
+
+    def _series(self, action: str):
+        return self.registry.counter(
+            "repro_chaos_decisions_total", labels={"action": action}
+        )
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Decision counters, by action name (a read-only view of the
+        ``repro_chaos_decisions_total`` series)."""
+        return {action: self._series(action).value for action in CHAOS_ACTIONS}
 
     def next_action(self) -> tuple[str, float]:
         """The next scheduled action: ``(name, delay_seconds)``."""
@@ -105,7 +126,7 @@ class ChaosSchedule:
                 action = "duplicate"
             else:
                 action = "pass"
-            self.counts[action] += 1
+            self._series(action).inc()
         return action, (self.delay_seconds if action == "delay" else 0.0)
 
 

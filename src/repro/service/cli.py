@@ -9,6 +9,8 @@ Commands
              and submit it (``--wait`` streams progress and prints the
              final tally)
 ``status``   service health, one job's status, or the recent job list
+``top``      live terminal view: queue depth, runner utilisation, fleet
+             shard states, trial throughput (``--once`` for one frame)
 ``results``  a finished job's merged outcome tally
 ``map``      a finished job's per-instruction vulnerability map
              (rendered; ``--json`` for the raw payload)
@@ -56,6 +58,7 @@ async def _serve(args: argparse.Namespace) -> int:
         runners=args.runners,
         trial_workers=args.trial_workers,
         lease_ttl=args.lease_ttl,
+        observability=args.observability,
     )
     await scheduler.start()
     resumed = scheduler.resume_from_store() if args.resume else 0
@@ -237,6 +240,19 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 # status / results
 # ---------------------------------------------------------------------------
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.top import run_top
+
+    client = ServiceClient(args.host, args.port)
+    iterations = 1 if args.once else args.iterations
+    return run_top(
+        client,
+        interval=args.interval,
+        iterations=iterations,
+        clear=not args.once and not args.no_clear,
+    )
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     client = ServiceClient(args.host, args.port)
     if args.job_id:
@@ -333,6 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet shard lease TTL in seconds (a worker silent this long "
         "loses its shard to work-stealing)",
     )
+    serve.add_argument(
+        "--no-observability",
+        dest="observability",
+        action="store_false",
+        help="disable span tracing and trace persistence "
+        "(/metrics and /status counters stay available)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     worker = sub.add_parser(
@@ -391,6 +414,34 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--list", action="store_true", help="list recent jobs")
     status.add_argument("--state", help="filter --list by state")
     status.set_defaults(func=_cmd_status)
+
+    top = sub.add_parser(
+        "top", help="live terminal view of queue, fleet, and throughput"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=DEFAULT_PORT)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (throughput is the counter delta "
+        "across this window)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render N frames then exit (default: run until ^C)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing in place",
+    )
+    top.set_defaults(func=_cmd_top)
 
     results = sub.add_parser("results", help="fetch a job's stored result")
     _add_endpoint_args(results)

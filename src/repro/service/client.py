@@ -50,11 +50,16 @@ class ServiceError(RuntimeError):
         message: str,
         status: Optional[int] = None,
         retry_after: Optional[float] = None,
+        body: Optional[dict[str, Any]] = None,
     ):
         super().__init__(message)
         self.status = status
         #: Server-suggested delay (seconds) from a ``Retry-After`` header.
         self.retry_after = retry_after
+        #: The full parsed JSON error payload, when the server sent one.
+        #: ``str(exc)`` only carries its ``"error"`` field; structured
+        #: context (``state``, ``fault_models``, ...) lives here.
+        self.body = body
 
 
 @dataclass(frozen=True)
@@ -193,6 +198,7 @@ class ServiceClient:
                     data.get("error", f"HTTP {response.status}"),
                     status=response.status,
                     retry_after=_retry_after(response),
+                    body=data if isinstance(data, dict) else None,
                 )
             return data
         finally:
@@ -253,13 +259,23 @@ class ServiceClient:
         return self._request("POST", "/fleet/lease", payload)
 
     def fleet_heartbeat(
-        self, shard_id: str, worker: str, token: str, ttl: Optional[float] = None
+        self,
+        shard_id: str,
+        worker: str,
+        token: str,
+        ttl: Optional[float] = None,
+        metrics: Optional[dict[str, Any]] = None,
     ) -> dict[str, Any]:
         """Renew a shard lease; ``{"valid": bool, ...}`` (``False`` means
-        the lease was stolen — abandon the shard)."""
+        the lease was stolen — abandon the shard).  ``metrics`` carries a
+        worker registry *delta* (:meth:`repro.obs.metrics.MetricsRegistry.
+        delta`) for the coordinator to roll up; deltas make retried beats
+        merge without double counting."""
         payload: dict[str, Any] = {"worker": worker, "token": token}
         if ttl is not None:
             payload["ttl"] = ttl
+        if metrics is not None:
+            payload["metrics"] = metrics
         return self._request(
             "POST", f"/fleet/shards/{shard_id}/heartbeat", payload
         )
@@ -285,6 +301,57 @@ class ServiceClient:
             payload["error"] = error
             payload["fault_models"] = list(fault_models or [])
         return self._request("POST", f"/fleet/shards/{shard_id}/result", payload)
+
+    # -- observability -----------------------------------------------------
+    def metrics(self) -> str:
+        """The service's Prometheus text exposition (``GET /metrics``).
+
+        Returns the raw scrape body — this endpoint serves
+        ``text/plain``, not JSON, so it bypasses :meth:`_request` (with
+        the same bounded retry on transient failures)."""
+        for attempt in range(self.retry.attempts):
+            try:
+                return self._metrics_once()
+            except ServiceError as exc:
+                last = attempt == self.retry.attempts - 1
+                if last or not self.retry.should_retry(exc):
+                    raise
+                delay = self.retry.delay(attempt, self._rng)
+                if exc.retry_after is not None:
+                    delay = max(delay, exc.retry_after)
+                time.sleep(min(delay, self.retry.max_delay))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _metrics_once(self) -> str:
+        try:
+            connection = self._connect(self.timeout)
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            try:
+                connection.request("GET", "/metrics")
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+            if response.status >= 400:
+                raise ServiceError(
+                    f"HTTP {response.status}: {raw[:200]!r}",
+                    status=response.status,
+                    retry_after=_retry_after(response),
+                )
+            return raw.decode()
+        finally:
+            connection.close()
+
+    def trace(self, job_id: str) -> list[dict[str, Any]]:
+        """The job's span list (``GET /jobs/<id>/trace``) — live spans
+        for a job still executing, the persisted trace once it's done."""
+        return self._request("GET", f"/jobs/{job_id}/trace")["spans"]
 
     # -- streaming ---------------------------------------------------------
     def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
@@ -338,11 +405,20 @@ class ServiceClient:
                 ) from exc
             if response.status >= 400:
                 raw = response.read()
+                body = None
                 try:
-                    error = json.loads(raw.decode()).get("error", raw.decode())
+                    body = json.loads(raw.decode())
                 except (UnicodeDecodeError, json.JSONDecodeError):
                     error = repr(raw[:200])
-                raise ServiceError(error, status=response.status)
+                else:
+                    # Keep the whole payload: a failed job's stream error
+                    # carries structured context (state, fault models)
+                    # beyond the one-line "error" message.
+                    if isinstance(body, dict):
+                        error = body.get("error", raw.decode())
+                    else:
+                        error, body = raw.decode(), None
+                raise ServiceError(error, status=response.status, body=body)
             try:
                 position = 0
                 for line in response:

@@ -46,6 +46,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs.metrics import MetricsRegistry, RegistryStats, snapshot_delta
+from repro.obs.profile import EngineProfiler
 from repro.service.jobs import JobCancelled, JobError
 
 #: Worker name the coordinator uses for shards it degrades to local
@@ -57,26 +59,31 @@ LOCAL_WORKER = "<local>"
 MAX_SHARD_ATTEMPTS = 5
 
 
-@dataclass
-class FleetStats:
-    """The ``/status`` ``fleet`` counter block (and what tests assert on)."""
+class FleetStats(RegistryStats):
+    """The ``/status`` ``fleet`` counter block (and what tests assert on).
 
-    leases: int = 0
-    heartbeats: int = 0
-    completed: int = 0
-    #: Duplicate shard completions dropped by the idempotent merge.
-    duplicates: int = 0
-    #: Worker-reported shard failures that were re-queued.
-    retries: int = 0
-    #: Expired leases returned to the pool (dead/partitioned worker).
-    steals: int = 0
-    #: Shards executed by the coordinator itself (empty/dead fleet).
-    local_shards: int = 0
-    #: Shards answered from the store after a coordinator restart.
-    resumed_shards: int = 0
+    Backed by the coordinator's :class:`~repro.obs.metrics.
+    MetricsRegistry` — attribute reads/writes and the ``/metrics``
+    exposition share one storage, so the two can never disagree.
 
-    def to_dict(self) -> dict[str, int]:
-        return dict(self.__dict__)
+    ``duplicates`` counts duplicate shard completions dropped by the
+    idempotent merge; ``retries`` worker-reported failures that were
+    re-queued; ``steals`` expired leases returned to the pool;
+    ``local_shards`` shards the coordinator executed itself (empty/dead
+    fleet); ``resumed_shards`` shards answered from the store after a
+    restart.
+    """
+
+    _FIELDS = {
+        "leases": "repro_fleet_leases_total",
+        "heartbeats": "repro_fleet_heartbeats_total",
+        "completed": "repro_fleet_shards_completed_total",
+        "duplicates": "repro_fleet_duplicates_total",
+        "retries": "repro_fleet_retries_total",
+        "steals": "repro_fleet_steals_total",
+        "local_shards": "repro_fleet_local_shards_total",
+        "resumed_shards": "repro_fleet_resumed_shards_total",
+    }
 
 
 @dataclass
@@ -122,18 +129,23 @@ class FleetCoordinator:
         lease_ttl: float = 10.0,
         worker_ttl: Optional[float] = None,
         max_shard_attempts: int = MAX_SHARD_ATTEMPTS,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.store = store
         self.lease_ttl = lease_ttl
+        #: Shared metrics home: the scheduler hands its registry down so
+        #: fleet counters, queue counters, and worker rollups land in one
+        #: place (a standalone coordinator gets a private registry).
+        self.registry = registry if registry is not None else MetricsRegistry()
         #: A worker silent for longer than this no longer counts as
         #: *active* — the threshold for degrading shards to local
         #: execution.  Defaults to the lease TTL: a live worker talks at
         #: least that often (heartbeats run at ttl/3).
         self.worker_ttl = worker_ttl if worker_ttl is not None else lease_ttl
         self.max_shard_attempts = max_shard_attempts
-        self.stats = FleetStats()
+        self.stats = FleetStats(self.registry)
         self._cond = threading.Condition()
         self._jobs: dict[str, _FleetJob] = {}
         self._shards: dict[str, _Shard] = {}
@@ -239,10 +251,23 @@ class FleetCoordinator:
         return None
 
     def heartbeat(
-        self, shard_id: str, worker: str, token: str, ttl: Optional[float] = None
+        self,
+        shard_id: str,
+        worker: str,
+        token: str,
+        ttl: Optional[float] = None,
+        metrics: Optional[dict[str, Any]] = None,
     ) -> dict[str, Any]:
         """Renew a lease; ``valid: False`` tells the worker its lease was
-        stolen (or the shard is gone) and it should abandon the shard."""
+        stolen (or the shard is gone) and it should abandon the shard.
+
+        ``metrics`` is an optional worker-side registry *delta*
+        (:meth:`~repro.obs.metrics.MetricsRegistry.delta`) riding the
+        beat; the coordinator rolls it up so ``/metrics`` aggregates
+        engine throughput across the whole fleet.
+        """
+        if metrics:
+            self.registry.merge(metrics)
         ttl = self.lease_ttl if ttl is None else float(ttl)
         now = time.monotonic()
         with self._cond:
@@ -532,6 +557,19 @@ class FleetCoordinator:
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
+def _compile_job(workbench, job):
+    """Compile a campaign job the way :meth:`CampaignJob.run_shard` would
+    (same cache key), so the runner holds the program object and can
+    sample its trial schedulers after the shard."""
+    from repro.service.jobs import _decode_initializers
+
+    return workbench.compile(
+        job.source,
+        job.config,
+        initializers=_decode_initializers(job.initializers) or None,
+    )
+
+
 class FleetRunner:
     """A worker-fleet runner: lease, execute, heartbeat, report, repeat.
 
@@ -577,6 +615,14 @@ class FleetRunner:
         self.shards_done = 0
         self.shards_failed = 0
         self.died = False
+        #: Worker-local registry: engine counters folded in after each
+        #: shard, shipped to the coordinator as heartbeat deltas.
+        self.registry = MetricsRegistry()
+        self._profiler = EngineProfiler(self.registry)
+        #: Snapshot acknowledged by the last successful heartbeat — the
+        #: delta baseline.  Touched only by the (one-at-a-time, joined)
+        #: heartbeat threads.
+        self._last_sent: Optional[dict[str, Any]] = None
 
     @property
     def workbench(self):
@@ -633,6 +679,7 @@ class FleetRunner:
                         return
                     continue
                 self.leases += 1
+                self.registry.counter("repro_worker_leases_total").inc()
                 if self.chaos is not None and self.chaos.should_die(self.leases):
                     # Vanish mid-shard: hold the lease, stop talking.
                     self.died = True
@@ -658,18 +705,21 @@ class FleetRunner:
             daemon=True,
         )
         heartbeat.start()
+        program = None
         try:
             try:
                 job = job_from_dict(shard["job"])
+                program = _compile_job(self.workbench, job)
                 payload = job.run_shard(
                     self.workbench,
                     shard["attack_index"],
                     executor=self._trial_executor(),
+                    program=program,
                 )
             except CampaignExecutorError as exc:
                 # The network extension of local executor recovery: name
                 # the in-flight fault models in the shard's event stream.
-                self.shards_failed += 1
+                self._count_shard_failed()
                 self._report_error(
                     shard_id,
                     token,
@@ -678,7 +728,7 @@ class FleetRunner:
                 )
                 return
             except Exception as exc:  # noqa: BLE001 — shard bugs must not kill the loop
-                self.shards_failed += 1
+                self._count_shard_failed()
                 self._report_error(
                     shard_id, token, f"{type(exc).__name__}: {exc}", []
                 )
@@ -688,13 +738,16 @@ class FleetRunner:
                     shard_id, self.worker_id, token=token, result=payload
                 )
                 self.shards_done += 1
+                self.registry.counter("repro_worker_shards_done_total").inc()
             except ServiceError:
                 # The coordinator will steal the lease; the re-run is
                 # deterministic and the eventual duplicate merges cleanly.
-                self.shards_failed += 1
+                self._count_shard_failed()
         finally:
             hb_stop.set()
             heartbeat.join(timeout=5)
+            self._sample_engine(program)
+            self._flush_metrics(shard_id, token)
 
     def _trial_executor(self):
         if self.trial_workers and self._executor is None:
@@ -704,9 +757,44 @@ class FleetRunner:
             # (and its fault models) back to the coordinator: a single
             # dead trial process shouldn't cost a whole lease round-trip.
             self._executor = CampaignExecutor(
-                max_workers=self.trial_workers, max_batch_retries=1
+                max_workers=self.trial_workers,
+                max_batch_retries=1,
+                metrics=self.registry,
             )
         return self._executor
+
+    def _count_shard_failed(self) -> None:
+        self.shards_failed += 1
+        self.registry.counter("repro_worker_shards_failed_total").inc()
+
+    def _sample_engine(self, program) -> None:
+        """After-shard boundary: fold the engine's own counters into the
+        worker registry (the next heartbeat ships the delta)."""
+        if program is not None:
+            self._profiler.sample_program(program)
+        if self._workbench is not None:
+            self._profiler.sample_workbench(self._workbench)
+        if self._executor is not None:
+            self._profiler.sample_executor(self._executor)
+
+    def _flush_metrics(self, shard_id: str, token: str) -> None:
+        """Best-effort final beat carrying whatever the heartbeat loop
+        hasn't shipped yet (the shard's own engine counters land here —
+        the loop was already asleep when the shard finished).  A stolen
+        lease still merges the metrics; only the renewal is refused."""
+        from repro.service.client import ServiceError
+
+        snapshot = self.registry.snapshot()
+        delta = snapshot_delta(self._last_sent, snapshot)
+        if not (delta.get("counters") or delta.get("histograms")):
+            return
+        try:
+            self.client.fleet_heartbeat(
+                shard_id, self.worker_id, token, ttl=self.ttl, metrics=delta
+            )
+            self._last_sent = snapshot
+        except ServiceError:
+            pass  # the next shard's heartbeats re-ship the delta
 
     def _report_error(
         self, shard_id: str, token: str, error: str, fault_models: list[str]
@@ -731,11 +819,18 @@ class FleetRunner:
 
         interval = max(0.05, self.ttl / 3.0)
         while not stop.wait(interval):
+            snapshot = self.registry.snapshot()
+            delta = snapshot_delta(self._last_sent, snapshot)
             try:
                 renewed = self.client.fleet_heartbeat(
-                    shard_id, self.worker_id, token, ttl=self.ttl
+                    shard_id,
+                    self.worker_id,
+                    token,
+                    ttl=self.ttl,
+                    metrics=delta or None,
                 )
             except ServiceError:
-                continue  # transient; the next beat retries
+                continue  # transient; the next beat retries the delta too
+            self._last_sent = snapshot
             if not renewed.get("valid"):
                 return  # lease stolen: stop renewing (result may still land)

@@ -23,6 +23,10 @@ Method      Path                           Meaning
 ``GET``     ``/jobs/<id>/map``             per-instruction vulnerability map
                                            built from the stored result
                                            (:mod:`repro.analysis`)
+``GET``     ``/jobs/<id>/trace``           the job's span tree (live while it
+                                           runs, persisted once terminal)
+``GET``     ``/metrics``                   Prometheus text exposition of every
+                                           registry series (text/plain)
 ``GET``     ``/diff?a=<id>&b=<id>``        residual-vulnerability diff of two
                                            finished campaigns (same workload,
                                            two schemes)
@@ -164,6 +168,8 @@ class ServiceServer:
         try:
             if parts == ["status"] and method == "GET":
                 await self._respond(writer, 200, self._service_status())
+            elif parts == ["metrics"] and method == "GET":
+                await self._metrics(writer)
             elif parts == ["jobs"] and method == "POST":
                 if await self._unavailable(writer):
                     return
@@ -216,6 +222,13 @@ class ServiceServer:
                 and method == "GET"
             ):
                 await self._map(writer, parts[1])
+            elif (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "trace"
+                and method == "GET"
+            ):
+                await self._trace(writer, parts[1])
             elif parts == ["diff"] and method == "GET":
                 await self._diff(writer, query)
             else:
@@ -253,7 +266,34 @@ class ServiceServer:
                 "misses": workbench.misses,
                 "programs": workbench.cached_programs,
             },
+            "observability": self.scheduler.observability_status(),
         }
+
+    async def _metrics(self, writer: asyncio.StreamWriter) -> None:
+        scheduler = self.scheduler
+        loop = asyncio.get_running_loop()
+        # Off-loop: collect() polls the fleet coordinator (its lock is
+        # also taken by runner threads) and the store.
+        text = await loop.run_in_executor(
+            None, lambda: scheduler.collect().render_prometheus()
+        )
+        await self._respond_text(writer, 200, text)
+
+    async def _trace(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        spans = self.scheduler.trace(job_id)  # raises 404 if unknown
+        if spans is None:
+            status = self.scheduler.status(job_id)
+            await self._respond(
+                writer,
+                409,
+                {
+                    "error": f"job {job_id} has no recorded trace "
+                    f"(observability disabled, or a pre-tracing row)",
+                    "state": status["state"],
+                },
+            )
+            return
+        await self._respond(writer, 200, {"job_id": job_id, "spans": spans})
 
     async def _unavailable(self, writer: asyncio.StreamWriter) -> bool:
         """503 + Retry-After when the scheduler is shutting down."""
@@ -305,6 +345,9 @@ class ServiceServer:
         self, writer: asyncio.StreamWriter, shard_id: str, body: bytes
     ) -> None:
         data = self._json_body(body)
+        metrics = data.get("metrics")
+        if metrics is not None and not isinstance(metrics, dict):
+            raise JobError("heartbeat 'metrics' must be an object")
         fleet = self.scheduler.fleet
         loop = asyncio.get_running_loop()
         payload = await loop.run_in_executor(
@@ -314,6 +357,7 @@ class ServiceServer:
                 str(data.get("worker") or ""),
                 str(data.get("token") or ""),
                 data.get("ttl"),
+                metrics=metrics,
             ),
         )
         await self._respond(writer, 200, payload)
@@ -445,6 +489,23 @@ class ServiceServer:
                 await writer.drain()
 
     @staticmethod
+    async def _respond_text(
+        writer: asyncio.StreamWriter, status: int, text: str
+    ) -> None:
+        """Plain-text response (the Prometheus exposition format is
+        ``text/plain``, not JSON)."""
+        body = text.encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Cache-Control: no-store\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+
+    @staticmethod
     async def _respond(
         writer: asyncio.StreamWriter,
         status: int,
@@ -485,6 +546,7 @@ class BackgroundService:
         port: int = 0,
         resume: bool = True,
         lease_ttl: float = 10.0,
+        observability: bool = True,
     ):
         self.db_path = db_path
         self.runners = runners
@@ -493,6 +555,7 @@ class BackgroundService:
         self.port = port
         self.resume = resume
         self.lease_ttl = lease_ttl
+        self.observability = observability
         self.scheduler: Optional[JobScheduler] = None
         self.resumed_jobs = 0
         #: Phantom 'running' rows swept back to 'queued' at startup.
@@ -566,6 +629,7 @@ class BackgroundService:
             runners=self.runners,
             trial_workers=self.trial_workers,
             lease_ttl=self.lease_ttl,
+            observability=self.observability,
         )
         await self.scheduler.start()
         if self.resume:

@@ -37,13 +37,16 @@ from __future__ import annotations
 import asyncio
 import sys
 import threading
+import time
 import traceback
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 import weakref
 from typing import Any, AsyncIterator, Optional
 
+from repro.obs.metrics import MetricsRegistry, RegistryStats
+from repro.obs.profile import ENGINE_COUNTERS, EngineProfiler
+from repro.obs.trace import JobTraceRecorder
 from repro.service.jobs import JobCancelled, JobError, job_from_dict
 from repro.service.store import ResultStore
 
@@ -73,19 +76,23 @@ class UnknownJobError(KeyError):
     """A job id the scheduler and the store have never seen."""
 
 
-@dataclass
-class SchedulerStats:
-    """Counters the /status endpoint exposes (and tests assert on)."""
+class SchedulerStats(RegistryStats):
+    """Counters the /status endpoint exposes (and tests assert on).
 
-    submitted: int = 0
-    executed: int = 0
-    failed: int = 0
-    cancelled: int = 0
-    deduplicated_inflight: int = 0
-    deduplicated_store: int = 0
+    Attribute-compatible with the old dataclass (``stats.executed += 1``
+    still works), but the storage is :class:`~repro.obs.metrics.
+    MetricsRegistry` counters — the same series ``GET /metrics`` renders,
+    so the two surfaces cannot disagree.
+    """
 
-    def to_dict(self) -> dict[str, int]:
-        return dict(self.__dict__)
+    _FIELDS = {
+        "submitted": "repro_jobs_submitted_total",
+        "executed": "repro_jobs_executed_total",
+        "failed": "repro_jobs_failed_total",
+        "cancelled": "repro_jobs_cancelled_total",
+        "deduplicated_inflight": "repro_jobs_deduplicated_inflight_total",
+        "deduplicated_store": "repro_jobs_deduplicated_store_total",
+    }
 
 
 class JobHandle:
@@ -96,6 +103,9 @@ class JobHandle:
         self.job_id = job_id
         self.state = "queued"
         self.cancelled = False
+        #: Optional :class:`repro.obs.trace.JobTraceRecorder` following
+        #: this job's lifecycle (None with observability disabled).
+        self.trace: Optional[JobTraceRecorder] = None
         self.future: asyncio.Future = asyncio.get_running_loop().create_future()
         # Swallow "exception was never retrieved" for fire-and-forget
         # submissions that only ever poll /status.
@@ -155,6 +165,7 @@ class JobScheduler:
         cache_size: int = 64,
         fleet=None,
         lease_ttl: float = 10.0,
+        observability: bool = True,
     ):
         if runners < 1:
             raise ValueError(f"runners must be >= 1, got {runners}")
@@ -168,16 +179,30 @@ class JobScheduler:
         self.workbench = workbench
         self.runners = runners
         self.trial_workers = trial_workers
+        #: ``observability=False`` turns off span recording and trace
+        #: persistence (metrics counters stay — they back /status).
+        self.observability = bool(observability)
         if fleet is None:
             from repro.service.fleet import FleetCoordinator
 
-            fleet = FleetCoordinator(store=self.store, lease_ttl=lease_ttl)
+            #: One registry backs the scheduler, the coordinator, and
+            #: ``GET /metrics``: the fleet adopts ours (or we adopt the
+            #: injected fleet's below), so /status counters and the
+            #: Prometheus scrape read the same storage.
+            self.registry = MetricsRegistry()
+            fleet = FleetCoordinator(
+                store=self.store, lease_ttl=lease_ttl, registry=self.registry
+            )
+        else:
+            registry = getattr(fleet, "registry", None)
+            self.registry = registry if registry is not None else MetricsRegistry()
         #: Every campaign executes through the fleet coordinator: remote
         #: workers lease its shards over HTTP, and with no worker active
         #: the runner slot degrades to executing shards locally — so a
         #: fleet of zero behaves exactly like the pre-fleet service.
         self.fleet = fleet
-        self.stats = SchedulerStats()
+        self.stats = SchedulerStats(self.registry)
+        self._profiler = EngineProfiler(self.registry)
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._inflight: dict[str, JobHandle] = {}
         self._runner_tasks: list[asyncio.Task] = []
@@ -197,6 +222,9 @@ class JobScheduler:
         # writes land (and keep recent replays cheap).
         self._terminal: OrderedDict[str, tuple[str, Optional[str]]] = OrderedDict()
         self._recent_events: OrderedDict[str, list[dict[str, Any]]] = OrderedDict()
+        # Traces ride the same async store thread as events; this overlay
+        # answers trace() in the window before the write lands.
+        self._recent_traces: OrderedDict[str, list[dict[str, Any]]] = OrderedDict()
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> "JobScheduler":
@@ -312,6 +340,9 @@ class JobScheduler:
             self.store.record_job, job_id, job.kind, job.to_dict(), True
         )
         handle = JobHandle(job, job_id)
+        if self.observability:
+            handle.trace = JobTraceRecorder(job_id)
+            self._recent_traces.pop(job_id, None)
         self._inflight[job_id] = handle
         self._seq += 1
         self._queue.put_nowait((priority, self._seq, job_id))
@@ -408,6 +439,60 @@ class JobScheduler:
             if queue in handle.subscribers:
                 handle.subscribers.remove(queue)
 
+    # -- observability -----------------------------------------------------
+    def trace(self, job_id: str) -> Optional[list[dict[str, Any]]]:
+        """The job's span list: live spans while it executes, the
+        persisted trace afterwards.  ``None`` for a known job with no
+        trace (observability disabled, or pre-v3 rows).  Raises
+        :class:`UnknownJobError` for a job nobody has ever seen."""
+        handle = self._inflight.get(job_id)
+        if handle is not None and handle.trace is not None:
+            return handle.trace.export()
+        recent = self._recent_traces.get(job_id)
+        if recent is not None:
+            return list(recent)
+        stored = self.store.get_trace(job_id)
+        if stored is not None:
+            return stored
+        if handle is None and self.store.get_job(job_id) is None:
+            raise UnknownJobError(job_id)
+        return None
+
+    def collect(self) -> MetricsRegistry:
+        """Refresh point-in-time gauges and return the shared registry —
+        the ``GET /metrics`` scrape path.  Counters and histograms are
+        always current (they are the live storage for stats objects and
+        executor merges); only gauges need a poll."""
+        registry = self.registry
+        registry.gauge("repro_queue_depth").set(self._queue.qsize())
+        registry.gauge("repro_jobs_inflight").set(len(self._inflight))
+        registry.gauge("repro_runners").set(self.runners)
+        registry.gauge("repro_trial_workers").set(self.trial_workers)
+        self._profiler.sample_workbench(self.workbench)
+        for state, count in self.store.counts().items():
+            registry.gauge("repro_store_jobs", labels={"state": state}).set(count)
+        fleet_status = self.fleet.status()
+        registry.gauge("repro_fleet_workers_active").set(
+            len(fleet_status.get("workers") or ())
+        )
+        for state, count in (fleet_status.get("shards") or {}).items():
+            registry.gauge("repro_fleet_shards", labels={"state": state}).set(count)
+        return registry
+
+    def observability_status(self) -> dict[str, Any]:
+        """The ``/status`` observability block: whether tracing is on,
+        how many series exist, and the engine counters ``top`` needs to
+        compute throughput deltas between polls."""
+        registry = self.collect()
+        return {
+            "enabled": self.observability,
+            "series": registry.series_count(),
+            "engine": {
+                field: registry.counter(series).value
+                for field, series in ENGINE_COUNTERS.items()
+            },
+        }
+
     # -- analysis ----------------------------------------------------------
     async def vulnerability_map(self, job_id: str) -> dict[str, Any]:
         """The stored campaign's per-instruction vulnerability map, as a
@@ -494,7 +579,10 @@ class JobScheduler:
                 if self.trial_workers and executor is None:
                     from repro.toolchain.executor import CampaignExecutor
 
-                    executor = CampaignExecutor(max_workers=self.trial_workers)
+                    executor = CampaignExecutor(
+                        max_workers=self.trial_workers,
+                        metrics=self.registry if self.observability else None,
+                    )
                 try:
                     await self._execute(handle, executor)
                 except asyncio.CancelledError:
@@ -525,14 +613,28 @@ class JobScheduler:
             # executor merge loops): hop onto the loop for publication.
             loop.call_soon_threadsafe(self._publish, handle, payload)
 
+        def compile_program(job):
+            # Wall-clock lands only in the histogram and the trace span —
+            # never in the compiled program or any compared artifact.
+            compile_started = time.perf_counter()
+            program = self.workbench.compile(
+                job.source,
+                job.config,
+                initializers=_initializers_of(job) or None,
+            )
+            elapsed = time.perf_counter() - compile_started
+            self.registry.histogram("repro_compile_seconds").observe(elapsed)
+            return program
+
         def run() -> dict[str, Any]:
             job = handle.job
+            recorder = handle.trace
             if job.kind == "campaign":
-                program = self.workbench.compile(
-                    job.source,
-                    job.config,
-                    initializers=_initializers_of(job) or None,
-                )
+                if recorder is not None:
+                    with recorder.span("compile", kind=job.kind):
+                        program = compile_program(job)
+                else:
+                    program = compile_program(job)
 
                 def local_run(job_, index: int) -> dict[str, Any]:
                     # Degradation path: this runner slot executes one
@@ -548,17 +650,33 @@ class JobScheduler:
                             program=program,
                         )
 
-                return self.fleet.execute_job(
-                    job,
-                    local_run=local_run,
-                    emit=emit,
-                    should_stop=lambda: handle.cancelled,
-                )
-            return job.execute(self.workbench, emit=emit)
+                try:
+                    return self.fleet.execute_job(
+                        job,
+                        local_run=local_run,
+                        emit=emit,
+                        should_stop=lambda: handle.cancelled,
+                    )
+                finally:
+                    # After-attack engine boundary: fold the trial
+                    # schedulers' own counters into the shared registry
+                    # (sampled, so the no-hook fast loop stays untouched).
+                    self._profiler.sample_program(program)
+                    self._profiler.sample_workbench(self.workbench)
+                    if executor is not None:
+                        self._profiler.sample_executor(executor)
+            try:
+                return job.execute(self.workbench, emit=emit)
+            finally:
+                self._profiler.sample_workbench(self.workbench)
 
+        job_started = time.perf_counter()
         try:
             payload = await loop.run_in_executor(None, run)
             self.stats.executed += 1
+            self.registry.histogram("repro_job_seconds").observe(
+                time.perf_counter() - job_started
+            )
             # Result durability before the 'finished' event: a client that
             # sees the stream end must find the result in the store.
             await loop.run_in_executor(
@@ -575,6 +693,7 @@ class JobScheduler:
                 {"event": "finished", "job_id": handle.job_id, "kind": handle.job.kind},
             )
             handle.future.set_result(payload)
+            self._persist_trace(handle)
             self._close_stream(handle)
 
     def _fail(self, handle: JobHandle, exc: BaseException) -> None:
@@ -596,6 +715,7 @@ class JobScheduler:
         )
         if not handle.future.done():
             handle.future.set_exception(JobError(error))
+        self._persist_trace(handle)
         self._close_stream(handle)
 
     def _finalize_cancel(self, handle: JobHandle) -> None:
@@ -607,15 +727,33 @@ class JobScheduler:
             handle, {"event": "cancelled", "job_id": handle.job_id}
         )
         handle.future.cancel()
+        self._persist_trace(handle)
         self._close_stream(handle)
 
     # -- event plumbing ----------------------------------------------------
     def _publish(self, handle: JobHandle, payload: dict[str, Any]) -> None:
         handle.events.append(payload)
+        if handle.trace is not None:
+            # The recorder folds the event stream into spans.  _publish
+            # always runs on the event loop, so per-handle calls are
+            # serialised without any extra locking.
+            handle.trace.on_event(payload)
         if payload.get("event") in PERSISTED_EVENTS:
             self._store_write(self.store.append_event, handle.job_id, payload)
         for queue in handle.subscribers:
             queue.put_nowait(payload)
+
+    def _persist_trace(self, handle: JobHandle) -> None:
+        recorder = handle.trace
+        if recorder is None:
+            return
+        spans = recorder.export()
+        self.registry.counter("repro_traces_total").inc()
+        self._recent_traces[handle.job_id] = spans
+        self._recent_traces.move_to_end(handle.job_id)
+        while len(self._recent_traces) > 256:
+            self._recent_traces.popitem(last=False)
+        self._store_write(self.store.store_trace, handle.job_id, spans)
 
     def _remember_terminal(
         self, job_id: str, state: str, error: Optional[str] = None

@@ -28,9 +28,10 @@ from pathlib import Path
 from typing import Any, Iterable, Optional, Union
 
 #: Bump on incompatible schema changes (stored in ``PRAGMA user_version``).
-#: v2 added the ``shards`` table (partial fleet results); v1 databases
-#: are migrated in place (purely additive DDL).
-SCHEMA_VERSION = 2
+#: v2 added the ``shards`` table (partial fleet results); v3 added the
+#: ``traces`` table (per-job observability spans).  Older databases are
+#: migrated in place (purely additive DDL).
+SCHEMA_VERSION = 3
 
 #: Job lifecycle states.
 STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -76,6 +77,19 @@ CREATE TABLE IF NOT EXISTS shards (
     created_at      REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS shards_by_job ON shards(job_id);
+"""
+
+#: Added in v3: one row per span of a job's observability trace
+#: (:mod:`repro.obs.trace`).  Traces are written once, when the job
+#: reaches a terminal state, and replace any earlier attempt's rows —
+#: ``GET /jobs/<id>/trace`` is answered from here after a restart.
+_SCHEMA_V3 = """
+CREATE TABLE IF NOT EXISTS traces (
+    job_id TEXT NOT NULL,
+    seq    INTEGER NOT NULL,
+    span   TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
 """
 
 
@@ -137,12 +151,12 @@ class ResultStore:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-                if version in (0, 1):
+                if version in (0, 1, 2):
                     # No executescript here: it would implicitly commit the
-                    # BEGIN IMMEDIATE guarding concurrent creators.  v1 is
-                    # migrated in place: v2 only *adds* the shards table,
-                    # so the upgrade is the same additive DDL.
-                    for statement in (_SCHEMA + _SCHEMA_V2).split(";"):
+                    # BEGIN IMMEDIATE guarding concurrent creators.  Every
+                    # schema bump so far only *adds* tables, so upgrading
+                    # any older version is the same additive DDL.
+                    for statement in (_SCHEMA + _SCHEMA_V2 + _SCHEMA_V3).split(";"):
                         if statement.strip():
                             self._conn.execute(statement)
                     self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
@@ -434,6 +448,41 @@ class ResultStore:
             self._conn.execute(
                 "DELETE FROM shards WHERE job_id = ?", (job_id,)
             )
+
+    # -- traces ------------------------------------------------------------
+    def store_trace(self, job_id: str, spans: list[dict[str, Any]]) -> None:
+        """Persist a job's observability trace (one row per span),
+        replacing any trace from an earlier attempt — a resubmitted job's
+        trace must not interleave with its predecessor's."""
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    "DELETE FROM traces WHERE job_id = ?", (job_id,)
+                )
+                self._conn.executemany(
+                    "INSERT INTO traces (job_id, seq, span) VALUES (?, ?, ?)",
+                    [
+                        (job_id, seq, json.dumps(span, sort_keys=True))
+                        for seq, span in enumerate(spans)
+                    ],
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def get_trace(self, job_id: str) -> Optional[list[dict[str, Any]]]:
+        """The job's stored trace spans in order (``None`` when the job
+        never recorded one — observability off, or still running)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT span FROM traces WHERE job_id = ? ORDER BY seq",
+                (job_id,),
+            ).fetchall()
+        if not rows:
+            return None
+        return [json.loads(row["span"]) for row in rows]
 
     # -- events ------------------------------------------------------------
     def append_event(self, job_id: str, payload: dict[str, Any]) -> int:

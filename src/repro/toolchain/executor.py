@@ -56,7 +56,15 @@ def _init_worker(program) -> None:
     _WORKER_PROGRAM = program
 
 
-def _run_batch(function, args, models, max_cycles, record_trials=False, spec=None):
+def _run_batch(
+    function,
+    args,
+    models,
+    max_cycles,
+    record_trials=False,
+    spec=None,
+    collect_metrics=False,
+):
     from repro.faults.classify import classify
     from repro.faults.isa_campaign import fire_index_of
     from repro.faults.scheduler import TrialScheduler
@@ -70,6 +78,17 @@ def _run_batch(function, args, models, max_cycles, record_trials=False, spec=Non
     )
     golden = scheduler.golden
     cycles_before = scheduler.stats.simulated_cycles
+    stats_before = started = None
+    if collect_metrics:
+        import time
+
+        from repro.obs.profile import ENGINE_COUNTERS
+
+        stats_before = {
+            field: int(getattr(scheduler.stats, field, 0))
+            for field in ENGINE_COUNTERS
+        }
+        started = time.perf_counter()
     results = []
     for model in models:
         faulted = scheduler.run_trial(model, max_cycles)
@@ -83,7 +102,21 @@ def _run_batch(function, args, models, max_cycles, record_trials=False, spec=Non
             )
         else:
             results.append((outcome, faulted.exit_code))
-    return results, scheduler.stats.simulated_cycles - cycles_before
+    metrics = None
+    if collect_metrics:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.profile import ENGINE_COUNTERS
+
+        registry = MetricsRegistry()
+        for field, series in ENGINE_COUNTERS.items():
+            delta = int(getattr(scheduler.stats, field, 0)) - stats_before[field]
+            if delta > 0:
+                registry.counter(series).inc(delta)
+        registry.histogram("repro_engine_batch_seconds").observe(
+            time.perf_counter() - started
+        )
+        metrics = registry.snapshot()
+    return results, scheduler.stats.simulated_cycles - cycles_before, metrics
 
 
 # -- parent side ------------------------------------------------------------
@@ -99,9 +132,18 @@ class CampaignExecutor:
         max_workers: Optional[int] = None,
         batches_per_worker: int = 4,
         max_batch_retries: int = 0,
+        metrics=None,
     ):
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.batches_per_worker = batches_per_worker
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`.  When set,
+        #: workers count their engine activity (trials, forked trials,
+        #: simulated cycles, per-batch wall seconds) into a throwaway
+        #: worker-side registry whose picklable snapshot rides back with
+        #: the batch results and merges here — the parent's registry sees
+        #: fleet-wide engine totals without any shared state.  ``None``
+        #: (the default) keeps the worker loop entirely metrics-free.
+        self.metrics = metrics
         #: Broken-pool recovery budget: when a worker dies, rebuild the
         #: pool and resubmit the failed batches up to this many times per
         #: attack before raising :class:`CampaignExecutorError`.  Trials
@@ -181,10 +223,11 @@ class CampaignExecutor:
         target_batches = max(1, self.max_workers * self.batches_per_worker)
         batch_size = max(1, -(-len(models) // target_batches))
         batches = [models[i : i + batch_size] for i in range(0, len(models), batch_size)]
+        collect_metrics = self.metrics is not None
         futures = [
             pool.submit(
                 _run_batch, function, list(args), batch, max_cycles,
-                record_trials, spec,
+                record_trials, spec, collect_metrics,
             )
             for batch in batches
         ]
@@ -194,7 +237,7 @@ class CampaignExecutor:
         while index < len(batches):  # submission order == model order
             future = futures[index]
             try:
-                outcomes, batch_cycles = future.result()
+                outcomes, batch_cycles, batch_metrics = future.result()
             except BrokenExecutor as exc:
                 # The pool is unusable once a worker dies; drop it so the
                 # next run_attack starts a fresh one.  Every batch that had
@@ -215,11 +258,15 @@ class CampaignExecutor:
                     # order, so the rebuilt run stays byte-identical.
                     retries_left -= 1
                     self.batch_retries += len(failed)
+                    if collect_metrics:
+                        self.metrics.counter(
+                            "repro_engine_batch_retries_total"
+                        ).inc(len(failed))
                     pool = self._pool_for(program)
                     for j in failed:
                         futures[j] = pool.submit(
                             _run_batch, function, list(args), batches[j],
-                            max_cycles, record_trials, spec,
+                            max_cycles, record_trials, spec, collect_metrics,
                         )
                     continue
                 in_flight = [batches[j] for j in failed]
@@ -240,6 +287,8 @@ class CampaignExecutor:
                 if record_trials:
                     result.record_trial(row[2], outcome, exit_code)
             result.simulated_cycles += batch_cycles
+            if batch_metrics is not None and self.metrics is not None:
+                self.metrics.merge(batch_metrics)
             trials_done += len(batches[index])
             if self.on_batch is not None:
                 self.on_batch(index + 1, len(batches), trials_done, len(models))

@@ -97,8 +97,23 @@ def test_architecture_covers_every_subsystem():
         "repro.service",
         "repro.analysis",
         "repro.spec",
+        "repro.obs",
     ):
         assert subsystem in text, f"architecture.md never mentions {subsystem}"
+
+
+def test_every_catalog_metric_is_documented():
+    """The same contract the fault-model reference has: every series
+    declared in repro.obs.catalog must appear (backticked) in the metric
+    catalogue of docs/observability.md."""
+    from repro.obs import CATALOG
+
+    reference = (DOCS / "observability.md").read_text()
+    missing = [name for name in CATALOG if f"`{name}`" not in reference]
+    assert not missing, (
+        f"metrics missing from docs/observability.md: {sorted(missing)} "
+        f"— add them to the catalogue tables"
+    )
 
 
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)\s]*)?\)")
