@@ -120,6 +120,7 @@ class CompositeFault(FaultModel):
                     skip = True
             return skip
 
+        _annotate_window(pre, hooks)
         return pre
 
     def first_fire_index(self, trace):
@@ -142,6 +143,7 @@ class CompositeFault(FaultModel):
                     skip = True
             return skip
 
+        _annotate_window(pre, hooks)
         return pre
 
     def resumed_hook(self, trace):
@@ -153,6 +155,19 @@ class CompositeFault(FaultModel):
 def _resumed(fault: FaultModel, trace):
     resumed = getattr(fault, "resumed_hook", None)
     return resumed(trace) if resumed is not None else fault.hook()
+
+
+def _annotate_window(pre, hooks) -> None:
+    """Propagate ``fire_window`` to a composite hook — only when *every*
+    component is window-annotated (one unbounded component makes the
+    whole composite unbounded; the superblock engine then deoptimises
+    for the entire trial, which is always sound)."""
+    windows = [getattr(hook, "fire_window", None) for hook in hooks]
+    if all(window is not None for window in windows):
+        pre.fire_window = (
+            min(window[0] for window in windows),
+            max(window[1] for window in windows),
+        )
 
 
 # ---------------------------------------------------------------------------

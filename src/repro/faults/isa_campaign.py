@@ -13,13 +13,17 @@ Every attack entry point takes an ``engine``:
 * ``"fork"`` (default) — the fast path: one golden run per workload
   (memoized on the program), trials forked from mid-run checkpoints via
   :class:`~repro.faults.scheduler.TrialScheduler`.
+* ``"superblock"`` — checkpoint forking like ``"fork"``, but trial CPUs
+  run the exec-compiled trace dispatcher
+  (:mod:`repro.isa.superblock`), deoptimising to per-instruction
+  stepping only while a fault window is open.
 * ``"replay"`` — fresh CPU per trial on the decode-cached dispatcher
   (isolates the scheduler when debugging a differential failure).
 * ``"reference"`` — fresh CPU per trial on the original ``isinstance``
   interpreter; this is the pre-decode-cache engine and the baseline the
   campaign benches measure speedups against.
 
-All three are result-identical; ``tests/test_engine_equivalence.py``
+All four are result-identical; ``tests/test_engine_equivalence.py``
 enforces it for every device program and scheme.  ``executor`` accepts a
 :class:`~repro.toolchain.executor.CampaignExecutor` to shard trials
 across worker processes.
@@ -40,7 +44,18 @@ from repro.faults.models import (
 from repro.faults.scheduler import TrialScheduler
 from repro.isa.cpu import ExecutionResult
 
-ENGINES = ("fork", "replay", "reference")
+ENGINES = ("fork", "superblock", "replay", "reference")
+
+#: engines that fork trials off a TrialScheduler checkpoint ladder
+_FORKING_ENGINES = ("fork", "superblock")
+
+
+def _scheduler_kwargs(engine: str, spec) -> dict:
+    """TrialScheduler kwargs selecting the trial-CPU dispatch engine."""
+    kwargs = {} if spec is None else {"spec": spec}
+    if engine == "superblock":
+        kwargs["dispatch"] = "superblock"
+    return kwargs
 
 
 @dataclass
@@ -102,8 +117,10 @@ def golden_trace(program: CompiledProgram, function: str, args):
 
 
 def _golden(program, function, args, engine: str) -> ExecutionResult:
-    if engine == "fork":
-        return TrialScheduler.for_program(program, function, list(args)).golden
+    if engine in _FORKING_ENGINES:
+        return TrialScheduler.for_program(
+            program, function, list(args), **_scheduler_kwargs(engine, None)
+        ).golden
     dispatch = "reference" if engine == "reference" else "cached"
     return program.run(function, args, dispatch=dispatch)
 
@@ -145,12 +162,12 @@ def run_attack(
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    spec_kwargs = {} if spec is None else {"spec": spec}
+    spec_kwargs = _scheduler_kwargs(engine, spec)
     if executor is not None:
-        if engine != "fork":
+        if engine not in _FORKING_ENGINES:
             raise ValueError(
-                f"executor trials always run on the fork engine; "
-                f"drop executor to use engine={engine!r}"
+                f"executor trials run on the forking engines "
+                f"{_FORKING_ENGINES}; drop executor to use engine={engine!r}"
             )
         return executor.run_attack(
             program,
@@ -161,11 +178,12 @@ def run_attack(
             max_cycles=max_cycles,
             record_trials=record_trials,
             spec=spec,
+            engine=engine,
         )
     result = AttackResult(attack_name)
     if record_trials:
         result.records = []
-    if engine == "fork":
+    if engine in _FORKING_ENGINES:
         scheduler = TrialScheduler.for_program(
             program, function, list(args), **spec_kwargs
         )

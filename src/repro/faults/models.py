@@ -23,6 +23,15 @@ additionally declares
 Third-party models without these methods are forked from the initial
 checkpoint, which is exactly a full replay.
 
+Hooks that only act at known absolute dynamic indices additionally carry
+a ``fire_window = (lo, hi)`` attribute (1-based ``dyn_index`` bounds of
+every instruction the hook can observe or mutate).  The superblock
+engine (:mod:`repro.isa.superblock`) uses it to deoptimise to
+per-instruction stepping only while the window is open; hooks without
+the attribute — occurrence counters and the ``Repeated*`` models — make
+it fall back to per-instruction stepping for the whole run, which is
+always sound.
+
 Multi-fault composition (:mod:`repro.faults.adversary`) adds a third
 method, ``resumed_hook(trace)``: a hook valid when execution resumes from
 a mid-run checkpoint while *other* faults may fire later in the same
@@ -81,6 +90,7 @@ class InstructionSkip(FaultModel):
         def pre(cpu: CPU, instr) -> bool:
             return cpu.dyn_index == target
 
+        pre.fire_window = (target, target)
         return pre
 
     def first_fire_index(self, trace):
@@ -103,6 +113,7 @@ class RegisterBitFlip(FaultModel):
                 cpu.regs[self.reg] ^= 1 << self.bit
             return False
 
+        pre.fire_window = (self.occurrence, self.occurrence)
         return pre
 
     def first_fire_index(self, trace):
@@ -129,6 +140,7 @@ class MemoryBitFlip(FaultModel):
                     cpu._dirty_pages.add(self.addr >> PAGE_BITS)
             return False
 
+        pre.fire_window = (self.occurrence, self.occurrence)
         return pre
 
     def first_fire_index(self, trace):
@@ -175,6 +187,8 @@ class FlagFlip(FaultModel):
                 setattr(cpu, flag, getattr(cpu, flag) ^ 1)
             return False
 
+        if fire is not None:
+            pre.fire_window = (fire, fire)
         return pre
 
     def resumed_hook(self, trace):
@@ -232,6 +246,7 @@ class FlagFlipAt(FaultModel):
                 setattr(cpu, self.flag, getattr(cpu, self.flag) ^ 1)
             return False
 
+        pre.fire_window = (self.occurrence, self.occurrence)
         return pre
 
     def first_fire_index(self, trace):
@@ -311,6 +326,8 @@ class BranchDirectionFlip(FaultModel):
                 _invert_branch(cpu, instr.cond)
             return False
 
+        if fire is not None:
+            pre.fire_window = (fire, fire)
         return pre
 
     def resumed_hook(self, trace):
@@ -399,6 +416,8 @@ class PredictorFlip(FaultModel):
                 self._fire(cpu, instr)
             return False
 
+        if fire is not None:
+            pre.fire_window = (fire, fire)
         return pre
 
     def resumed_hook(self, trace):

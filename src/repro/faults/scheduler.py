@@ -113,6 +113,10 @@ class SchedulerStats:
     simulated_cycles: int = 0
     checkpoints: int = 0
     interval: int = 0
+    #: compiled traces entered by superblock trials (0 for other engines)
+    superblock_blocks: int = 0
+    #: instructions the superblock engine single-stepped (deoptimised)
+    superblock_deopt_steps: int = 0
 
 
 class TrialScheduler:
@@ -129,6 +133,7 @@ class TrialScheduler:
         reuse_cpu: bool = True,
         record_addrs: bool = True,
         spec=None,
+        dispatch: str = "cached",
     ):
         """``record_addrs=False`` skips the per-retirement address capture
         for non-``bcc`` mnemonics (roughly half the trace memory).
@@ -140,11 +145,18 @@ class TrialScheduler:
         ``spec`` (a :class:`repro.spec.SpecConfig`) makes the golden run
         *and* every forked trial speculative: checkpoints carry predictor
         and transient-trace state, so a forked trial reconstructs the
-        exact observable digest a full replay would produce."""
+        exact observable digest a full replay would produce.
+
+        ``dispatch`` selects the execution engine for *trial* CPUs
+        (``"cached"`` or ``"superblock"``).  The golden capture always
+        runs the cached engine: it needs ``stop_at_instruction`` and a
+        recording retire hook, under which the superblock engine
+        deoptimises to the identical step loop anyway."""
         self.program = program
         self.function = function
         self.args = list(args)
         self.spec = spec
+        self.dispatch = dispatch
         self.stats = SchedulerStats()
         #: Reuse one CPU across trials (dirty pages scrubbed back to the
         #: pristine image between trials) instead of re-allocating the
@@ -282,24 +294,31 @@ class TrialScheduler:
         snap = self._fork_point(first_fire, max_cycles)
         cpu = self._fork_cpu(snap)
         cpu.pre_hooks.append(hook)
+        blocks0, steps0 = cpu._sb_blocks, cpu._sb_steps
         result = cpu.run(max_cycles)
         self.last_trial_end = cpu.dyn_index
         self.stats.forked += 1
         self.stats.simulated_instructions += result.instructions - snap.retired
         self.stats.simulated_cycles += result.cycles - snap.cycles
+        self.stats.superblock_blocks += cpu._sb_blocks - blocks0
+        self.stats.superblock_deopt_steps += cpu._sb_steps - steps0
         return result
 
     def _fork_cpu(self, snap: CpuSnapshot):
         """A CPU in exactly the checkpoint's state, ready for one trial."""
         if not self.reuse_cpu:
-            cpu = self.program.prepare_cpu(self.function, self.args, spec=self.spec)
+            cpu = self.program.prepare_cpu(
+                self.function, self.args, spec=self.spec,
+                dispatch=self.dispatch,
+            )
             if snap.retired:
                 cpu.restore(snap)
             return cpu
         cpu = self._trial_cpu
         if cpu is None:
             cpu = self.program.prepare_cpu(
-                self.function, self.args, track_pages=True, spec=self.spec
+                self.function, self.args, track_pages=True, spec=self.spec,
+                dispatch=self.dispatch,
             )
             self._pristine = bytes(cpu.memory)
             self._trial_cpu = cpu

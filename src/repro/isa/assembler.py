@@ -63,6 +63,13 @@ class CodeImage:
     _decode_cache: Optional[dict] = field(
         default=None, repr=False, compare=False
     )
+    #: lazily-built superblock tables (basic-block partition + exec-compiled
+    #: block functions per cycle-model/monitor/spec variant), keyed inside
+    #: repro.isa.superblock.  Like the decode cache, shared by every CPU
+    #: running this image and dropped on pickle.
+    _superblock_cache: Optional[dict] = field(
+        default=None, repr=False, compare=False
+    )
 
     def decode_cache(self) -> dict:
         """The image's pre-bound instruction handlers, built on first use."""
@@ -79,6 +86,7 @@ class CodeImage:
         # reconstructed on the other side.
         state = dict(self.__dict__)
         state["_decode_cache"] = None
+        state["_superblock_cache"] = None
         del state["addr_of"]
         return state
 

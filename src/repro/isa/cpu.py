@@ -14,15 +14,19 @@ halts with status EXIT and the value of r0.
 
 Dispatch
 --------
-Two execution paths share identical semantics:
+Three execution paths share identical semantics:
 
 * ``dispatch="cached"`` (default): instructions are pre-decoded once per
   image into bound handler closures (:mod:`repro.isa.dispatch`); a step is
   a table fetch + call.  Unhooked runs additionally take a fast loop that
   skips hook iteration entirely.
+* ``dispatch="superblock"``: basic blocks are exec-compiled into single
+  Python functions with registers/flags pinned to locals and a chaining
+  loop between them (:mod:`repro.isa.superblock`); fault-model hooks
+  deoptimise to per-instruction stepping around their fire window.
 * ``dispatch="reference"``: the original ``isinstance``-chain interpreter
   (:meth:`CPU.execute`), kept as the differential oracle — the
-  golden-equivalence suite proves both paths produce identical traces.
+  golden-equivalence suite proves all paths produce identical traces.
 
 Checkpointing
 -------------
@@ -155,7 +159,7 @@ class CPU:
         track_pages: bool = False,
         spec: Optional["SpecConfig"] = None,
     ):
-        if dispatch not in ("cached", "reference"):
+        if dispatch not in ("cached", "superblock", "reference"):
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.image = image
         self.cycles_model = cycle_model or CycleModel()
@@ -182,6 +186,10 @@ class CPU:
         self._cfi_events: list[CfiEvent] = []
         self._pending_pc: Optional[int] = None
         self.dispatch = dispatch
+        #: superblock-engine work counters (repro.obs feeds on these):
+        #: compiled blocks chained / deopt single-steps taken.
+        self._sb_blocks = 0
+        self._sb_steps = 0
         #: addr -> (handler, instr, width); shared per image.
         self._decode = image.decode_cache()
         self._dirty_pages: Optional[set[int]] = set() if track_pages else None
@@ -247,6 +255,10 @@ class CPU:
                 ):
                     break
                 self.step()
+        elif self.dispatch == "superblock":
+            from repro.isa.superblock import run_superblock
+
+            run_superblock(self, max_cycles, stop_at_instruction)
         elif (
             self.pre_hooks or self.retire_hooks or stop_at_instruction is not None
         ):

@@ -654,6 +654,59 @@ def bind(instr: ins.Instr, addr: int, width: int) -> Callable:
     return binder(instr, addr, addr + width)
 
 
+def static_cost(instr: ins.Instr, cpu) -> int | None:
+    """Cycle charge of ``instr`` on ``cpu``, when it is a compile-time
+    constant.
+
+    Returns ``None`` for the two dynamic cases: ``Udiv``/``Sdiv`` (cost
+    depends on operand values via ``CycleModel.div``) and ``Bcc`` (taken
+    vs not-taken).  The superblock compiler (:mod:`repro.isa.superblock`)
+    bakes these constants into generated block bodies; keeping the table
+    here, next to the handler binders that charge the same ``cpu._c_*``
+    snapshots, means the two tiers cannot drift.
+    """
+    cls = type(instr)
+    if cls in (ins.Udiv, ins.Sdiv, ins.Bcc):
+        return None
+    if cls in (ins.Push, ins.Pop):
+        return cpu.cycles_model.push_pop(len(instr.regs))
+    if cls is ins.Udf:
+        return 1  # _bind_udf charges a flat cycle, not a model constant
+    attr = _STATIC_COST_ATTR.get(cls)
+    if attr is None:  # pragma: no cover - assembler never emits unknowns
+        raise NotImplementedError(f"no static cost for {instr!r}")
+    return getattr(cpu, attr)
+
+
+_STATIC_COST_ATTR: dict[type, str] = {
+    ins.MovImm: "_c_alu",
+    ins.MovReg: "_c_alu",
+    ins.Movw: "_c_alu",
+    ins.Movt: "_c_alu",
+    ins.Mvn: "_c_alu",
+    ins.Alu: "_c_alu",
+    ins.AluImm: "_c_alu",
+    ins.ShiftImm: "_c_alu",
+    ins.ShiftReg: "_c_alu",
+    ins.Mul: "_c_mul",
+    ins.Mla: "_c_mla",
+    ins.Mls: "_c_mla",
+    ins.Umull: "_c_umull",
+    ins.Umod: "_c_umod",
+    ins.CmpReg: "_c_alu",
+    ins.CmpImm: "_c_alu",
+    ins.B: "_c_branch_taken",
+    ins.Bl: "_c_call",
+    ins.BxLr: "_c_ret",
+    ins.LdrImm: "_c_load",
+    ins.LdrReg: "_c_load",
+    ins.StrImm: "_c_store",
+    ins.StrReg: "_c_store",
+    ins.LdrLit: "_c_load",
+    ins.Nop: "_c_nop",
+}
+
+
 def bind_spec_bcc(instr: ins.Bcc, addr: int, width: int):
     """Pre-bound operands for the speculative branch-retire helper.
 

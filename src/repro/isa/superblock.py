@@ -1,0 +1,1414 @@
+"""Superblock-threaded execution: exec-compiled trace dispatch.
+
+The third engine tier.  ``dispatch="cached"`` (PR 2) replaced the
+isinstance-chain interpreter with one pre-bound handler call per
+instruction; this module removes the per-instruction loop itself.  At
+image load the decode cache is partitioned into *traces*: one per entry
+point (label, branch target, post-call fall-through), each following the
+fall-through path through conditional branches — a ``Bcc`` becomes a
+*side exit* rather than a trace boundary — and ending at ``B``/``Bl``/
+``BxLr``/``Udf``, anything touching r15, or a length cap.  Every trace
+is compiled — via ``exec`` of generated Python source — into one
+function
+
+    def _t<addr>(cpu, regs, max_cycles) -> next_pc
+
+whose body inlines the semantics of each instruction with
+
+* CPU registers and NZCV flags pinned to local variables, loaded once in
+  a prologue and written back only at trace exits,
+* cycle charges folded into per-exit constants (dynamic ``div`` costs
+  are the one runtime add),
+* the CFI monitor's state advance folded per *segment*: ``k`` retired
+  instructions without CFI events collapse to a single
+  ``rotl(state, k) ^ C`` with ``C`` precomputed from the instruction
+  signatures (the same folding trick ``repro.cfi.gpsa`` documents),
+* loads/stores bounds-checked inline: RAM accesses read/write
+  ``cpu.memory`` directly (maintaining the dirty-page set stores are
+  contracted to keep), while MMIO/out-of-range accesses fall back to the
+  shared ``cpu.load``/``cpu.store`` helpers followed by the same event
+  drain + halt check the per-instruction loops perform,
+* **loop closure**: a branch back to the trace's own entry point becomes
+  a ``continue`` in a ``while True:`` wrapper, so a counted loop runs
+  entirely inside one compiled function with registers in locals.  Back
+  edges switch the trace to dynamic accounting (a ``cycles`` local and a
+  ``_n`` retired counter) and re-check the cycle budget each iteration
+  against the trace's precomputed worst-case single-pass cost, which
+  keeps timeout behaviour exact.
+
+The chaining loop (:func:`run_superblock`) then threads traces:
+``regs[PC]`` is only consulted *between* traces, and a trace is entered
+only when its worst-case cycle bound cannot cross ``max_cycles`` (else
+it is single-stepped, preserving exact timeout behaviour).
+
+Deoptimisation contract
+-----------------------
+Fault-model hooks cannot fire inside a compiled trace, so the loop
+deoptimises around them:
+
+* a pre-hook carrying a ``fire_window = (lo, hi)`` attribute (1-based
+  ``dyn_index`` bounds of every instruction it can observe or mutate)
+  forces per-instruction stepping — hooks called exactly like
+  ``CPU._run_hooked`` — until ``dyn_index`` passes ``hi``, after which
+  trace chaining resumes; before ``lo`` a trace is still taken when it
+  provably stays below the window (looping traces publish an unbounded
+  instruction count, so they are never entered while a window is open),
+* a pre-hook *without* a window (unbounded models such as
+  ``RepeatedFlagFlip``) falls back to the hooked per-instruction loop
+  for the whole run,
+* ``stop_at_instruction`` (checkpoint capture) and non-monitor retire
+  hooks (golden-trace recording) likewise fall back — the scheduler's
+  golden run is engine-independent by construction.
+
+With speculation enabled (``SpecEngine`` window > 0), ``Bcc`` must
+retire through the (wrapped) decode cache, so the speculative variant
+compiles plain basic blocks *ending* at every control transfer instead
+of traces, and all terminators single-step — transient windows,
+predictor updates and squashes reuse the one shared retire helper.
+``window=0`` keeps full trace inlining — identical to the plain CPU by
+construction, mirroring the W=0 decode-cache guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.cfi.gpsa import entry_state
+from repro.cfi.signatures import signature
+from repro.isa import instructions as ins
+from repro.isa.cpu import MAGIC_RETURN, PAGE_BITS, WORD, Status, _signed
+from repro.isa.cycles import CycleModel
+from repro.isa.dispatch import static_cost
+from repro.isa.encoding import width as encoded_width
+from repro.isa.mmio import MMIO
+from repro.isa.registers import SP, PC
+
+#: cap on compiled trace length (static instructions); longer paths are
+#: split into chained traces (keeps worst-case cycle bounds, and
+#: therefore the near-timeout single-step tail, short).
+MAX_TRACE = 256
+
+#: cap on basic-block length for the speculative (non-inline) variant.
+MAX_BLOCK = 64
+
+#: guard-count published for looping traces: never entered while a
+#: fault window is open (phase 1), since their retirement count is
+#: unbounded.
+UNBOUNDED = 1 << 60
+
+#: control transfers that end a trace (``Bcc`` deliberately absent: it
+#: is a side exit inside traces, a block end only for the speculative
+#: variant).
+_TRACE_ENDS = (ins.B, ins.Bl, ins.BxLr, ins.Udf)
+
+#: control transfers the speculative-variant partitioner ends blocks at.
+_TERMINATORS = (ins.B, ins.Bcc, ins.Bl, ins.BxLr, ins.Udf)
+
+#: condition -> (expression over flag locals, flags read) — mirrors
+#: dispatch._COND over pinned locals.
+_COND_EXPR = {
+    "eq": ("z == 1", ("z",)),
+    "ne": ("z == 0", ("z",)),
+    "hs": ("c == 1", ("c",)),
+    "lo": ("c == 0", ("c",)),
+    "hi": ("c == 1 and z == 0", ("c", "z")),
+    "ls": ("c == 0 or z == 1", ("c", "z")),
+    "lt": ("n != v", ("n", "v")),
+    "ge": ("n == v", ("n", "v")),
+    "gt": ("z == 0 and n == v", ("z", "n", "v")),
+    "le": ("z == 1 or n != v", ("z", "n", "v")),
+}
+
+#: condition inversions, for side exits emitted on the *fall-through*
+#: arm when the trace follows the taken arm of a ``Bcc``.
+_COND_INV = {
+    "eq": "ne", "ne": "eq", "hs": "lo", "lo": "hs", "hi": "ls",
+    "ls": "hi", "lt": "ge", "ge": "lt", "gt": "le", "le": "gt",
+}
+
+
+def _touches_pc(instr) -> bool:
+    """True when the instruction names r15 as an operand (e.g. ``pop
+    {..., pc}``): excluded from traces and always single-stepped, so the
+    engines agree on the (quirky, engine-shared) r15 interplay with the
+    run loop's PC update."""
+    for attr in ("rd", "rt", "rn", "rm", "ra", "rdlo", "rdhi"):
+        if getattr(instr, attr, None) == 15:
+            return True
+    return 15 in getattr(instr, "regs", ())
+
+
+class _Block:
+    __slots__ = ("addr", "body", "term", "exit_addr", "loop", "taken",
+                 "fall_loop")
+
+    def __init__(self, addr: int):
+        self.addr = addr
+        self.body: list = []  # (addr, instr, width); may include B/Bcc
+        self.term = None  # (addr, instr, width) | None
+        self.exit_addr = addr
+        self.loop = False  # has a back edge targeting ``addr``
+        self.taken: set[int] = set()  # Bcc addrs whose *taken* arm the
+        # trace follows (the fall-through becomes the side exit)
+        self.fall_loop = False  # trace falls through into its own start
+
+
+class _Partition:
+    __slots__ = ("blocks", "push_counts")
+
+    def __init__(self, blocks, push_counts):
+        self.blocks = blocks
+        self.push_counts = push_counts
+
+
+def partition_image(image, traces: bool = True) -> _Partition:
+    """Split the image into compilation units (model-independent).
+
+    ``traces=True`` builds through-``Bcc`` traces with loop detection
+    (the inline variants); ``traces=False`` builds plain basic blocks
+    ending at every control transfer (the speculative variant).
+    """
+    addr_of = image.addr_of
+    items = []
+    for instr in image.instructions:
+        addr = addr_of[id(instr)]
+        items.append((addr, instr, encoded_width(instr)))
+    items.sort(key=lambda t: t[0])
+
+    leaders = set(image.labels.values())
+    push_counts: set[int] = set()
+    for addr, instr, width in items:
+        cls = type(instr)
+        if cls in (ins.Push, ins.Pop):
+            push_counts.add(len(instr.regs))
+        if cls in (ins.B, ins.Bcc, ins.Bl):
+            if instr.target is not None:
+                leaders.add(instr.target)
+            leaders.add(addr + width)
+        elif cls in (ins.BxLr, ins.Udf) or _touches_pc(instr):
+            leaders.add(addr + width)
+
+    if traces:
+        basic = _build_blocks(items, leaders)
+        member = _loop_membership(basic)
+        blocks = _build_traces(items, leaders, member)
+    else:
+        blocks = _build_blocks(items, leaders)
+    return _Partition(blocks, push_counts)
+
+
+def _loop_membership(blocks) -> dict:
+    """Innermost natural-loop membership over the basic-block CFG.
+
+    A back edge is a backward ``B``/``Bcc``; its natural loop is the
+    standard one (every block reaching the back-edge source without
+    passing the head).  Calls conservatively terminate paths, so loops
+    containing ``Bl`` are simply not detected (they could not close into
+    one trace anyway).  Returns ``{block_start: (head, nodes)}`` for
+    every member block, the innermost (smallest) loop winning — the
+    trace builder uses it to decide which branch arm stays hot.
+    """
+    starts = {b.addr for b in blocks}
+    succs: dict[int, list[int]] = {}
+    for b in blocks:
+        if b.term is None:
+            succs[b.addr] = [b.exit_addr] if b.exit_addr in starts else []
+            continue
+        taddr, tinstr, twidth = b.term
+        cls = type(tinstr)
+        if cls is ins.B:
+            out = [tinstr.target] if tinstr.target in starts else []
+        elif cls is ins.Bcc:
+            out = [t for t in (tinstr.target, taddr + twidth) if t in starts]
+        else:  # Bl / BxLr / Udf
+            out = []
+        succs[b.addr] = out
+    preds: dict[int, list[int]] = {a: [] for a in starts}
+    for a, outs in succs.items():
+        for t in outs:
+            preds[t].append(a)
+    member: dict[int, tuple[int, set]] = {}
+    for b in blocks:
+        if b.term is None:
+            continue
+        taddr, tinstr, _ = b.term
+        if type(tinstr) not in (ins.B, ins.Bcc):
+            continue
+        head = tinstr.target
+        if head is None or head not in starts or head > taddr:
+            continue
+        nodes = {head, b.addr}
+        work = [b.addr]
+        while work:
+            for p in preds[work.pop()]:
+                if p not in nodes:
+                    nodes.add(p)
+                    work.append(p)
+        for n in nodes:
+            prev = member.get(n)
+            if prev is None or len(nodes) < len(prev[1]):
+                member[n] = (head, nodes)
+    return member
+
+
+def _build_traces(items, leaders, member) -> list:
+    """One trace per entry point.
+
+    The walk follows fall-through past ``Bcc`` (side exits) and — inside
+    a natural loop — follows unconditional ``B`` jumps and the *taken*
+    arm of a ``Bcc`` whose fall-through leaves the loop, so a loop body
+    the compiler fragmented into ``b``-chained blocks still closes into
+    one ``while True:`` trace.  Revisiting the entry point closes the
+    loop; revisiting any other address ends the trace.
+    """
+    index_of = {addr: i for i, (addr, _, _) in enumerate(items)}
+    end_addr = items[-1][0] + items[-1][2] if items else 0
+    blocks: list[_Block] = []
+    pending = deque(sorted(a for a in leaders if a in index_of))
+    seen: set[int] = set()
+    while pending:
+        start = pending.popleft()
+        if start in seen:
+            continue
+        seen.add(start)
+        block = _Block(start)
+        ctx = member.get(start)
+        nodes = ctx[1] if ctx is not None else None
+        visited: set[int] = set()
+        i = index_of[start]
+        while True:
+            if i >= len(items):
+                block.exit_addr = end_addr
+                break
+            addr, instr, width = items[i]
+            if addr in visited:
+                if addr == start:
+                    block.loop = True
+                    block.fall_loop = True
+                else:
+                    block.exit_addr = addr
+                break
+            cls = type(instr)
+            if _touches_pc(instr):
+                block.exit_addr = addr  # single-stepped by the outer loop
+                break
+            if cls is ins.B:
+                target = instr.target
+                if target == start:
+                    block.term = (addr, instr, width)
+                    block.loop = True
+                    break
+                if (
+                    nodes is not None
+                    and target in nodes
+                    and target not in visited
+                    and target in index_of
+                ):
+                    # Follow the jump: the B becomes a pure-accounting
+                    # body step and the walk continues at its target.
+                    visited.add(addr)
+                    block.body.append((addr, instr, width))
+                    nxt = target
+                else:
+                    block.term = (addr, instr, width)
+                    break
+            elif cls in _TRACE_ENDS:  # Bl / BxLr / Udf
+                block.term = (addr, instr, width)
+                break
+            else:
+                visited.add(addr)
+                block.body.append((addr, instr, width))
+                nxt = addr + width
+                if cls is ins.Bcc:
+                    target = instr.target
+                    if target == start:
+                        block.loop = True
+                    elif (
+                        nodes is not None
+                        and target in nodes
+                        and addr + width not in nodes
+                        and target not in visited
+                        and target in index_of
+                    ):
+                        # The taken arm stays in the loop, the fall-
+                        # through leaves it: follow taken, and emit the
+                        # fall-through as the (inverted) side exit.
+                        block.taken.add(addr)
+                        nxt = target
+            if len(block.body) >= MAX_TRACE:
+                block.exit_addr = nxt
+                if nxt in index_of and nxt not in seen:
+                    pending.append(nxt)  # compile the continuation
+                break
+            ni = index_of.get(nxt)
+            if ni is None:
+                block.exit_addr = nxt
+                break
+            i = ni
+        blocks.append(block)
+    return blocks
+
+
+def _build_blocks(items, leaders) -> list:
+    """Basic blocks ending at every control transfer (spec variant)."""
+    blocks: list[_Block] = []
+    current: Optional[_Block] = None
+
+    def close(block: _Block, exit_addr: int) -> None:
+        block.exit_addr = exit_addr
+        blocks.append(block)
+
+    for addr, instr, width in items:
+        if current is not None and addr in leaders:
+            close(current, addr)
+            current = None
+        if current is None:
+            current = _Block(addr)
+        if type(instr) in _TERMINATORS and not _touches_pc(instr):
+            current.term = (addr, instr, width)
+            close(current, addr)  # the spec variant re-dispatches here
+            current = None
+        elif _touches_pc(instr):
+            close(current, addr)  # always single-stepped
+            current = None
+        else:
+            current.body.append((addr, instr, width))
+            if len(current.body) >= MAX_BLOCK:
+                close(current, addr + width)
+                current = None
+    if current is not None:
+        last_addr, _, last_width = items[-1]
+        close(current, last_addr + last_width)
+    return blocks
+
+
+def _div_bound(model) -> int:
+    """Safe upper bound on one division's cycle charge.
+
+    Probed at operand extremes and floored at the default model's cap of
+    12 — over-estimating is always safe (the chaining loop just
+    single-steps a little earlier near a timeout), under-estimating never
+    happens for the bounded default model.
+    """
+    probes = (
+        (0xFFFFFFFF, 1),
+        (0xFFFFFFFF, 0),
+        (0, 0),
+        (1, 1),
+        (0xFFFFFFFF, 3),
+        (1, 0xFFFFFFFF),
+        (0xFFFFFFFF, 0xFFFFFFFF),
+    )
+    return max(12, max(model.div(a, b) for a, b in probes))
+
+
+def _cycle_key(cpu, push_counts) -> tuple:
+    """Everything the generated code bakes in from the cycle model."""
+    return (
+        cpu._c_alu,
+        cpu._c_mul,
+        cpu._c_mla,
+        cpu._c_umull,
+        cpu._c_umod,
+        cpu._c_load,
+        cpu._c_store,
+        cpu._c_branch_taken,
+        cpu._c_branch_not_taken,
+        cpu._c_call,
+        cpu._c_ret,
+        cpu._c_nop,
+        tuple(sorted((n, cpu.cycles_model.push_pop(n)) for n in push_counts)),
+        _div_bound(cpu.cycles_model),
+        type(cpu.cycles_model).div is CycleModel.div,  # div inlined?
+    )
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+class _Emitter:
+    """Accumulates the generated source for one trace function.
+
+    Looping traces are emitted twice: pass A (``preset=None``) collects
+    the full register/flag footprint, pass B presets it so *every* exit
+    writes back everything any iteration may have touched (a side exit
+    taken on iteration 2 must publish registers written after that exit
+    on iteration 1).
+    """
+
+    def __init__(self, monitor: bool, cycles_local: bool, loop: bool = False,
+                 indent: int = 1, preset=None):
+        self.monitor = monitor
+        self.loop = loop
+        self.cycles_local = cycles_local or loop
+        self.lines: list[str] = []
+        self.indent = indent
+        self.reads: set[int] = set()  # registers loaded in the prologue
+        self.local: set[int] = set()  # registers with a live local
+        self.written: set[int] = set()
+        self.freads: set[str] = set()
+        self.flocal: set[str] = set()
+        self.fwritten: set[str] = set()
+        self.needs: set[str] = set()  # prologue helpers (mem/load/...)
+        self.k = 0  # static cycles accumulated since entry/back edge
+        self.count = 0  # instructions accumulated since entry/back edge
+        self.seg_rot = 0  # monitor segment length since last flush
+        self.seg_const = 0  # folded signature constant of the segment
+        self.worst = 0  # worst-case cycle bound of one pass
+        if preset is not None:
+            touched, written, ftouched, fwritten = preset
+            self.reads = set(touched)
+            self.local = set(touched)
+            self.written = set(written)
+            self.freads = set(ftouched)
+            self.flocal = set(ftouched)
+            self.fwritten = set(fwritten)
+
+    def emit(self, line: str, extra: int = 0) -> None:
+        self.lines.append("    " * (self.indent + extra) + line)
+
+    # -- operand helpers -------------------------------------------------
+    def r(self, reg) -> str:
+        reg = int(reg)
+        if reg not in self.local:
+            self.local.add(reg)
+            self.reads.add(reg)
+        return f"r{reg}"
+
+    def w(self, reg) -> str:
+        reg = int(reg)
+        self.local.add(reg)
+        self.written.add(reg)
+        return f"r{reg}"
+
+    def f(self, flag: str) -> str:
+        if flag not in self.flocal:
+            self.flocal.add(flag)
+            self.freads.add(flag)
+        return flag
+
+    def wf(self, flag: str) -> str:
+        self.flocal.add(flag)
+        self.fwritten.add(flag)
+        return flag
+
+    # -- monitor segment folding ----------------------------------------
+    def fold(self, instr) -> None:
+        if self.monitor:
+            self.seg_rot += 1
+            sc = self.seg_const
+            self.seg_const = (((sc << 1) | (sc >> 31)) & WORD) ^ signature(instr)
+
+    def _flush_src(self) -> list[str]:
+        rot = self.seg_rot % 32
+        const = self.seg_const
+        if rot:
+            expr = f"(((ms << {rot}) | (ms >> {32 - rot})) & 0xFFFFFFFF)"
+            return [f"ms = {expr} ^ {const:#x}" if const else f"ms = {expr}"]
+        if const:
+            return [f"ms = ms ^ {const:#x}"]
+        return []
+
+    def emit_flush(self, extra: int = 0) -> None:
+        """Fold the pending segment into ``ms`` on the main path."""
+        if not self.monitor:
+            return
+        for line in self._flush_src():
+            self.emit(line, extra)
+        self.seg_rot = 0
+        self.seg_const = 0
+
+    # -- exits -----------------------------------------------------------
+    def emit_epilogue(self, extra_cycles: int = 0, extra: int = 0,
+                      accumulated: bool = False) -> None:
+        """Write locals back to the CPU (used at every trace exit).
+
+        ``accumulated``: the static cycle/count accumulators were already
+        folded into the ``cycles``/``_n`` locals (back-edge budget exits).
+        """
+        for reg in sorted(self.written):
+            self.emit(f"regs[{reg}] = r{reg}", extra)
+        for flag in ("n", "z", "c", "v"):
+            if flag in self.fwritten:
+                self.emit(f"cpu.{flag} = {flag}", extra)
+        if accumulated:
+            self.emit("cpu.cycles = cycles", extra)
+            self.emit("cpu.retired += _n", extra)
+            self.emit("cpu.dyn_index += _n", extra)
+        else:
+            total = self.k + extra_cycles
+            if self.cycles_local:
+                if total:
+                    self.emit(f"cpu.cycles = cycles + {total}", extra)
+                else:
+                    self.emit("cpu.cycles = cycles", extra)
+            elif total:
+                self.emit(f"cpu.cycles += {total}", extra)
+            if self.loop:
+                n = f"_n + {self.count}" if self.count else "_n"
+                self.emit(f"cpu.retired += {n}", extra)
+                self.emit(f"cpu.dyn_index += {n}", extra)
+            elif self.count:
+                self.emit(f"cpu.retired += {self.count}", extra)
+                self.emit(f"cpu.dyn_index += {self.count}", extra)
+        if self.monitor:
+            for line in self._flush_src():  # non-destructive: side exits
+                self.emit(line, extra)
+            self.emit("_mon.state = ms", extra)
+
+    def emit_halt_check(self, fall: int, extra: int = 0) -> None:
+        """Exit the trace where a per-instruction loop would observe a
+        halting status (memory error, MMIO exit/detect, CFI violation)."""
+        self.emit("if cpu.status is not _RUNNING:", extra)
+        self.emit_epilogue(extra=extra + 1)
+        self.emit(f"return {fall:#x}", extra + 1)
+
+
+def _emit_event_drain(e: _Emitter, extra: int = 0) -> None:
+    """Drain CFI events after a slow-path store: the monitor applies
+    MERGE/CHECK against the (already segment-flushed) ``ms``; without a
+    monitor the list is just cleared, mirroring ``_run_fast``."""
+    e.needs.add("ev")
+    if e.monitor:
+        e.emit("if _ev:", extra)
+        e.emit("for _e in _ev:", extra + 1)
+        e.emit("_ea = _e.addr", extra + 2)
+        e.emit(f"if _ea == {int(MMIO.CFI_MERGE):#x}:", extra + 2)
+        e.emit("ms = (ms ^ _e.value) & 0xFFFFFFFF", extra + 3)
+        e.emit(f"elif _ea == {int(MMIO.CFI_CHECK):#x}:", extra + 2)
+        e.emit("if _e.value != ms:", extra + 3)
+        e.emit("_mon.violations += 1", extra + 4)
+        e.emit("cpu.cfi_violation()", extra + 4)
+        e.emit("else:", extra + 3)
+        e.emit("_mon.checks_passed += 1", extra + 4)
+        e.emit("del _ev[:]", extra + 1)
+    else:
+        e.emit("if _ev:", extra)
+        e.emit("del _ev[:]", extra + 1)
+
+
+def _emit_adc(e: _Emitter, dest: str, a_expr: str, b_expr: str, carry: str) -> None:
+    """Inline dispatch._adc_into: full NZCV add-with-carry."""
+    e.emit(f"_a = {a_expr}")
+    e.emit(f"_b = {b_expr}")
+    e.emit(f"_u = _a + _b + {carry}")
+    e.emit(f"{dest} = _u & 0xFFFFFFFF")
+    e.emit(f"{e.wf('c')} = 1 if _u > 0xFFFFFFFF else 0")
+    e.emit("_sa = _a >> 31")
+    e.emit(f"_sr = {dest} >> 31")
+    e.emit(f"{e.wf('v')} = 1 if (_sa == (_b >> 31) and _sr != _sa) else 0")
+    e.emit(f"{e.wf('n')} = _sr")
+    e.emit(f"{e.wf('z')} = 1 if {dest} == 0 else 0")
+
+
+def _emit_nz(e: _Emitter, name: str) -> None:
+    e.emit(f"{e.wf('n')} = {name} >> 31")
+    e.emit(f"{e.wf('z')} = 1 if {name} == 0 else 0")
+
+
+_ALU_FMT = {
+    "and": "{a} & {b}",
+    "orr": "{a} | {b}",
+    "eor": "{a} ^ {b}",
+    "bic": "{a} & ~{b} & 0xFFFFFFFF",
+}
+
+
+def _emit_alu(e: _Emitter, op: str, rd, a: str, b: str, s: bool) -> None:
+    """Shared Alu/AluImm body; ``a``/``b`` are value expressions."""
+    if op in _ALU_FMT:
+        dest = e.w(rd)
+        e.emit(f"{dest} = {_ALU_FMT[op].format(a=a, b=b)}")
+        if s:
+            _emit_nz(e, dest)
+        return
+    if s:
+        if op == "add":
+            _emit_adc(e, e.w(rd), a, b, "0")
+        elif op == "sub":
+            _emit_adc(e, e.w(rd), a, f"(~{b}) & 0xFFFFFFFF", "1")
+        elif op == "rsb":
+            _emit_adc(e, e.w(rd), b, f"(~{a}) & 0xFFFFFFFF", "1")
+        elif op == "adc":
+            _emit_adc(e, e.w(rd), a, b, e.f("c"))
+        elif op == "sbc":
+            _emit_adc(e, e.w(rd), a, f"(~{b}) & 0xFFFFFFFF", e.f("c"))
+        else:  # pragma: no cover
+            raise NotImplementedError(op)
+        return
+    if op == "add":
+        e.emit(f"{e.w(rd)} = ({a} + {b}) & 0xFFFFFFFF")
+    elif op == "sub":
+        e.emit(f"{e.w(rd)} = ({a} - {b}) & 0xFFFFFFFF")
+    elif op == "rsb":
+        e.emit(f"{e.w(rd)} = ({b} - {a}) & 0xFFFFFFFF")
+    elif op == "adc":
+        e.emit(f"{e.w(rd)} = ({a} + {b} + {e.f('c')}) & 0xFFFFFFFF")
+    elif op == "sbc":
+        e.emit(f"{e.w(rd)} = ({a} - {b} - (1 - {e.f('c')})) & 0xFFFFFFFF")
+    else:  # pragma: no cover
+        raise NotImplementedError(op)
+
+
+def _emit_shift(e: _Emitter, op: str, src: str, amount: int) -> str:
+    """Constant-amount shift value expression (dispatch._SHIFT_VALUE)."""
+    if op == "lsl":
+        return f"({src} << {amount}) & 0xFFFFFFFF" if amount < 32 else "0"
+    if op == "lsr":
+        return f"({src} >> {amount})" if amount < 32 else "0"
+    if op == "asr":
+        return f"(_signed({src}) >> {min(amount, 31)}) & 0xFFFFFFFF"
+    if op == "ror":
+        rot = amount % 32
+        if rot == 0:
+            return src
+        return f"(({src} >> {rot}) | ({src} << {32 - rot})) & 0xFFFFFFFF"
+    raise NotImplementedError(op)  # pragma: no cover
+
+
+def _fast_read(e: _Emitter, size: int, lo: str = "_ad") -> Optional[str]:
+    """Expression reading ``size`` bytes at local ``lo`` from ``_mem``."""
+    if size == 1:
+        return f"_mem[{lo}]"
+    if size == 2:
+        return f"_mem[{lo}] | (_mem[{lo} + 1] << 8)"
+    if size == 4:
+        e.needs.add("fb")
+        return f'_fb(_mem[{lo}:{lo} + 4], "little")'
+    return None
+
+
+def _emit_load(e: _Emitter, cpu, instr, fall: int) -> None:
+    """LdrImm/LdrReg with an inline RAM fast path.
+
+    In-range non-MMIO loads read ``cpu.memory`` directly and cannot
+    halt; everything else goes through ``cpu.load`` + halt check."""
+    e.needs.add("mem")
+    e.needs.add("load")
+    base = e.r(instr.rn)
+    if type(instr) is ins.LdrImm:
+        off = instr.imm
+        e.emit(f"_ad = ({base} + {off}) & 0xFFFFFFFF" if off else f"_ad = {base}")
+    else:
+        off_reg = e.r(instr.rm)
+        e.emit(f"_ad = ({base} + {off_reg}) & 0xFFFFFFFF")
+    dest = e.w(instr.rt)
+    e.fold(instr)
+    cost = static_cost(instr, cpu)
+    e.k += cost
+    e.worst += cost
+    e.count += 1
+    size = instr.size
+    fast = _fast_read(e, size)
+    if fast is None:  # pragma: no cover - sizes are 1/2/4 by construction
+        e.emit(f"{dest} = _load(_ad, {size})")
+        e.emit_halt_check(fall)
+        return
+    e.emit(f"if _ad + {size} <= _fast:")
+    e.emit(f"{dest} = {fast}", 1)
+    e.emit("else:")
+    e.emit(f"{dest} = _load(_ad, {size})", 1)
+    e.emit_halt_check(fall, extra=1)
+
+
+def _emit_store(e: _Emitter, cpu, instr, fall: int) -> None:
+    """StrImm/StrReg with an inline RAM fast path.
+
+    The fast path writes ``cpu.memory`` directly and keeps the
+    dirty-page set current (the trial scheduler scrubs via it); MMIO and
+    out-of-range stores take ``cpu.store`` and then drain CFI events and
+    check for halts, exactly like the per-instruction loops."""
+    e.needs.add("mem")
+    e.needs.add("store")
+    e.needs.add("dirty")
+    base = e.r(instr.rn)
+    val = e.r(instr.rt)
+    if type(instr) is ins.StrImm:
+        off = instr.imm
+        e.emit(f"_ad = ({base} + {off}) & 0xFFFFFFFF" if off else f"_ad = {base}")
+    else:
+        off_reg = e.r(instr.rm)
+        e.emit(f"_ad = ({base} + {off_reg}) & 0xFFFFFFFF")
+    e.fold(instr)
+    cost = static_cost(instr, cpu)
+    e.k += cost
+    e.worst += cost
+    e.count += 1
+    # The segment must be flushed before the store: a CFI event compares
+    # against / merges into the state *after* this instruction's advance.
+    e.emit_flush()
+    size = instr.size
+    e.emit(f"if _ad + {size} <= _fast:")
+    if size == 1:
+        e.emit(f"_mem[_ad] = {val} & 0xFF", 1)
+    elif size == 2:
+        e.emit(f'_mem[_ad:_ad + 2] = ({val} & 0xFFFF).to_bytes(2, "little")', 1)
+    else:
+        e.emit(f'_mem[_ad:_ad + 4] = {val}.to_bytes(4, "little")', 1)
+    e.emit(f"_dirty.add(_ad >> {PAGE_BITS})", 1)
+    if size > 1:
+        e.emit(f"_dirty.add((_ad + {size - 1}) >> {PAGE_BITS})", 1)
+    e.emit("else:")
+    if e.monitor:
+        # CFI merge/check stores are the overwhelmingly common MMIO
+        # stores under an attached monitor (one or more per hardened
+        # block): apply them to ``ms`` directly instead of bouncing a
+        # CfiEvent through cpu.store and the drain.
+        vexpr = val if size == 4 else f"({val} & {(1 << (8 * size)) - 1:#x})"
+        e.emit(f"if _ad == {int(MMIO.CFI_MERGE):#x}:", 1)
+        e.emit(f"ms = (ms ^ {vexpr}) & 0xFFFFFFFF", 2)
+        e.emit(f"elif _ad == {int(MMIO.CFI_CHECK):#x}:", 1)
+        e.emit(f"if {vexpr} != ms:", 2)
+        e.emit("_mon.violations += 1", 3)
+        e.emit("cpu.cfi_violation()", 3)
+        e.emit_halt_check(fall, extra=3)
+        e.emit("else:", 2)
+        e.emit("_mon.checks_passed += 1", 3)
+        e.emit("else:", 1)
+        e.emit(f"_store(_ad, {val}, {size})", 2)
+        _emit_event_drain(e, 2)
+        e.emit_halt_check(fall, extra=2)
+    else:
+        e.emit(f"_store(_ad, {val}, {size})", 1)
+        _emit_event_drain(e, 1)
+        e.emit_halt_check(fall, extra=1)
+
+
+def _emit_push(e: _Emitter, cpu, instr, fall: int) -> None:
+    e.r(SP)
+    e.w(SP)
+    cost = static_cost(instr, cpu)
+    if not instr.regs:
+        e.fold(instr)
+        e.k += cost
+        e.worst += cost
+        e.count += 1
+        return
+    e.needs.add("mem")
+    e.needs.add("store")
+    e.needs.add("dirty")
+    vals = [e.r(reg) for reg in instr.regs]
+    total = 4 * len(instr.regs)
+    e.emit(f"_ad = (r13 - {total}) & 0xFFFFFFFF")
+    e.fold(instr)
+    e.k += cost
+    e.worst += cost
+    e.count += 1
+    e.emit_flush()
+    if SP in instr.regs:
+        # push {sp}: stores the in-flight decremented sp — keep the
+        # reference's sequential semantics via the slow helper.
+        for reg in reversed(instr.regs):
+            e.emit("r13 = (r13 - 4) & 0xFFFFFFFF")
+            e.emit(f"_store(r13, r{int(reg)}, 4)")
+        _emit_event_drain(e)
+        e.emit_halt_check(fall)
+        return
+    e.emit(f"if _ad + {total} <= _fast:")
+    for i, val in enumerate(vals):
+        lo = f"_ad + {4 * i}" if i else "_ad"
+        e.emit(f'_mem[{lo}:_ad + {4 * i + 4}] = {val}.to_bytes(4, "little")', 1)
+    e.emit("r13 = _ad", 1)
+    e.emit(f"_dirty.add(_ad >> {PAGE_BITS})", 1)
+    e.emit(f"_dirty.add((_ad + {total - 1}) >> {PAGE_BITS})", 1)
+    e.emit("else:")
+    for reg in reversed(instr.regs):
+        e.emit("r13 = (r13 - 4) & 0xFFFFFFFF", 1)
+        e.emit(f"_store(r13, r{int(reg)}, 4)", 1)
+    _emit_event_drain(e, 1)
+    e.emit_halt_check(fall, extra=1)
+
+
+def _emit_pop(e: _Emitter, cpu, instr, fall: int) -> None:
+    e.r(SP)
+    e.w(SP)
+    cost = static_cost(instr, cpu)
+    if not instr.regs:
+        e.fold(instr)
+        e.k += cost
+        e.worst += cost
+        e.count += 1
+        return
+    e.needs.add("mem")
+    e.needs.add("load")
+    total = 4 * len(instr.regs)
+    e.fold(instr)
+    e.k += cost
+    e.worst += cost
+    e.count += 1
+    if SP in instr.regs:
+        # pop {..., sp}: popped sp redirects the remaining loads — keep
+        # the reference's sequential semantics via the slow helper.
+        for reg in instr.regs:
+            e.emit(f"{e.w(reg)} = _load(r13, 4)")
+            e.emit("r13 = (r13 + 4) & 0xFFFFFFFF")
+        e.emit_halt_check(fall)
+        return
+    e.emit(f"if r13 + {total} <= _fast:")
+    for i, reg in enumerate(instr.regs):
+        dest = e.w(reg)
+        lo = f"r13 + {4 * i}" if i else "r13"
+        e.emit(f"{dest} = {_fast_read(e, 4, lo)}", 1)
+    e.emit(f"r13 = r13 + {total}", 1)
+    e.emit("else:")
+    for reg in instr.regs:
+        e.emit(f"{e.w(reg)} = _load(r13, 4)", 1)
+        e.emit("r13 = (r13 + 4) & 0xFFFFFFFF", 1)
+    e.emit_halt_check(fall, extra=1)
+
+
+def _emit_body_instr(e: _Emitter, cpu, addr: int, instr, width: int) -> None:
+    """Inline one non-terminator instruction; halting memory ops emit a
+    mid-trace exit returning the fall-through address."""
+    cls = type(instr)
+    fall = addr + width
+
+    if cls is ins.B:
+        # A followed-through unconditional jump: pure accounting — the
+        # next emitted instruction is the branch target's.
+        e.fold(instr)
+        cost = static_cost(instr, cpu)
+        e.k += cost
+        e.worst += cost
+        e.count += 1
+        return
+
+    if cls in (ins.LdrImm, ins.LdrReg):
+        _emit_load(e, cpu, instr, fall)
+        return
+    if cls in (ins.StrImm, ins.StrReg):
+        _emit_store(e, cpu, instr, fall)
+        return
+    if cls is ins.Push:
+        _emit_push(e, cpu, instr, fall)
+        return
+    if cls is ins.Pop:
+        _emit_pop(e, cpu, instr, fall)
+        return
+
+    if cls is ins.MovImm:
+        imm = instr.imm & WORD
+        e.emit(f"{e.w(instr.rd)} = {imm:#x}")
+        e.emit(f"{e.wf('n')} = {imm >> 31}")
+        e.emit(f"{e.wf('z')} = {1 if imm == 0 else 0}")
+    elif cls is ins.MovReg:
+        src = e.r(instr.rm)
+        e.emit(f"{e.w(instr.rd)} = {src}")
+    elif cls is ins.Movw:
+        e.emit(f"{e.w(instr.rd)} = {instr.imm & 0xFFFF:#x}")
+    elif cls is ins.Movt:
+        src = e.r(instr.rd)
+        high = (instr.imm & 0xFFFF) << 16
+        e.emit(f"{e.w(instr.rd)} = ({src} & 0xFFFF) | {high:#x}")
+    elif cls is ins.Mvn:
+        src = e.r(instr.rm)
+        dest = e.w(instr.rd)
+        e.emit(f"{dest} = (~{src}) & 0xFFFFFFFF")
+        _emit_nz(e, dest)
+    elif cls is ins.Alu:
+        a = e.r(instr.rn)
+        b = e.r(instr.rm)
+        _emit_alu(e, instr.op, instr.rd, a, b, instr.s)
+    elif cls is ins.AluImm:
+        a = e.r(instr.rn)
+        _emit_alu(e, instr.op, instr.rd, a, f"{instr.imm & WORD:#x}", instr.s)
+    elif cls is ins.ShiftImm:
+        src = e.r(instr.rn)
+        value = _emit_shift(e, instr.op, src, instr.amount & 0xFF)
+        dest = e.w(instr.rd)
+        e.emit(f"{dest} = {value}")
+        _emit_nz(e, dest)
+    elif cls is ins.ShiftReg:
+        src = e.r(instr.rn)
+        amt = e.r(instr.rm)
+        e.emit(f"_amt = {amt} & 0xFF")
+        dest = e.w(instr.rd)
+        if instr.op == "lsl":
+            e.emit(f"{dest} = ({src} << _amt) & 0xFFFFFFFF if _amt < 32 else 0")
+        elif instr.op == "lsr":
+            e.emit(f"{dest} = ({src} >> _amt) if _amt < 32 else 0")
+        elif instr.op == "asr":
+            e.emit(
+                f"{dest} = (_signed({src}) >> "
+                "(_amt if _amt < 31 else 31)) & 0xFFFFFFFF"
+            )
+        elif instr.op == "ror":
+            e.emit("_amt = _amt % 32")
+            e.emit(
+                f"{dest} = (({src} >> _amt) | "
+                f"({src} << (32 - _amt))) & 0xFFFFFFFF"
+            )
+        else:  # pragma: no cover
+            raise NotImplementedError(instr.op)
+        _emit_nz(e, dest)
+    elif cls is ins.Mul:
+        a, b = e.r(instr.rn), e.r(instr.rm)
+        e.emit(f"{e.w(instr.rd)} = ({a} * {b}) & 0xFFFFFFFF")
+    elif cls is ins.Mla:
+        acc, a, b = e.r(instr.ra), e.r(instr.rn), e.r(instr.rm)
+        e.emit(f"{e.w(instr.rd)} = ({acc} + {a} * {b}) & 0xFFFFFFFF")
+    elif cls is ins.Mls:
+        acc, a, b = e.r(instr.ra), e.r(instr.rn), e.r(instr.rm)
+        e.emit(f"{e.w(instr.rd)} = ({acc} - {a} * {b}) & 0xFFFFFFFF")
+    elif cls is ins.Umull:
+        a, b = e.r(instr.rn), e.r(instr.rm)
+        e.emit(f"_p = {a} * {b}")
+        e.emit(f"{e.w(instr.rdlo)} = _p & 0xFFFFFFFF")
+        e.emit(f"{e.w(instr.rdhi)} = (_p >> 32) & 0xFFFFFFFF")
+    elif cls is ins.Udiv:
+        a, b = e.r(instr.rn), e.r(instr.rm)
+        e.emit(f"_dd = {a}")
+        e.emit(f"_ds = {b}")
+        e.emit(f"{e.w(instr.rd)} = (_dd // _ds) & 0xFFFFFFFF if _ds else 0")
+        if e.div_inline:
+            # The default model, open-coded (2-12 cycles by quotient
+            # width) — skipping the per-division method call.
+            e.emit(
+                "cycles += 12 if not _ds else _DIVC[max(0, "
+                "_dd.bit_length() - _ds.bit_length() + 1)]"
+            )
+        else:
+            e.needs.add("div")
+            e.emit("cycles += _div(_dd, _ds)")
+    elif cls is ins.Sdiv:
+        a, b = e.r(instr.rn), e.r(instr.rm)
+        e.emit(f"_da = _signed({a})")
+        e.emit(f"_db = _signed({b})")
+        e.emit("if _db == 0:")
+        e.emit(f"{e.w(instr.rd)} = 0", 1)
+        e.emit("else:")
+        e.emit("_q = abs(_da) // abs(_db)", 1)
+        e.emit("if (_da < 0) != (_db < 0):", 1)
+        e.emit("_q = -_q", 2)
+        e.emit(f"r{int(instr.rd)} = _q & 0xFFFFFFFF", 1)
+        if e.div_inline:
+            e.emit("_x = abs(_da)")
+            e.emit("_y = abs(_db) or 1")
+            e.emit(
+                "cycles += _DIVC[max(0, "
+                "_x.bit_length() - _y.bit_length() + 1)]"
+            )
+        else:
+            e.needs.add("div")
+            e.emit("cycles += _div(abs(_da), abs(_db) or 1)")
+    elif cls is ins.Umod:
+        a, b = e.r(instr.rn), e.r(instr.rm)
+        e.emit(f"_dd = {a}")
+        e.emit(f"_ds = {b}")
+        e.emit(f"{e.w(instr.rd)} = (_dd % _ds) & 0xFFFFFFFF if _ds else 0")
+    elif cls is ins.CmpReg:
+        a = e.r(instr.rn)
+        b = e.r(instr.rm)
+        _emit_adc(e, "_r", a, f"(~{b}) & 0xFFFFFFFF", "1")
+    elif cls is ins.CmpImm:
+        a = e.r(instr.rn)
+        not_imm = (~(instr.imm & WORD)) & WORD
+        _emit_adc(e, "_r", a, f"{not_imm:#x}", "1")
+    elif cls is ins.LdrLit:
+        assert instr.resolved is not None, f"unresolved literal {instr.symbol}"
+        e.emit(f"{e.w(instr.rd)} = {instr.resolved & WORD:#x}")
+    elif cls is ins.Nop:
+        pass
+    else:  # pragma: no cover - the partitioner never lets these in
+        raise NotImplementedError(f"cannot inline {instr!r}")
+
+    e.fold(instr)
+    if cls in (ins.Udiv, ins.Sdiv):
+        e.worst += e.div_bound  # dynamic charge: bound for the guard
+    else:
+        cost = static_cost(instr, cpu)
+        e.k += cost
+        e.worst += cost
+    e.count += 1
+
+
+def _emit_back_edge(e: _Emitter, taken_cost: int, start: int, worst_pass: int,
+                    extra: int = 0) -> None:
+    """A branch back to the trace entry: fold the static accumulators
+    into the dynamic ``cycles``/``_n`` locals and ``continue`` when the
+    budget provably admits one more worst-case pass; otherwise exit with
+    the loop head as the next PC (the outer loop single-steps the near-
+    timeout tail exactly)."""
+    total = e.k + taken_cost
+    if total:
+        e.emit(f"cycles += {total}", extra)
+    if e.count:
+        e.emit(f"_n += {e.count}", extra)
+    e.emit(f"if cycles + {worst_pass} < max_cycles:", extra)
+    e.emit("continue", extra + 1)
+    e.emit_epilogue(extra=extra, accumulated=True)
+    e.emit(f"return {start:#x}", extra)
+
+
+def _emit_side_exit(e: _Emitter, cpu, addr: int, instr, width: int,
+                    start: int, worst_pass: int,
+                    follow_taken: bool = False) -> None:
+    """A ``Bcc`` inside a trace.
+
+    Normally the taken arm exits (or closes the loop) and fall-through
+    continues the trace; with ``follow_taken`` the roles swap — the
+    condition is inverted, the fall-through address becomes the exit,
+    and the trace continues at the branch target."""
+    e.fold(instr)
+    e.count += 1
+    taken = cpu._c_branch_taken
+    not_taken = cpu._c_branch_not_taken
+    e.worst += max(taken, not_taken)
+    e.emit_flush()
+    if follow_taken:
+        cond, flags = _COND_EXPR[_COND_INV[instr.cond]]
+        for flag in flags:
+            e.f(flag)
+        e.emit(f"if {cond}:")
+        e.emit_epilogue(extra_cycles=not_taken, extra=1)
+        e.emit(f"return {addr + width:#x}", 1)
+        e.k += taken
+        return
+    cond, flags = _COND_EXPR[instr.cond]
+    for flag in flags:
+        e.f(flag)
+    e.emit(f"if {cond}:")
+    if e.loop and instr.target == start:
+        _emit_back_edge(e, taken, start, worst_pass, extra=1)
+    else:
+        e.emit_epilogue(extra_cycles=taken, extra=1)
+        e.emit(f"return {instr.target:#x}", 1)
+    e.k += not_taken
+
+
+def _emit_terminator(e: _Emitter, cpu, image, addr: int, instr, width: int,
+                     start: int = -1, worst_pass: int = 0) -> None:
+    """Inline a trace-ending control transfer (inline variants only)."""
+    cls = type(instr)
+    fall = addr + width
+
+    if cls is ins.B:
+        e.fold(instr)
+        cost = static_cost(instr, cpu)
+        e.count += 1
+        e.worst += cost
+        e.emit_flush()
+        if e.loop and instr.target == start:
+            _emit_back_edge(e, cost, start, worst_pass)
+        else:
+            e.k += cost
+            e.emit_epilogue()
+            e.emit(f"return {instr.target:#x}")
+    elif cls is ins.Bl:
+        # LR comes from the static address: hooks never run inside a
+        # trace, so regs[PC] == addr here by construction (the per-
+        # instruction engines agree whenever no pre-hook is pending).
+        e.emit(f"{e.w(14)} = {addr + 4:#x}")
+        e.fold(instr)
+        cost = static_cost(instr, cpu)
+        e.k += cost
+        e.worst += cost
+        e.count += 1
+        e.emit_flush()
+        if e.monitor:
+            e.emit("_mon.call_stack.append(ms)")
+            callee = image.function_of(instr.target)
+            if callee is not None:
+                e.emit(f"ms = {entry_state(callee):#x}")
+        e.emit_epilogue()
+        e.emit(f"return {instr.target:#x}")
+    elif cls is ins.BxLr:
+        e.emit(f"_t = {e.r(14)}")
+        exit_code = e.r(0)
+        e.fold(instr)
+        cost = static_cost(instr, cpu)
+        e.k += cost
+        e.worst += cost
+        e.count += 1
+        e.emit_flush()
+        if e.monitor:
+            e.emit("if _mon.call_stack:")
+            e.emit("ms = _mon.call_stack.pop()", 1)
+        e.emit(f"if _t == {MAGIC_RETURN:#x}:")
+        e.emit("cpu.status = _EXIT", 1)
+        e.emit(f"cpu.exit_code = {exit_code}", 1)
+        e.emit_epilogue(extra=1)
+        e.emit(f"return {fall:#x}", 1)
+        e.emit_epilogue()
+        e.emit(f"return _t & {MAGIC_RETURN:#x}")
+    elif cls is ins.Udf:
+        e.emit("cpu.status = _FAULT")
+        e.emit(f"cpu.detect_code = {instr.code}")
+        e.fold(instr)
+        e.k += 1
+        e.worst += 1
+        e.count += 1
+        e.emit_flush()
+        e.emit_epilogue()
+        e.emit(f"return {fall:#x}")
+    else:  # pragma: no cover
+        raise NotImplementedError(f"cannot inline terminator {instr!r}")
+
+
+def _emit_trace(block: _Block, cpu, image, monitor: bool, inline: bool,
+                loop: bool, worst_pass: int, preset, div_bound: int) -> _Emitter:
+    """Emit one trace/block body into a fresh emitter."""
+    has_div = any(type(i) in (ins.Udiv, ins.Sdiv) for _, i, _ in block.body)
+    e = _Emitter(
+        monitor,
+        cycles_local=has_div,
+        loop=loop,
+        indent=2 if loop else 1,
+        preset=preset,
+    )
+    e.div_bound = div_bound
+    e.div_inline = type(cpu.cycles_model).div is CycleModel.div
+    start = block.addr
+    for addr, instr, width in block.body:
+        if type(instr) is ins.Bcc:
+            _emit_side_exit(e, cpu, addr, instr, width, start, worst_pass,
+                            follow_taken=addr in block.taken)
+        else:
+            _emit_body_instr(e, cpu, addr, instr, width)
+    term = block.term if inline else None
+    if term is not None:
+        _emit_terminator(e, cpu, image, *term, start=start,
+                         worst_pass=worst_pass)
+    elif block.fall_loop:
+        # The walk wrapped around into its own entry point: the trace
+        # falls through into the next iteration.
+        e.emit_flush()
+        _emit_back_edge(e, 0, start, worst_pass)
+    else:
+        e.emit_flush()
+        e.emit_epilogue()
+        e.emit(f"return {block.exit_addr:#x}")
+    return e
+
+
+def _compile_variant(image, partition: _Partition, cpu, monitor: bool,
+                     inline: bool):
+    """Generate + exec one variant's trace functions.
+
+    ``monitor``: fold the CFI monitor state advance into the traces.
+    ``inline``: inline side exits and terminators (disabled when a
+    SpecEngine with a non-zero window owns Bcc retirement).
+    """
+    div_bound = _div_bound(cpu.cycles_model)
+    parts: list[str] = []
+    meta: list[tuple[int, str, int, int]] = []
+    for block in partition.blocks:
+        term = block.term if inline else None
+        if not block.body and term is None:
+            continue
+        loop = block.loop and inline
+        if loop:
+            # Pass A: discover the full register/flag footprint and the
+            # worst-case single-pass cost; pass B presets both so every
+            # exit publishes everything any iteration may have written.
+            probe = _emit_trace(block, cpu, image, monitor, inline,
+                                loop=True, worst_pass=0, preset=None,
+                                div_bound=div_bound)
+            worst = max(probe.worst, 1)
+            preset = (
+                probe.reads | probe.written,
+                set(probe.written),
+                probe.freads | probe.fwritten,
+                set(probe.fwritten),
+            )
+            e = _emit_trace(block, cpu, image, monitor, inline, loop=True,
+                            worst_pass=worst, preset=preset,
+                            div_bound=div_bound)
+            guard_count = UNBOUNDED
+        else:
+            e = _emit_trace(block, cpu, image, monitor, inline, loop=False,
+                            worst_pass=0, preset=None, div_bound=div_bound)
+            worst = e.worst
+            guard_count = e.count
+        name = f"_t{block.addr:x}"
+        prologue = [f"def {name}(cpu, regs, max_cycles):"]
+        for reg in sorted(e.reads):
+            prologue.append(f"    r{reg} = regs[{reg}]")
+        for flag in ("n", "z", "c", "v"):
+            if flag in e.freads:
+                prologue.append(f"    {flag} = cpu.{flag}")
+        if e.cycles_local:
+            prologue.append("    cycles = cpu.cycles")
+        if "mem" in e.needs:
+            prologue.append("    _mem = cpu.memory")
+            prologue.append("    _ml = len(_mem)")
+            prologue.append(f"    _fast = _ml if _ml <= {MMIO.BASE:#x} else 0")
+        if "fb" in e.needs:
+            prologue.append("    _fb = int.from_bytes")
+        if "dirty" in e.needs:
+            prologue.append("    _dirty = cpu._dirty_pages")
+            prologue.append("    if _dirty is None:")
+            prologue.append("        _dirty = _ND")
+        if "load" in e.needs:
+            prologue.append("    _load = cpu.load")
+        if "store" in e.needs:
+            prologue.append("    _store = cpu.store")
+        if "div" in e.needs:
+            prologue.append("    _div = cpu.cycles_model.div")
+        if "ev" in e.needs:
+            prologue.append("    _ev = cpu._cfi_events")
+        if monitor:
+            prologue.append("    _mon = cpu.monitor")
+            prologue.append("    ms = _mon.state")
+        if loop:
+            prologue.append("    _n = 0")
+            prologue.append("    while True:")
+        parts.extend(prologue)
+        parts.extend(e.lines)
+        parts.append("")
+        meta.append((block.addr, name, guard_count, worst))
+    namespace = {
+        "_signed": _signed,
+        "_RUNNING": Status.RUNNING,
+        "_EXIT": Status.EXIT,
+        "_FAULT": Status.FAULT_DETECTED,
+        "_ND": set(),  # dirty-page sink for CPUs that do not track pages
+        # default-model div cycles by quotient bit-width (see
+        # CycleModel.div: 2-cycle setup, ~3 result bits per cycle, cap 12)
+        "_DIVC": tuple(min(12, 2 + (q + 2) // 3) for q in range(33)),
+    }
+    exec(compile("\n".join(parts), "<superblock>", "exec"), namespace)
+    return {
+        addr: (namespace[name], count, worst)
+        for addr, name, count, worst in meta
+    }
+
+
+def superblock_tables(cpu):
+    """The trace table for ``cpu``'s image/cycle-model/monitor/spec
+    combination, built (and cached on the image) on first use."""
+    image = cpu.image
+    cache = image._superblock_cache
+    if cache is None:
+        cache = image._superblock_cache = {}
+    inline = cpu.spec is None or not cpu.spec.window
+    pkey = "traces" if inline else "blocks"
+    partition = cache.get(pkey)
+    if partition is None:
+        partition = cache[pkey] = partition_image(image, traces=inline)
+    monitor = cpu.monitor is not None
+    key = (_cycle_key(cpu, partition.push_counts), monitor, inline)
+    table = cache.get(key)
+    if table is None:
+        table = cache[key] = _compile_variant(
+            image, partition, cpu, monitor, inline
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# The chaining run loop
+# ---------------------------------------------------------------------------
+def run_superblock(
+    cpu, max_cycles: int, stop_at_instruction: Optional[int] = None
+) -> None:
+    """Superblock dispatch with windowed deoptimisation.
+
+    Mirrors ``CPU._run_fast``/``_run_hooked`` observable behaviour
+    exactly; see the module docstring for the deopt contract.
+    """
+    pre_hooks = cpu.pre_hooks
+    retire_hooks = cpu.retire_hooks
+    monitor = cpu.monitor
+    supported_retire = not retire_hooks or (
+        monitor is not None
+        and len(retire_hooks) == 1
+        and retire_hooks[0] == monitor.on_retire
+    )
+    lo_min = hi_max = None
+    bounded = True
+    for hook in pre_hooks:
+        window = getattr(hook, "fire_window", None)
+        if window is None:
+            bounded = False
+            break
+        lo_min = window[0] if lo_min is None else min(lo_min, window[0])
+        hi_max = window[1] if hi_max is None else max(hi_max, window[1])
+    if stop_at_instruction is not None or not supported_retire or not bounded:
+        # Full deoptimisation: checkpoint capture, golden-trace recording
+        # and unbounded fault models run the reference step loops.
+        if pre_hooks or retire_hooks or stop_at_instruction is not None:
+            cpu._run_hooked(max_cycles, stop_at_instruction)
+        else:
+            cpu._run_fast(max_cycles)
+        return
+
+    blocks = superblock_tables(cpu)
+    decode = cpu._decode
+    regs = cpu.regs
+    events = cpu._cfi_events
+    on_retire = monitor.on_retire if monitor is not None else None
+    RUNNING = Status.RUNNING
+    nblk = 0
+    nstep = 0
+    try:
+        if hi_max is not None:
+            # Phase 1 — the fault window is still open: per-instruction
+            # stepping with hooks, identical to _run_hooked; traces are
+            # taken opportunistically while they provably stay below the
+            # window (looping traces never qualify).
+            while cpu.status is RUNNING and cpu.dyn_index < hi_max:
+                if cpu.cycles >= max_cycles:
+                    cpu.status = Status.TIMEOUT
+                    return
+                pc = regs[PC]
+                blk = blocks.get(pc)
+                if (
+                    blk is not None
+                    and cpu.dyn_index + blk[1] < lo_min
+                    and cpu.cycles + blk[2] < max_cycles
+                ):
+                    regs[PC] = blk[0](cpu, regs, max_cycles)
+                    nblk += 1
+                    continue
+                entry = decode.get(pc)
+                if entry is None:
+                    cpu.status = Status.DECODE_ERROR
+                    return
+                handler, instr, width = entry
+                cpu.dyn_index += 1
+                skip = False
+                for hook in pre_hooks:
+                    if hook(cpu, instr):
+                        skip = True
+                if skip:
+                    regs[PC] = pc + width
+                    cpu.cycles += 1
+                    continue
+                events.clear()
+                regs[PC] = handler(cpu)
+                cpu.retired += 1
+                nstep += 1
+                if on_retire is not None:
+                    on_retire(cpu, instr, list(events))
+        # Phase 2 — window closed (or no hooks at all): pure trace
+        # chaining; near-timeout traces and mid-trace entry points
+        # (checkpoint restores) single-step through the decode cache,
+        # which also keeps SpecEngine-wrapped Bcc on its one shared
+        # retire path.
+        while cpu.status is RUNNING:
+            if cpu.cycles >= max_cycles:
+                cpu.status = Status.TIMEOUT
+                return
+            pc = regs[PC]
+            blk = blocks.get(pc)
+            if blk is not None and cpu.cycles + blk[2] < max_cycles:
+                regs[PC] = blk[0](cpu, regs, max_cycles)
+                nblk += 1
+                continue
+            entry = decode.get(pc)
+            if entry is None:
+                cpu.status = Status.DECODE_ERROR
+                return
+            handler, instr, width = entry
+            cpu.dyn_index += 1
+            events.clear()
+            regs[PC] = handler(cpu)
+            cpu.retired += 1
+            nstep += 1
+            if on_retire is not None:
+                on_retire(cpu, instr, list(events))
+    finally:
+        cpu._sb_blocks += nblk
+        cpu._sb_steps += nstep

@@ -38,6 +38,15 @@ CATALOG: dict[str, tuple[str, str]] = {
     "repro_engine_cycles_total": (
         "counter", "Cycles actually simulated by trials."
     ),
+    "repro_engine_superblock_blocks_total": (
+        "counter",
+        "Compiled traces entered by superblock-engine trials.",
+    ),
+    "repro_engine_superblock_deopt_steps_total": (
+        "counter",
+        "Instructions the superblock engine single-stepped (deoptimised "
+        "around open fault windows and near-timeout tails).",
+    ),
     "repro_engine_batch_retries_total": (
         "counter", "Trial batches resubmitted after a worker-pool rebuild."
     ),

@@ -27,6 +27,8 @@ ENGINE_COUNTERS: dict[str, str] = {
     "short_circuited": "repro_engine_trials_short_circuited_total",
     "simulated_instructions": "repro_engine_instructions_total",
     "simulated_cycles": "repro_engine_cycles_total",
+    "superblock_blocks": "repro_engine_superblock_blocks_total",
+    "superblock_deopt_steps": "repro_engine_superblock_deopt_steps_total",
 }
 
 

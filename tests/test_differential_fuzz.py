@@ -150,3 +150,164 @@ class TestExpressionFuzz:
         for scheme in ("none", "duplication", "ancode"):
             program = compile_source(source, scheme=scheme)
             assert program.run("f", []).exit_code == expected, scheme
+
+
+# ---------------------------------------------------------------------------
+# Control-flow skeleton fuzz: three-engine differential oracle
+# ---------------------------------------------------------------------------
+# Random programs made of the shapes that stress the superblock trace
+# compiler — nested ifs (side exits), bounded loops (back edges and trace
+# re-entry), early returns (mid-trace exits) — are run on every dispatch
+# tier and under a single-fault campaign on every engine.  There is no
+# Python oracle here: the engines *are* each other's oracle, and any
+# mismatch is a reproducible seed.
+#
+# Repro recipe for a failing seed N:
+#
+#     PYTHONPATH=src:. python -c \
+#         "from tests.test_differential_fuzz import reproduce_cfg_seed; \
+#          reproduce_cfg_seed(N)"
+#
+# which reprints the generated MiniC source and re-runs both comparisons.
+
+import random
+
+from repro.faults.isa_campaign import run_attack
+from repro.faults.models import BranchDirectionFlip, InstructionSkip
+
+CFG_SEEDS = range(10)
+CFG_SCHEMES = ("none", "ancode")
+_ENGINE_TIERS = ("reference", "cached", "superblock")
+_CMPS = ("<", "<=", "==", "!=", ">", ">=")
+
+
+def _rand_expr(rng, names):
+    parts = [
+        rng.choice(names) if rng.random() < 0.5 else str(rng.randint(0, 255))
+        for _ in range(rng.randint(1, 3))
+    ]
+    return " + ".join(parts)
+
+
+def _rand_cond(rng, names):
+    return f"{_rand_expr(rng, names)} {rng.choice(_CMPS)} {_rand_expr(rng, names)}"
+
+
+def _rand_block(rng, names, depth, budget, loop_id):
+    stmts = []
+    for _ in range(rng.randint(1, 3)):
+        if budget[0] <= 0:
+            break
+        budget[0] -= 1
+        kind = rng.random()
+        if kind < 0.40 or depth >= 3:
+            op = rng.choice(("+=", "^=", "-=", "|="))
+            stmts.append(f"acc {op} {_rand_expr(rng, names)};")
+        elif kind < 0.62:
+            then = _rand_block(rng, names, depth + 1, budget, loop_id)
+            if rng.random() < 0.4:
+                other = _rand_block(rng, names, depth + 1, budget, loop_id)
+                stmts.append(
+                    f"if ({_rand_cond(rng, names)}) {{ {then} }} "
+                    f"else {{ {other} }}"
+                )
+            else:
+                stmts.append(f"if ({_rand_cond(rng, names)}) {{ {then} }}")
+        elif kind < 0.85:
+            var = f"i{loop_id[0]}"
+            loop_id[0] += 1
+            bound = rng.randint(1, 6)
+            body = _rand_block(rng, names + [var], depth + 1, budget, loop_id)
+            stmts.append(
+                f"for (u32 {var} = 0; {var} < {bound}; {var} += 1) "
+                f"{{ {body} }}"
+            )
+        else:
+            stmts.append(
+                f"if ({_rand_cond(rng, names)}) "
+                f"{{ return acc ^ {rng.randint(0, 0xFFFF)}; }}"
+            )
+    return " ".join(stmts) or "acc += 1;"
+
+
+def cfg_source_for_seed(seed: int) -> str:
+    """The deterministic random control-flow skeleton for one seed."""
+    rng = random.Random(seed)
+    body = _rand_block(rng, ["a", "b"], 0, [14], [0])
+    return (
+        "u32 f(u32 a, u32 b) { u32 acc = 0; "
+        f"{body} return acc; }}"
+    )
+
+
+def _cfg_args_for_seed(seed: int):
+    rng = random.Random(seed ^ 0x5EED)
+    return [rng.randint(0, 300), rng.randint(0, 300)]
+
+
+def _golden_mismatch(program, args):
+    runs = {
+        dispatch: program.run("f", args, dispatch=dispatch)
+        for dispatch in _ENGINE_TIERS
+    }
+    baseline = runs["reference"]
+    return {d: r for d, r in runs.items() if r != baseline}
+
+
+def _campaign_tallies(program, args):
+    golden = program.trial_scheduler("f", args).golden
+    stride = max(1, golden.instructions // 25)
+    models = [
+        InstructionSkip(i) for i in range(1, golden.instructions + 1, stride)
+    ]
+    models += [BranchDirectionFlip(n) for n in range(1, 5)]
+    tallies = {}
+    for engine in ("reference", "fork", "superblock"):
+        result = run_attack(program, "f", args, models, "fuzz", engine=engine)
+        tallies[engine] = (result.outcomes, result.trials, result.wrong_codes)
+    return tallies
+
+
+def reproduce_cfg_seed(seed: int) -> None:
+    """Reprint and re-check one seed outside pytest (see recipe above)."""
+    source = cfg_source_for_seed(seed)
+    args = _cfg_args_for_seed(seed)
+    print(f"seed {seed}: args={args}\n{source}")
+    for scheme in CFG_SCHEMES:
+        program = compile_source(source, scheme=scheme)
+        mismatch = _golden_mismatch(program, args)
+        print(f"  {scheme}: golden mismatches: {mismatch or 'none'}")
+        tallies = _campaign_tallies(program, args)
+        agree = len(set(map(repr, tallies.values()))) == 1
+        print(f"  {scheme}: campaign tallies agree: {agree}")
+        if not agree:
+            for engine, tally in tallies.items():
+                print(f"    {engine}: {tally}")
+
+
+class TestControlFlowFuzz:
+    @pytest.mark.parametrize("seed", CFG_SEEDS)
+    def test_three_engine_golden_equivalence(self, seed):
+        source = cfg_source_for_seed(seed)
+        args = _cfg_args_for_seed(seed)
+        for scheme in CFG_SCHEMES:
+            program = compile_source(source, scheme=scheme)
+            mismatch = _golden_mismatch(program, args)
+            assert not mismatch, (
+                f"seed {seed} scheme {scheme}: dispatch tiers diverge "
+                f"{mismatch}; repro: reproduce_cfg_seed({seed})\n{source}"
+            )
+
+    @pytest.mark.parametrize("seed", CFG_SEEDS)
+    def test_single_fault_campaign_equivalence(self, seed):
+        source = cfg_source_for_seed(seed)
+        args = _cfg_args_for_seed(seed)
+        for scheme in CFG_SCHEMES:
+            program = compile_source(source, scheme=scheme)
+            tallies = _campaign_tallies(program, args)
+            assert tallies["reference"] == tallies["fork"] == tallies[
+                "superblock"
+            ], (
+                f"seed {seed} scheme {scheme}: campaign tallies diverge "
+                f"{tallies}; repro: reproduce_cfg_seed({seed})\n{source}"
+            )

@@ -1,19 +1,20 @@
-"""Differential proof that the fast campaign engine is trace-equivalent to
-the reference one.
+"""Differential proof that the fast campaign engines are trace-equivalent
+to the reference one.
 
 Three layers of equivalence, per the PR contract:
 
 * **golden runs** — every device program, compiled under every registered
   scheme, executes identically (full ``ExecutionResult`` equality: status,
-  exit code, cycles, retired instructions, console) on the decode-cached
-  dispatcher and the original ``isinstance``-chain interpreter;
+  exit code, cycles, retired instructions, console) on the original
+  ``isinstance``-chain interpreter, the decode-cached dispatcher, and the
+  superblock trace compiler;
 * **campaign tallies** — the stock attack suites produce identical
   ``AttackResult`` outcome tallies (and ``wrong_codes``, in order) on the
-  ``reference``, ``replay`` and ``fork`` engines, and on the parallel
-  :class:`~repro.toolchain.executor.CampaignExecutor`;
+  ``reference``, ``replay``, ``fork`` and ``superblock`` engines, and on
+  the parallel :class:`~repro.toolchain.executor.CampaignExecutor`;
 * **individual trials** — checkpoint-forked trials return the *same
   ExecutionResult* (cycles included) as full replays, for every bundled
-  fault-model family.
+  fault-model family, on both forking engines.
 """
 
 import pytest
@@ -75,12 +76,18 @@ def assert_same_result(a, b, context=""):
     assert a == b, f"{context}: {a} != {b}"
 
 
+#: every execution tier, slowest first: the isinstance-chain reference
+#: interpreter, the decode-cached step loop, and the superblock trace
+#: compiler.
+DISPATCHES = ("reference", "cached", "superblock")
+
+
 def both_dispatches(program, function, args, max_cycles=10_000_000):
-    reference = program.run(
-        function, args, max_cycles=max_cycles, dispatch="reference"
-    )
-    cached = program.run(function, args, max_cycles=max_cycles, dispatch="cached")
-    return reference, cached
+    """One golden run per dispatch tier; callers assert all are equal."""
+    return [
+        program.run(function, args, max_cycles=max_cycles, dispatch=dispatch)
+        for dispatch in DISPATCHES
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -100,16 +107,22 @@ class TestGoldenEquivalence:
         program = compile_source(
             load_source(name), config=CompileConfig(scheme=scheme)
         )
-        reference, cached = both_dispatches(program, function, args)
+        reference, cached, superblock = both_dispatches(program, function, args)
         assert_same_result(reference, cached, f"{name}/{scheme}{args}")
+        assert_same_result(reference, superblock, f"{name}/{scheme}{args}/superblock")
         assert reference.ok
 
     @pytest.mark.parametrize("scheme", TABLE3)
     def test_sha256(self, scheme):
         program = compile_ir(_sha_module(), config=CompileConfig(scheme=scheme))
         for word_index in (0, 7):
-            reference, cached = both_dispatches(program, "run_sha", [word_index])
+            reference, cached, superblock = both_dispatches(
+                program, "run_sha", [word_index]
+            )
             assert_same_result(reference, cached, f"sha256/{scheme}[{word_index}]")
+            assert_same_result(
+                reference, superblock, f"sha256/{scheme}[{word_index}]/superblock"
+            )
             assert reference.ok
 
     @pytest.mark.parametrize("scheme", TABLE3)
@@ -120,8 +133,11 @@ class TestGoldenEquivalence:
             ("run_modmul", [999999, 123456]),
             ("run_modinv", [12345]),
         ):
-            reference, cached = both_dispatches(program, function, args)
+            reference, cached, superblock = both_dispatches(program, function, args)
             assert_same_result(reference, cached, f"ecverify/{scheme}/{function}")
+            assert_same_result(
+                reference, superblock, f"ecverify/{scheme}/{function}/superblock"
+            )
             assert reference.ok
 
     @pytest.mark.parametrize("scheme", ["none", "ancode"])
@@ -131,10 +147,11 @@ class TestGoldenEquivalence:
             prepare_bootloader_module(image),
             config=CompileConfig(scheme=scheme, params=bootloader_params()),
         )
-        reference, cached = both_dispatches(
+        reference, cached, superblock = both_dispatches(
             program, "bootloader_main", [], max_cycles=30_000_000
         )
         assert_same_result(reference, cached, f"bootloader/{scheme}")
+        assert_same_result(reference, superblock, f"bootloader/{scheme}/superblock")
         assert reference.exit_code == BOOT_OK
 
 
@@ -172,7 +189,8 @@ class TestCampaignEquivalence:
         reference = _stock_suite(program, function, args, "reference")
         replay = _stock_suite(program, function, args, "replay")
         fork = _stock_suite(program, function, args, "fork")
-        assert reference == replay == fork
+        superblock = _stock_suite(program, function, args, "superblock")
+        assert reference == replay == fork == superblock
 
     def test_windowed_operand_corruption(self):
         program = compile_source(
@@ -186,9 +204,53 @@ class TestCampaignEquivalence:
                     program, "integer_compare", args, window=window, engine=engine
                 )
             )
-            for engine in ("reference", "replay", "fork")
+            for engine in ("reference", "replay", "fork", "superblock")
         }
-        assert tallies["reference"] == tallies["replay"] == tallies["fork"]
+        assert (
+            tallies["reference"]
+            == tallies["replay"]
+            == tallies["fork"]
+            == tallies["superblock"]
+        )
+
+    @pytest.mark.parametrize("scheme", ["none", "ancode"])
+    def test_sha256_strided_campaign_all_engines(self, scheme):
+        # A large device program (tens of thousands of golden
+        # instructions) keeps the engines honest on long straight-line
+        # stretches; strided skips bound the reference-engine runtime.
+        program = compile_ir(_sha_module(), config=CompileConfig(scheme=scheme))
+        total = program.trial_scheduler("run_sha", [0]).golden.instructions
+        models = [
+            InstructionSkip(i)
+            for i in range(1, total + 1, max(1, total // 40))
+        ]
+        tallies = {
+            engine: _tally(
+                run_attack(program, "run_sha", [0], models, "skip", engine=engine)
+            )
+            for engine in ("reference", "fork", "superblock")
+        }
+        assert tallies["reference"] == tallies["fork"] == tallies["superblock"]
+
+    def test_adversary_composites_all_engines(self):
+        # Composite k=2 trials chain resumed hooks whose fire indices can
+        # shift once the first fault diverges the run — exactly the case
+        # that forces the superblock engine to deoptimise for the whole
+        # trial.  The tallies must not move an outcome.
+        from repro.faults.adversary import adversary_sweep
+
+        program = compile_source(
+            load_source("integer_compare"), config=CompileConfig(scheme="ancode")
+        )
+        tallies = {
+            engine: _tally(
+                adversary_sweep(
+                    program, "integer_compare", [7, 7], k=2, engine=engine
+                )
+            )
+            for engine in ("reference", "fork", "superblock")
+        }
+        assert tallies["reference"] == tallies["fork"] == tallies["superblock"]
 
     def test_parallel_executor_matches_serial(self):
         from repro.toolchain import CampaignExecutor
@@ -203,7 +265,17 @@ class TestCampaignEquivalence:
             parallel = run_attack(
                 program, "run_memcmp", [16], models, "skip", executor=executor
             )
+            parallel_superblock = run_attack(
+                program,
+                "run_memcmp",
+                [16],
+                models,
+                "skip",
+                executor=executor,
+                engine="superblock",
+            )
         assert _tally(serial) == _tally(parallel)
+        assert _tally(serial) == _tally(parallel_superblock)
 
 
 # ---------------------------------------------------------------------------
@@ -252,6 +324,33 @@ class TestTrialEquivalence:
             replayed = cpu.run(2_000_000)
             assert_same_result(forked, replayed, f"{name}/{scheme}/{model}")
 
+    @pytest.mark.parametrize("scheme", TABLE3)
+    @pytest.mark.parametrize(
+        "name,function,args",
+        [
+            ("integer_compare", "integer_compare", [7, 7]),
+            ("memcmp", "run_memcmp", [8]),
+        ],
+    )
+    def test_superblock_equals_replay_per_trial(self, scheme, name, function, args):
+        # Same zoo, but trials fork onto superblock-dispatch CPUs: each
+        # trial single-steps while its fault window is open and chains
+        # compiled traces either side, yet must return the identical
+        # ExecutionResult (cycles included) as a cached-dispatch replay.
+        program = compile_source(
+            load_source(name), config=CompileConfig(scheme=scheme)
+        )
+        scheduler = TrialScheduler.for_program(
+            program, function, args, dispatch="superblock"
+        )
+        for model in _model_zoo(program, function, args):
+            forked = scheduler.run_trial(model)
+            cpu = program.prepare_cpu(function, args, pre_hooks=[model.hook()])
+            replayed = cpu.run(2_000_000)
+            assert_same_result(
+                forked, replayed, f"{name}/{scheme}/{model}/superblock"
+            )
+
     def test_forced_small_interval_and_thinning(self):
         # A tiny interval with a tight checkpoint budget exercises the
         # ladder-thinning path; trials must stay exact.
@@ -293,6 +392,30 @@ class TestTrialEquivalence:
         clone.restore(snap)
         assert clone.run(10_000_000) == final
 
+    def test_superblock_mid_block_snapshot_roundtrip(self):
+        # stop_at_instruction lands the CPU mid-superblock by trace
+        # geometry; the engine deoptimises such runs to the step loop, so
+        # the snapshot is taken at an exact architectural boundary.  The
+        # suffix must replay identically whether the resumed CPU chains
+        # compiled traces or steps the decode cache.
+        program = compile_source(
+            load_source("memcmp"), config=CompileConfig(scheme="ancode")
+        )
+        cpu = program.prepare_cpu(
+            "run_memcmp", [64], dispatch="superblock", track_pages=True
+        )
+        partial = cpu.run(10_000_000, stop_at_instruction=500)
+        assert partial.instructions == 500
+        snap = cpu.snapshot()
+        final = cpu.run(10_000_000)
+        for dispatch in DISPATCHES:
+            clone = program.prepare_cpu("run_memcmp", [64], dispatch=dispatch)
+            clone.restore(snap)
+            assert_same_result(
+                clone.run(10_000_000), final, f"snapshot-resume/{dispatch}"
+            )
+        assert cpu._sb_blocks > 0  # the suffix re-entered compiled traces
+
 
 # ---------------------------------------------------------------------------
 # Speculative-execution equivalence: the adversary of repro.spec must not
@@ -324,9 +447,14 @@ class TestSpeculativeEquivalence:
                     program, function, args, max_branches=8, engine=engine
                 )
             )
-            for engine in ("reference", "replay", "fork")
+            for engine in ("reference", "replay", "fork", "superblock")
         }
-        assert tallies["reference"] == tallies["replay"] == tallies["fork"]
+        assert (
+            tallies["reference"]
+            == tallies["replay"]
+            == tallies["fork"]
+            == tallies["superblock"]
+        )
 
     @pytest.mark.parametrize("predictor", sorted(PREDICTORS))
     def test_golden_dispatch_parity_per_predictor(self, predictor):

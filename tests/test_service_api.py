@@ -173,6 +173,40 @@ class TestResultIdentity:
         )
         assert report_to_dict(remote) == report_to_dict(direct)
 
+    def test_service_superblock_engine_identity(self, workbench):
+        """The process-wide engine knob: a service running on the
+        superblock engine must serve reports byte-identical to a direct
+        fork-engine run (the engines are result-identical, so the knob
+        is pure throughput)."""
+        from repro.service.jobs import default_engine, set_default_engine
+
+        source = load_source("memcmp")
+        config = CompileConfig(scheme="ancode")
+        direct = (
+            workbench.campaign(source, "run_memcmp", [16], config)
+            .attack(branch_flip_sweep, max_branches=8)
+            .attack(repeated_branch_flip)
+            .run(engine="fork")
+        )
+        previous = default_engine()
+        set_default_engine("superblock")
+        try:
+            with BackgroundService(runners=1) as svc:
+                client = svc.client()
+                job = quick_job("memcmp", "run_memcmp", (16,), "ancode")
+                submitted = client.submit(job)
+                client.wait(submitted["job_id"])
+                result = client.results(submitted["job_id"])
+        finally:
+            set_default_engine(previous)
+        assert report_to_dict(direct) == result["report"]
+
+    def test_engine_knob_rejects_unknown_engines(self):
+        from repro.service.jobs import JobError, set_default_engine
+
+        with pytest.raises(JobError):
+            set_default_engine("warp")
+
     def test_identity_with_process_sharded_trials(self):
         """trial_workers>0: the executor path must merge to the same report."""
         source = load_source("memcmp")

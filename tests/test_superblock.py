@@ -1,0 +1,222 @@
+"""The superblock engine's own contract: trace geometry, deoptimisation
+boundaries, and observability.
+
+:mod:`tests.test_engine_equivalence` proves the engine byte-identical to
+the others from the outside; this module pins the *mechanism* — that
+traces actually close loops, that a trial forks, deoptimises while its
+fault window is open, fires, and re-enters compiled dispatch, and that
+the engine's obs counters account for exactly that.
+"""
+
+import pickle
+
+import pytest
+
+from repro.faults.models import (
+    FlagFlip,
+    InstructionSkip,
+    RepeatedFlagFlip,
+)
+from repro.faults.scheduler import TrialScheduler
+from repro.isa.superblock import UNBOUNDED, partition_image, superblock_tables
+from repro.minic.driver import compile_source
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import EngineProfiler
+from repro.programs import load_source
+from repro.toolchain import CompileConfig
+
+
+def _program(name="memcmp", scheme="ancode"):
+    return compile_source(load_source(name), config=CompileConfig(scheme=scheme))
+
+
+# ---------------------------------------------------------------------------
+# Trace geometry
+# ---------------------------------------------------------------------------
+class TestPartition:
+    def test_traces_close_loops(self):
+        # memcmp's compare loop must become a looping trace (a back edge
+        # to its own entry), not a chain of single-pass fragments — that
+        # closure is where the engine's speedup lives.
+        program = _program()
+        partition = partition_image(program.image, traces=True)
+        looping = [b for b in partition.blocks if b.loop or b.fall_loop]
+        assert looping, "no looping trace found in a loop-heavy program"
+
+    def test_basic_blocks_never_follow_branches(self):
+        # The speculative variant partitions at every control transfer:
+        # no loop closure, no followed Bcc arms.
+        program = _program()
+        partition = partition_image(program.image, traces=False)
+        for block in partition.blocks:
+            assert not block.loop and not block.fall_loop
+            assert not block.taken
+
+    def test_looping_traces_publish_unbounded_footprint(self):
+        # Phase-1 (windowed) stepping must never enter a looping trace:
+        # its retired-instruction count is unknowable up front, so it
+        # advertises an UNBOUNDED guard count.
+        program = _program()
+        cpu = program.prepare_cpu("run_memcmp", [8], dispatch="superblock")
+        table = superblock_tables(cpu)
+        partition = partition_image(program.image, traces=True)
+        saw_unbounded = False
+        for block in partition.blocks:
+            entry = table.get(block.addr)
+            if entry is None:
+                continue
+            guard_count = entry[1]
+            if block.loop:
+                assert guard_count >= UNBOUNDED, hex(block.addr)
+                saw_unbounded = True
+        assert saw_unbounded
+
+    def test_table_cache_is_not_pickled(self):
+        # The compiled trace table holds exec'd functions; the image must
+        # travel to executor workers without it and rebuild lazily.
+        program = _program()
+        cpu = program.prepare_cpu("run_memcmp", [8], dispatch="superblock")
+        superblock_tables(cpu)
+        assert program.image._superblock_cache
+        clone = pickle.loads(pickle.dumps(program.image))
+        assert clone._superblock_cache is None
+        # and the clone still runs (rebuilding its own cache)
+        result = program.run("run_memcmp", [8], dispatch="superblock")
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# Deoptimisation boundaries
+# ---------------------------------------------------------------------------
+class TestDeoptBoundary:
+    def test_fork_deopt_fire_reenter(self):
+        # The canonical trial shape: fork from a checkpoint, single-step
+        # while the fault window is open, fire, then re-enter compiled
+        # dispatch for the suffix.  Both forking engines must agree on
+        # the full ExecutionResult — cycles included — and the superblock
+        # stats must show both compiled blocks *and* deopt steps.
+        program = _program()
+        fork = TrialScheduler.for_program(program, "run_memcmp", [16])
+        sblk = TrialScheduler.for_program(
+            program, "run_memcmp", [16], dispatch="superblock"
+        )
+        total = fork.golden.instructions
+        model = InstructionSkip(total // 2)
+
+        shared = ("trials", "forked", "short_circuited",
+                  "simulated_instructions", "simulated_cycles")
+        fork0 = {f: getattr(fork.stats, f) for f in shared}
+        expected = fork.run_trial(model)
+        fork_deltas = {f: getattr(fork.stats, f) - fork0[f] for f in shared}
+
+        blocks0 = sblk.stats.superblock_blocks
+        steps0 = sblk.stats.superblock_deopt_steps
+        sblk0 = {f: getattr(sblk.stats, f) for f in shared}
+        result = sblk.run_trial(model)
+        sblk_deltas = {f: getattr(sblk.stats, f) - sblk0[f] for f in shared}
+
+        assert result == expected
+        # The engine-independent obs counters move identically...
+        assert fork_deltas == sblk_deltas
+        # ...and the superblock-specific ones show the deopt round trip.
+        assert sblk.stats.superblock_blocks > blocks0, "never re-entered traces"
+        assert sblk.stats.superblock_deopt_steps > steps0, "never deoptimised"
+
+    def test_windowed_trial_steps_only_near_the_window(self):
+        # A one-instruction window deep in the run must not force
+        # stepping for the whole trial: the deopt steps for that trial
+        # stay well under the golden instruction count.
+        program = _program()
+        scheduler = TrialScheduler.for_program(
+            program, "run_memcmp", [32], dispatch="superblock"
+        )
+        total = scheduler.golden.instructions
+        steps0 = scheduler.stats.superblock_deopt_steps
+        scheduler.run_trial(InstructionSkip(total - 5))
+        stepped = scheduler.stats.superblock_deopt_steps - steps0
+        assert 0 < stepped < total // 2
+
+    def test_unbounded_hook_falls_back_entirely(self):
+        # RepeatedFlagFlip carries no fire window; the engine must run
+        # the whole trial on the hooked step loop (no compiled blocks, no
+        # counted deopt steps) and still match the fork engine exactly.
+        program = _program()
+        fork = TrialScheduler.for_program(program, "run_memcmp", [16])
+        sblk = TrialScheduler.for_program(
+            program, "run_memcmp", [16], dispatch="superblock"
+        )
+        model = RepeatedFlagFlip("z")
+        expected = fork.run_trial(model)
+        blocks0 = sblk.stats.superblock_blocks
+        result = sblk.run_trial(model)
+        assert result == expected
+        assert sblk.stats.superblock_blocks == blocks0
+
+    @pytest.mark.parametrize("scheme", ["none", "ancode", "duplication"])
+    def test_cycle_exact_across_trial_zoo(self, scheme):
+        # Cycle accounting is part of the trial contract (timeout
+        # classification depends on it): windowed and unbounded models,
+        # early and late windows.
+        program = _program(scheme=scheme)
+        fork = TrialScheduler.for_program(program, "run_memcmp", [16])
+        sblk = TrialScheduler.for_program(
+            program, "run_memcmp", [16], dispatch="superblock"
+        )
+        total = fork.golden.instructions
+        zoo = [
+            InstructionSkip(1),
+            InstructionSkip(total // 3),
+            InstructionSkip(total),
+            FlagFlip("z", 1),
+            FlagFlip("c", 2),
+            RepeatedFlagFlip("z"),
+        ]
+        for model in zoo:
+            expected = fork.run_trial(model)
+            result = sblk.run_trial(model)
+            assert result == expected, f"{scheme}/{model}"
+            assert result.cycles == expected.cycles
+
+    def test_timeout_boundary_sweep(self):
+        # Exact timeout behaviour: for every max_cycles cutoff, the
+        # superblock run must stop at the same instruction with the same
+        # status as the cached step loop (the back-edge budget guard and
+        # the entry guard both matter here).
+        program = _program(scheme="ancode")
+        full = program.run("run_memcmp", [8], dispatch="cached")
+        for max_cycles in range(0, full.cycles + 2, 7):
+            cached = program.run("run_memcmp", [8], max_cycles, dispatch="cached")
+            sblk = program.run(
+                "run_memcmp", [8], max_cycles, dispatch="superblock"
+            )
+            assert cached == sblk, f"max_cycles={max_cycles}"
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+class TestObsCounters:
+    def test_scheduler_stats_reach_the_registry(self):
+        program = _program()
+        scheduler = TrialScheduler.for_program(
+            program, "run_memcmp", [16], dispatch="superblock"
+        )
+        total = scheduler.golden.instructions
+        for occurrence in (1, total // 2, total):
+            scheduler.run_trial(InstructionSkip(occurrence))
+        profiler = EngineProfiler(MetricsRegistry())
+        profiler.sample_scheduler(scheduler)
+        registry = profiler.registry
+        blocks = registry.counter("repro_engine_superblock_blocks_total").value
+        steps = registry.counter(
+            "repro_engine_superblock_deopt_steps_total"
+        ).value
+        assert blocks == scheduler.stats.superblock_blocks > 0
+        assert steps == scheduler.stats.superblock_deopt_steps > 0
+
+    def test_fork_engine_reports_no_superblock_activity(self):
+        program = _program()
+        scheduler = TrialScheduler.for_program(program, "run_memcmp", [16])
+        scheduler.run_trial(InstructionSkip(3))
+        assert scheduler.stats.superblock_blocks == 0
+        assert scheduler.stats.superblock_deopt_steps == 0
