@@ -42,7 +42,7 @@ def _detect_version() -> str:
 
         return version("repro-secure-branches")
     except Exception:
-        return "1.7.0"  # keep in sync with pyproject.toml
+        return "1.8.0"  # keep in sync with pyproject.toml
 
 
 __version__ = _detect_version()

@@ -123,6 +123,15 @@ class SchemeDiff:
                 f"{a.function}{tuple(a.args)} vs {b.function}{tuple(b.args)}"
                 f" — a scheme diff needs the same program input on both sides"
             )
+        target_a = getattr(a, "target", "baseline")
+        target_b = getattr(b, "target", "baseline")
+        if target_a != target_b:
+            raise AnalysisError(
+                f"maps cover different machine targets: {target_a!r} vs "
+                f"{target_b!r} — per-site addresses/mnemonics are target "
+                f"vocabulary; compare cross-target rankings with "
+                f"reproduce_table3(target=...) instead"
+            )
         totals_a = a.attack_totals()
         totals_b = b.attack_totals()
         shared = [label for label in totals_a if label in totals_b]

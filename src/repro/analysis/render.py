@@ -137,10 +137,12 @@ def render_table3(reproduction) -> str:
                 ),
             ]
         )
+    target = getattr(reproduction, "target", "baseline")
+    target_note = "" if target == "baseline" else f" [target: {target}]"
     return format_table(
         f"Table III reproduction — {reproduction.function}"
         f"({', '.join(map(str, reproduction.args))}) "
-        f"[source: {reproduction.source}]",
+        f"[source: {reproduction.source}]{target_note}",
         ["Rank", "Scheme", "Undetected wrong", "Defeated by", "Per-attack outcomes"],
         rows,
     )

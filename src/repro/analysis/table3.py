@@ -24,6 +24,7 @@ scheme.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -42,12 +43,14 @@ TABLE3_ATTACKS = (
 TABLE3_WORKLOAD = ("integer_compare", "integer_compare", (7, 7))
 
 
-def table3_jobs(schemes=None) -> dict:
+def table3_jobs(schemes=None, target: str = "baseline") -> dict:
     """The canonical Table III campaign per scheme, as serialisable
     :class:`~repro.service.jobs.CampaignJob` values.  Content-hash job
     ids make these the lookup keys for store-backed reproduction — run
     them through a service once and every later
-    :func:`reproduce_table3(store=...) <reproduce_table3>` is free."""
+    :func:`reproduce_table3(store=...) <reproduce_table3>` is free.
+    ``target`` selects the machine target; the config's content hash
+    keys it, so per-target jobs never collide in a store."""
     from repro.programs import load_source
     from repro.service.jobs import AttackSpec, CampaignJob
     from repro.toolchain.config import CompileConfig
@@ -60,12 +63,16 @@ def table3_jobs(schemes=None) -> dict:
             source=source,
             function=function,
             args=args,
-            config=CompileConfig(scheme=scheme),
+            config=CompileConfig(scheme=scheme, target=target),
             attacks=tuple(
                 AttackSpec.make(suite, label=label, **kwargs)
                 for label, suite, kwargs in TABLE3_ATTACKS
             ),
-            title=f"table3/{scheme}",
+            title=(
+                f"table3/{scheme}"
+                if target == "baseline"
+                else f"table3/{target}/{scheme}"
+            ),
         )
         for scheme in (schemes or table3_schemes())
     }
@@ -123,6 +130,9 @@ class Table3Reproduction:
     rows: list[Table3Row] = field(default_factory=list)
     #: where each row's report came from: "reports", "store", or "run"
     source: str = "run"
+    #: machine target the campaigns ran on (side-by-side reproductions
+    #: compare rankings across targets)
+    target: str = "baseline"
 
     def __post_init__(self) -> None:
         self.rows.sort(key=lambda row: (row.undetected_wrong, row.scheme))
@@ -140,7 +150,7 @@ class Table3Reproduction:
         raise KeyError(scheme)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "kind": "table3-reproduction",
             "function": self.function,
             "args": list(self.args),
@@ -148,6 +158,10 @@ class Table3Reproduction:
             "ranking": self.ranking,
             "rows": [row.to_dict() for row in self.rows],
         }
+        # Baseline omitted for byte-stability of pre-multi-target dumps.
+        if self.target != "baseline":
+            data["target"] = self.target
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Table3Reproduction":
@@ -156,6 +170,7 @@ class Table3Reproduction:
             args=[int(a) for a in data.get("args") or ()],
             rows=[Table3Row.from_dict(row) for row in data.get("rows") or ()],
             source=data.get("source", "run"),
+            target=data.get("target", "baseline"),
         )
 
     def to_json(self) -> str:
@@ -165,6 +180,40 @@ class Table3Reproduction:
         from repro.analysis.render import render_table3
 
         return render_table3(self)
+
+
+def table3_report(
+    program, function, args, executor=None, engine: str = "fork",
+    max_skips: Optional[int] = None,
+) -> CampaignReport:
+    """Run the canonical Table III attacks against one compiled program.
+
+    The building block for reproducing the table on workloads beyond the
+    canonical ``integer_compare`` — run it per scheme on any device
+    program (on any target) and feed the results to
+    :func:`reproduce_table3(reports=...) <reproduce_table3>`.  ``engine``
+    selects the trial engine (``"superblock"`` is the proven-identical
+    fast path for the full-sweep workloads).  ``max_skips`` bounds the
+    ``skip-sweep`` to the first N dynamic instructions — required for
+    long-running programs (the bootloader retires millions of
+    instructions, so an unbounded one-trial-per-instruction sweep is
+    intractable); the branch decisions the table ranks on sit in that
+    prefix.
+    """
+    from repro.service.jobs import ATTACK_SUITES
+
+    report = CampaignReport(scheme=program.scheme)
+    for label, suite, kwargs in TABLE3_ATTACKS:
+        if suite == "skip-sweep" and max_skips is not None:
+            kwargs = {**kwargs, "last": max_skips}
+        result = ATTACK_SUITES[suite](
+            program, function, list(args), executor=executor, engine=engine,
+            **kwargs
+        )
+        if result.attack != label:
+            result = dataclasses.replace(result, attack=label)
+        report.attacks[label] = result
+    return report
 
 
 def _row_from_report(scheme: str, report: CampaignReport) -> Table3Row:
@@ -187,6 +236,8 @@ def reproduce_table3(
     schemes=None,
     executor=None,
     require_stored: bool = False,
+    target: str = "baseline",
+    workload: Optional[tuple] = None,
 ) -> Table3Reproduction:
     """Rebuild Table III (see module docstring for the source precedence).
 
@@ -195,10 +246,26 @@ def reproduce_table3(
     instead (strict no-re-execution mode).  ``executor`` shards any
     in-process runs across a
     :class:`~repro.toolchain.executor.CampaignExecutor`.
+
+    ``target`` reruns the whole table on another machine target (e.g.
+    ``"rv32"``) — the headline cross-target question is whether the
+    scheme *ranking* survives a different branch architecture.
+
+    ``workload`` (``(function, args)``) labels a ``reports``-sourced
+    reproduction built from another device program (see
+    :func:`table3_report`); it only adjusts the displayed workload — the
+    canonical store/run paths always use :data:`TABLE3_WORKLOAD`.
     """
     from repro.toolchain.registry import table3_schemes
 
     _, function, args = TABLE3_WORKLOAD
+    if workload is not None:
+        if reports is None:
+            raise AnalysisError(
+                "workload= only labels a reports-sourced reproduction; "
+                "build per-program reports with table3_report first"
+            )
+        function, args = workload
     schemes = tuple(schemes or table3_schemes())
     rows: list[Table3Row] = []
     if reports is not None:
@@ -210,9 +277,10 @@ def reproduce_table3(
             args=list(args),
             rows=[_row_from_report(s, reports[s]) for s in schemes],
             source="reports",
+            target=target,
         )
 
-    jobs = table3_jobs(schemes)
+    jobs = table3_jobs(schemes, target=target)
     stored: dict[str, CampaignReport] = {}
     if store is not None:
         from repro.service.jobs import _scheme_revision, report_from_dict
@@ -250,7 +318,8 @@ def reproduce_table3(
         rows.append(_row_from_report(scheme, report))
     source = "store" if store is not None and len(stored) == len(schemes) else "run"
     return Table3Reproduction(
-        function=function, args=list(args), rows=rows, source=source
+        function=function, args=list(args), rows=rows, source=source,
+        target=target,
     )
 
 

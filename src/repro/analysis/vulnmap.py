@@ -113,6 +113,9 @@ class VulnerabilityMap:
     #: attack labels present in the report but *without* records (their
     #: trials cannot be located; they are excluded from every tally here)
     skipped_attacks: list[str] = field(default_factory=list)
+    #: machine target the program was compiled for — a map's addresses
+    #: and mnemonics are target vocabulary, meaningless on another target
+    target: str = "baseline"
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -134,7 +137,12 @@ class VulnerabilityMap:
         trace = program.trial_scheduler(function, list(args)).trace
         image = program.image
         by_addr: dict[int, InstructionCell] = {}
-        vmap = cls(scheme=report.scheme, function=function, args=list(args))
+        vmap = cls(
+            scheme=report.scheme,
+            function=function,
+            args=list(args),
+            target=getattr(image, "target", "baseline"),
+        )
         for label, result in report.attacks.items():
             if result.records is None:
                 vmap.skipped_attacks.append(label)
@@ -217,7 +225,7 @@ class VulnerabilityMap:
 
     # -- serialisation -----------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "kind": "vulnerability-map",
             "scheme": self.scheme,
             "function": self.function,
@@ -231,6 +239,11 @@ class VulnerabilityMap:
             },
             "totals": self.totals(),
         }
+        # Baseline omitted so pre-multi-target stored maps stay
+        # byte-identical under re-serialisation.
+        if self.target != "baseline":
+            data["target"] = self.target
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "VulnerabilityMap":
@@ -250,6 +263,7 @@ class VulnerabilityMap:
             },
             attacks=list(data.get("attacks") or ()),
             skipped_attacks=list(data.get("skipped_attacks") or ()),
+            target=data.get("target", "baseline"),
         )
 
     def to_json(self) -> str:

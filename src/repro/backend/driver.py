@@ -54,6 +54,11 @@ class CompiledProgram:
         return self.image.function_sizes[function]
 
     @property
+    def target(self) -> str:
+        """Name of the machine target the image was assembled for."""
+        return getattr(self.image, "target", "baseline")
+
+    @property
     def code_size(self) -> int:
         return self.image.code_size
 
@@ -189,7 +194,7 @@ def compile_ir(
             split_critical_edges(func)
     verify_module(module)
 
-    machine_functions = select_module(module, config.hw_modulo)
+    machine_functions = select_module(module, config.hw_modulo, target=config.target)
     for mf in machine_functions:
         hoist_constants(mf)
         allocate(mf)
@@ -220,7 +225,7 @@ def compile_ir(
         AsmFunction(mf.name, [AsmBlock(b.label, b.instructions) for b in mf.blocks])
         for mf in machine_functions
     ]
-    image = assemble(asm_functions, data)
+    image = assemble(asm_functions, data, target=config.target)
     return CompiledProgram(
         image=image,
         machine_functions=machine_functions,

@@ -3,7 +3,10 @@
 One IR value = one virtual register (SSA in, so single definition).  Phi
 nodes become parallel copies at the end of predecessor blocks (critical
 edges are split beforehand, which keeps the copy placement sound).
-Comparisons feeding a conditional branch are fused into CMP+Bcc; protected
+Comparisons feeding a conditional branch are fused into CMP+Bcc on
+flag-based targets; flagless targets (``target.flag_branches`` False, e.g.
+``rv32``) lower the same comparison into a single fused register-compare
+branch (``BccReg``/``BccImm``) with no condition-code write.  Protected
 branches additionally drop a :class:`~repro.backend.machine.CfiMerge`
 pseudo into both successors and register a
 :class:`~repro.backend.machine.ProtectedBranchRecord`.
@@ -50,9 +53,14 @@ _INVERT = {
 
 
 class ISel:
-    def __init__(self, func: Function, hw_modulo: bool = False):
+    def __init__(self, func: Function, hw_modulo: bool = False, target=None):
+        if target is None:
+            from repro.target import get_target
+
+            target = get_target("baseline")
         self.func = func
         self.hw_modulo = hw_modulo
+        self.target = target
         self.mf = MachineFunction(func.name)
         self.vregs: dict[Value, VReg] = {}
         self.block_map: dict[BasicBlock, MachineBlock] = {}
@@ -269,13 +277,35 @@ class ISel:
         else:
             self.emit(ins.CmpReg(lhs, self.value_reg(rhs)))
 
+    def fused_branch(self, cond, label: str):
+        """A fused register-compare branch for flagless targets.
+
+        ``cond`` is either an ``ICmp`` (compare its operands directly) or a
+        boolean value (branch on ``!= 0``).  Emits any constant
+        materialisation, then returns the branch (caller emits it).
+        ``BccImm`` carries only the hot zero immediate; every other
+        constant is materialised through ``LoadConst`` so the constant
+        pool/rematerialisation machinery sees it like any other value.
+        """
+        if isinstance(cond, ir.ICmp):
+            cc = CC_OF[cond.predicate]
+            lhs = self.value_reg(cond.lhs)
+            rhs = cond.rhs
+            if isinstance(rhs, Constant) and rhs.value == 0:
+                return ins.BccImm(cc, label, rn=lhs, imm=0)
+            return ins.BccReg(cc, label, rn=lhs, rm=self.value_reg(rhs))
+        return ins.BccImm("ne", label, rn=self.value_reg(cond), imm=0)
+
     def materialize_bool(self, cmp: ir.ICmp) -> None:
         """rd = (lhs cc rhs) ? 1 : 0 using a fall-through Bcc."""
         dst = self.vreg(cmp)
         cont = self.mf.new_block("bool", after=self.current)
         self.emit(ins.MovImm(dst, 1))
-        self.emit_compare(cmp)
-        self.emit(ins.Bcc(CC_OF[cmp.predicate], cont.label))
+        if self.target.flag_branches:
+            self.emit_compare(cmp)
+            self.emit(ins.Bcc(CC_OF[cmp.predicate], cont.label))
+        else:
+            self.emit(self.fused_branch(cmp, cont.label))
         self.emit(ins.MovImm(dst, 0))
         self.emit(ins.B(cont.label))
         self.current = cont
@@ -344,14 +374,15 @@ class ISel:
         cond = term.condition
         then_label = self.label_of(term.then_block)
         else_label = self.label_of(term.else_block)
-        if isinstance(cond, ir.ICmp):
+        if not self.target.flag_branches:
+            self.emit(self.fused_branch(cond, then_label))
+        elif isinstance(cond, ir.ICmp):
             self.emit_compare(cond)
-            cc = CC_OF[cond.predicate]
+            self.emit(ins.Bcc(CC_OF[cond.predicate], then_label))
         else:
             # A boolean value: branch on != 0.
             self.emit(ins.CmpImm(self.value_reg(cond), 0))
-            cc = "ne"
-        self.emit(ins.Bcc(cc, then_label))
+            self.emit(ins.Bcc("ne", then_label))
         self.emit(ins.B(else_label))
 
         if term.protected is not None:
@@ -376,8 +407,10 @@ class ISel:
             )
 
 
-def select_function(func: Function, hw_modulo: bool = False) -> MachineFunction:
-    mf = ISel(func, hw_modulo).run()
+def select_function(
+    func: Function, hw_modulo: bool = False, target=None
+) -> MachineFunction:
+    mf = ISel(func, hw_modulo, target=target).run()
     # Exit block with the (to-be-filled) epilogue.
     exit_block = MachineBlock(f"{func.name}.__exit")
     exit_block.append(ins.BxLr())
@@ -385,9 +418,14 @@ def select_function(func: Function, hw_modulo: bool = False) -> MachineFunction:
     return mf
 
 
-def select_module(module: Module, hw_modulo: bool = False) -> list[MachineFunction]:
+def select_module(
+    module: Module, hw_modulo: bool = False, target: str = "baseline"
+) -> list[MachineFunction]:
+    from repro.target import get_target
+
+    tgt = get_target(target)
     return [
-        select_function(func, hw_modulo)
+        select_function(func, hw_modulo, target=tgt)
         for func in module.functions.values()
         if func.blocks
     ]

@@ -255,7 +255,7 @@ def first_fault_space(
                 program.image.function_ranges[focus] if focus else None
             )
             for occurrence, (index, addr) in enumerate(
-                zip(trace.indices("bcc"), trace.bcc_addrs), start=1
+                zip(trace.indices(trace.branch_mnemonic), trace.bcc_addrs), start=1
             ):
                 if focus_range and not (
                     focus_range[0] <= addr < focus_range[1]

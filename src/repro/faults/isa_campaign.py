@@ -339,9 +339,12 @@ def encoded_window(program, function, args, after_encodes: bool = False) -> tupl
     Both mnemonic hit-lists come from the workload's single memoized
     golden trace — no extra executions.
     """
+    from repro.target import get_target
+
+    target = get_target(getattr(program.image, "target", "baseline"))
     trace = golden_trace(program, function, args)
-    muls = trace.indices("mul")
-    branches = trace.indices("bcc")
+    muls = trace.indices(target.encode_mnemonic)
+    branches = trace.indices(target.branch_mnemonic)
     if not muls or not branches:
         raise ValueError("program has no encode/branch window")
     pre_branch_muls = [m for m in muls if m < branches[0]]

@@ -167,24 +167,24 @@ class FlagFlip(FaultModel):
             if isinstance(instr, ins.Bcc):
                 seen[0] += 1
                 if seen[0] == self.branch_occurrence:
-                    setattr(cpu, self.flag, getattr(cpu, self.flag) ^ 1)
+                    _flip_flag(cpu, instr, self.flag)
             return False
 
         return pre
 
     def first_fire_index(self, trace):
-        return trace.nth("bcc", self.branch_occurrence)
+        return trace.nth(trace.branch_mnemonic, self.branch_occurrence)
 
     def forked_hook(self, trace):
         # The branch-occurrence counter becomes an absolute dynamic index:
         # pre-fault, the trial retraces the golden run instruction for
         # instruction, so the N-th branch is exactly where it was there.
-        fire = trace.nth("bcc", self.branch_occurrence)
+        fire = trace.nth(trace.branch_mnemonic, self.branch_occurrence)
         flag = self.flag
 
         def pre(cpu: CPU, instr) -> bool:
             if cpu.dyn_index == fire:
-                setattr(cpu, flag, getattr(cpu, flag) ^ 1)
+                _flip_flag(cpu, instr, flag)
             return False
 
         if fire is not None:
@@ -195,9 +195,7 @@ class FlagFlip(FaultModel):
         return _resumed_branch_counter(
             trace,
             self.branch_occurrence,
-            lambda cpu, instr: setattr(
-                cpu, self.flag, getattr(cpu, self.flag) ^ 1
-            ),
+            lambda cpu, instr: _flip_flag(cpu, instr, self.flag),
         )
 
 
@@ -211,7 +209,7 @@ def _resumed_branch_counter(trace, target: int, fire):
     resume point.  From there it counts live branches on the actual —
     possibly divergent — execution, matching a from-start run exactly.
     """
-    bcc_hits = trace.indices("bcc")
+    bcc_hits = trace.indices(trace.branch_mnemonic)
     seen = [None]
 
     def pre(cpu: CPU, instr) -> bool:
@@ -235,6 +233,12 @@ class FlagFlipAt(FaultModel):
     the natural *second* fault of a :class:`~repro.faults.adversary.
     CompositeFault` — absolute timing stays meaningful after an earlier
     fault diverges the control flow, whereas "the N-th branch" does not.
+
+    On flagless targets (``cpu.flag_branches`` False) there is no NZCV
+    state to corrupt at an arbitrary instant; the glitch arms the CPU's
+    one-shot ``branch_invert`` latch instead, so the *next* fused branch
+    takes the wrong direction — the closest physical analogue of a
+    poisoned condition bit waiting to be consumed.
     """
 
     flag: str = "z"
@@ -243,7 +247,10 @@ class FlagFlipAt(FaultModel):
     def hook(self):
         def pre(cpu: CPU, instr) -> bool:
             if cpu.dyn_index == self.occurrence:
-                setattr(cpu, self.flag, getattr(cpu, self.flag) ^ 1)
+                if cpu.flag_branches:
+                    setattr(cpu, self.flag, getattr(cpu, self.flag) ^ 1)
+                else:
+                    cpu.branch_invert = True
             return False
 
         pre.fire_window = (self.occurrence, self.occurrence)
@@ -269,21 +276,30 @@ class RepeatedFlagFlip(FaultModel):
     def hook(self):
         def pre(cpu: CPU, instr) -> bool:
             if isinstance(instr, ins.Bcc):
-                setattr(cpu, self.flag, getattr(cpu, self.flag) ^ 1)
+                _flip_flag(cpu, instr, self.flag)
             return False
 
         return pre
 
     def first_fire_index(self, trace):
-        return trace.nth("bcc", 1)
+        return trace.nth(trace.branch_mnemonic, 1)
 
 
-def _invert_branch(cpu: CPU, cond: str) -> None:
-    """Force the flags so that ``cond`` evaluates opposite to now.
+def _invert_branch(cpu: CPU, instr) -> None:
+    """Invert the outcome of the conditional branch about to execute.
 
     Models an attacker with full control of the 1-bit decision (the
     hardware multiplexer the paper calls the single point of failure).
+    On flag-based branches the flags are forced so the condition
+    evaluates opposite to now; fused register-compare branches (flagless
+    targets) have no NZCV input, so the glitch lands directly on the
+    decision bit via the CPU's one-shot ``branch_invert`` latch —
+    physically the same multiplexer-output fault.
     """
+    if not type(instr).uses_flags:
+        cpu.branch_invert = True
+        return
+    cond = instr.cond
     before = cpu.condition_holds(cond)
     for flags in range(16):
         cpu.n, cpu.z, cpu.c, cpu.v = (
@@ -295,6 +311,17 @@ def _invert_branch(cpu: CPU, cond: str) -> None:
         if cpu.condition_holds(cond) != before:
             return
     raise AssertionError(f"condition {cond} cannot be inverted")
+
+
+def _flip_flag(cpu: CPU, instr, flag: str) -> None:
+    """Flip ``flag`` before a conditional branch — or, on a fused
+    register-compare branch (no flag input), glitch the decision bit
+    itself: the flag-glitch family degenerates to the 1-bit
+    branch-decision fault on flagless targets."""
+    if not type(instr).uses_flags:
+        cpu.branch_invert = True
+        return
+    setattr(cpu, flag, getattr(cpu, flag) ^ 1)
 
 
 @dataclass(frozen=True)
@@ -310,20 +337,20 @@ class BranchDirectionFlip(FaultModel):
             if isinstance(instr, ins.Bcc):
                 seen[0] += 1
                 if seen[0] == self.branch_occurrence:
-                    _invert_branch(cpu, instr.cond)
+                    _invert_branch(cpu, instr)
             return False
 
         return pre
 
     def first_fire_index(self, trace):
-        return trace.nth("bcc", self.branch_occurrence)
+        return trace.nth(trace.branch_mnemonic, self.branch_occurrence)
 
     def forked_hook(self, trace):
-        fire = trace.nth("bcc", self.branch_occurrence)
+        fire = trace.nth(trace.branch_mnemonic, self.branch_occurrence)
 
         def pre(cpu: CPU, instr) -> bool:
             if cpu.dyn_index == fire:
-                _invert_branch(cpu, instr.cond)
+                _invert_branch(cpu, instr)
             return False
 
         if fire is not None:
@@ -334,7 +361,7 @@ class BranchDirectionFlip(FaultModel):
         return _resumed_branch_counter(
             trace,
             self.branch_occurrence,
-            lambda cpu, instr: _invert_branch(cpu, instr.cond),
+            _invert_branch,
         )
 
 
@@ -354,7 +381,7 @@ class RepeatedBranchDirectionFlip(FaultModel):
 
         def pre(cpu: CPU, instr) -> bool:
             if isinstance(instr, ins.Bcc) and lo <= cpu.regs[15] < hi:
-                _invert_branch(cpu, instr.cond)
+                _invert_branch(cpu, instr)
             return False
 
         return pre
@@ -406,10 +433,10 @@ class PredictorFlip(FaultModel):
         return pre
 
     def first_fire_index(self, trace):
-        return trace.nth("bcc", self.branch_occurrence)
+        return trace.nth(trace.branch_mnemonic, self.branch_occurrence)
 
     def forked_hook(self, trace):
-        fire = trace.nth("bcc", self.branch_occurrence)
+        fire = trace.nth(trace.branch_mnemonic, self.branch_occurrence)
 
         def pre(cpu: CPU, instr) -> bool:
             if cpu.dyn_index == fire:

@@ -64,8 +64,12 @@ class GoldenTrace:
     #: ``mnemonic_indices[mnemonic]``) — lets :meth:`locate` map any
     #: dynamic index back to its static instruction, which is what the
     #: per-instruction vulnerability maps of :mod:`repro.analysis` are
-    #: built from.  ``bcc_addrs`` aliases ``mnemonic_addrs["bcc"]``.
+    #: built from.  ``bcc_addrs`` aliases
+    #: ``mnemonic_addrs[branch_mnemonic]``.
     mnemonic_addrs: dict[str, array] = field(default_factory=dict)
+    #: the target's conditional-branch mnemonic (fused rv32 branches share
+    #: ``bcc`` by design; a third-party target may differ).
+    branch_mnemonic: str = "bcc"
 
     def indices(self, mnemonic: str):
         """All dynamic indices at which ``mnemonic`` retired."""
@@ -80,7 +84,7 @@ class GoldenTrace:
 
     def first_bcc_in_range(self, lo: int, hi: int):
         """Dynamic index of the first conditional branch at lo <= addr < hi."""
-        for index, addr in zip(self.indices("bcc"), self.bcc_addrs):
+        for index, addr in zip(self.indices(self.branch_mnemonic), self.bcc_addrs):
             if lo <= addr < hi:
                 return index
         return None
@@ -208,16 +212,24 @@ class TrialScheduler:
         golden_max_cycles: int,
         record_addrs: bool,
     ) -> None:
+        from repro.target import get_target
+
         mnemonic_indices: dict[str, array] = {}
         mnemonic_addrs: dict[str, array] = {}
         addr_of = self.program.image.addr_of
+        # The conditional-branch mnemonic is target vocabulary, not a
+        # baseline constant (fused rv32 branches share "bcc" by design,
+        # but a third-party target need not).
+        branch_mn = get_target(
+            getattr(self.program.image, "target", "baseline")
+        ).branch_mnemonic
 
         def record(cpu, instr, events):
             mnemonic = instr.mnemonic
             hits = mnemonic_indices.get(mnemonic)
             if hits is None:
                 hits = mnemonic_indices[mnemonic] = array("I")
-                if record_addrs or mnemonic == "bcc":
+                if record_addrs or mnemonic == branch_mn:
                     mnemonic_addrs[mnemonic] = array("I")
             hits.append(cpu.dyn_index)
             addrs = mnemonic_addrs.get(mnemonic)
@@ -245,8 +257,9 @@ class TrialScheduler:
         self.trace = GoldenTrace(
             result,
             mnemonic_indices,
-            mnemonic_addrs.get("bcc", array("I")),
+            mnemonic_addrs.get(branch_mn, array("I")),
             mnemonic_addrs,
+            branch_mnemonic=branch_mn,
         )
         self.checkpoints = checkpoints
         self._checkpoint_retired = [snap.retired for snap in checkpoints]

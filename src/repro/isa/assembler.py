@@ -12,7 +12,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.isa import instructions as ins
-from repro.isa.encoding import width
 
 
 class AsmError(ValueError):
@@ -58,6 +57,10 @@ class CodeImage:
     data_addrs: dict  # data segment name -> address
     data_image: list  # (address, bytes)
     code_size: int = 0
+    #: name of the machine target the image was assembled for; the decode
+    #: cache, superblock partitioner, disassembler and default cycle
+    #: model all resolve widths/timing through it (see repro.target).
+    target: str = "baseline"
     #: lazily-built addr -> (handler, instr, width) table shared by every
     #: CPU executing this image (see repro.isa.dispatch).
     _decode_cache: Optional[dict] = field(
@@ -125,7 +128,11 @@ def assemble(
     functions: list[AsmFunction],
     data: Optional[list[DataSegment]] = None,
     code_base: int = CODE_BASE,
+    target: str = "baseline",
 ) -> CodeImage:
+    from repro.target import get_target  # late: avoids an import cycle
+
+    width = get_target(target).width
     ordered: list = []
     owner: dict[int, str] = {}
     label_of_instr_block: dict[str, list] = {}
@@ -222,4 +229,5 @@ def assemble(
         data_addrs=data_addrs,
         data_image=data_image,
         code_size=code_end - code_base,
+        target=target,
     )

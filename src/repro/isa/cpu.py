@@ -162,7 +162,16 @@ class CPU:
         if dispatch not in ("cached", "superblock", "reference"):
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.image = image
-        self.cycles_model = cycle_model or CycleModel()
+        from repro.target import get_target  # late: avoids import cycle
+
+        target = get_target(getattr(image, "target", "baseline"))
+        if cycle_model is None:
+            cycle_model = target.cycle_model()
+        self.cycles_model = cycle_model
+        #: whether this target's conditional branches read NZCV flags;
+        #: False on fused register-compare targets (rv32).  Fault models
+        #: consult it when a glitch is timed away from any branch.
+        self.flag_branches = target.flag_branches
         self.memory = bytearray(memory_size)
         for addr, payload in image.data_image:
             self.memory[addr : addr + len(payload)] = payload
@@ -185,6 +194,10 @@ class CPU:
         self.monitor = None
         self._cfi_events: list[CfiEvent] = []
         self._pending_pc: Optional[int] = None
+        #: one-shot latch: the next fused register-compare branch takes
+        #: the wrong direction (fault models' branch inversion on flagless
+        #: targets, where forcing NZCV would be a silent no-op).
+        self.branch_invert = False
         self.dispatch = dispatch
         #: superblock-engine work counters (repro.obs feeds on these):
         #: compiled blocks chained / deopt single-steps taken.
@@ -460,6 +473,7 @@ class CPU:
         if snap.spec is not None:
             self.spec.restore_state(snap.spec)
         self._pending_pc = None
+        self.branch_invert = False
         self._cfi_events.clear()
 
     # ------------------------------------------------------------------
@@ -630,6 +644,20 @@ class CPU:
         elif isinstance(instr, ins.B):
             self._pending_pc = instr.target
             self.cycles += model.branch_taken()
+        elif isinstance(instr, (ins.BccReg, ins.BccImm)):
+            # Fused register-compare branches (flagless targets); must be
+            # tested before the plain Bcc arm they subclass.
+            a = regs[instr.rn]
+            b = instr.imm & WORD if isinstance(instr, ins.BccImm) else regs[instr.rm]
+            holds = ins.condition_compare(instr.cond, a, b)
+            if self.branch_invert:
+                self.branch_invert = False
+                holds = not holds
+            if holds:
+                self._pending_pc = instr.target
+                self.cycles += model.branch_taken()
+            else:
+                self.cycles += model.branch_not_taken()
         elif isinstance(instr, ins.Bcc):
             if self.condition_holds(instr.cond):
                 self._pending_pc = instr.target

@@ -3,11 +3,18 @@
 from __future__ import annotations
 
 from repro.isa.assembler import CodeImage
-from repro.isa.encoding import width
 
 
 def annotated_listing(image: CodeImage) -> str:
-    """Listing with addresses, widths, and function boundaries."""
+    """Listing with addresses, widths, and function boundaries.
+
+    Widths come from the image's target — the same encoding rules the
+    assembler laid the image out with — so cross-target listings stay
+    faithful (baseline Thumb-flavoured vs rv32 compressed rules differ).
+    """
+    from repro.target import get_target
+
+    width = get_target(getattr(image, "target", "baseline")).width
     lines = []
     label_at: dict[int, list[str]] = {}
     for label, addr in image.labels.items():

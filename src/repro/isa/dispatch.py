@@ -474,6 +474,54 @@ def _bind_bcc(i: ins.Bcc, addr, next_pc):
     return h
 
 
+def _fused_holds(i: ins.Bcc):
+    """Condition evaluator for a fused register-compare branch.
+
+    Flagless targets have no NZCV state to force, so the fault models'
+    branch-inversion glitch lands in the CPU's one-shot ``branch_invert``
+    latch instead; consuming it here (inside the evaluator) keeps every
+    engine — cached handlers, the reference interpreter, and the
+    speculative retire path — behind one source of truth.
+    """
+    cond = i.cond
+    rn = i.rn
+    if type(i) is ins.BccImm:
+        imm = i.imm & WORD
+
+        def holds(cpu):
+            h = ins.condition_compare(cond, cpu.regs[rn], imm)
+            if cpu.branch_invert:
+                cpu.branch_invert = False
+                return not h
+            return h
+
+    else:
+        rm = i.rm
+
+        def holds(cpu):
+            h = ins.condition_compare(cond, cpu.regs[rn], cpu.regs[rm])
+            if cpu.branch_invert:
+                cpu.branch_invert = False
+                return not h
+            return h
+
+    return holds
+
+
+def _bind_bcc_fused(i: ins.Bcc, addr, next_pc):
+    holds = _fused_holds(i)
+    target = i.target
+
+    def h(cpu):
+        if holds(cpu):
+            cpu.cycles += cpu._c_branch_taken
+            return target
+        cpu.cycles += cpu._c_branch_not_taken
+        return next_pc
+
+    return h
+
+
 def _bind_bl(i: ins.Bl, addr, next_pc):
     target = i.target
 
@@ -632,6 +680,8 @@ _BINDERS: dict[type, Callable] = {
     ins.CmpImm: _bind_cmp_imm,
     ins.B: _bind_b,
     ins.Bcc: _bind_bcc,
+    ins.BccReg: _bind_bcc_fused,
+    ins.BccImm: _bind_bcc_fused,
     ins.Bl: _bind_bl,
     ins.BxLr: _bind_bx_lr,
     ins.LdrImm: _bind_ldr_imm,
@@ -666,7 +716,7 @@ def static_cost(instr: ins.Instr, cpu) -> int | None:
     snapshots, means the two tiers cannot drift.
     """
     cls = type(instr)
-    if cls in (ins.Udiv, ins.Sdiv, ins.Bcc):
+    if cls in (ins.Udiv, ins.Sdiv) or cls in ins.BCC_CLASSES:
         return None
     if cls in (ins.Push, ins.Pop):
         return cpu.cycles_model.push_pop(len(instr.regs))
@@ -717,16 +767,24 @@ def bind_spec_bcc(instr: ins.Bcc, addr: int, width: int):
     the reference interpreter route conditional branches through the
     handler built from these operands when speculation is enabled, which
     is what keeps predictor updates from drifting between the paths.
+    Fused register-compare branches resolve through the same evaluator
+    the cached handler closes over (:func:`_fused_holds`), latch
+    consumption included.
     """
-    return _COND[instr.cond], instr.target, addr + width
+    if type(instr) is ins.Bcc:
+        return _COND[instr.cond], instr.target, addr + width
+    return _fused_holds(instr), instr.target, addr + width
 
 
 def build_decode_cache(image) -> dict[int, DecodeEntry]:
     """Decode every instruction of ``image`` once, keyed by address."""
+    from repro.target import get_target  # late: avoids an import cycle
+
     cache: dict[int, DecodeEntry] = {}
     addr_of = image.addr_of
+    width_of = get_target(getattr(image, "target", "baseline")).width
     for instr in image.instructions:
         addr = addr_of[id(instr)]
-        w = encoded_width(instr)
+        w = width_of(instr)
         cache[addr] = (bind(instr, addr, w), instr, w)
     return cache

@@ -374,6 +374,11 @@ class Bcc(Instr):
     cond: str
     label: str
     mnemonic = "bcc"
+    #: conditional branches that read the NZCV flags; the fused
+    #: register-compare subclasses below override this, and the fault
+    #: models use it to decide between flag forcing and the CPU's
+    #: ``branch_invert`` latch when inverting a branch.
+    uses_flags = True
     target: Optional[int] = field(default=None, compare=False)
 
     def text(self) -> str:
@@ -382,6 +387,85 @@ class Bcc(Instr):
     @property
     def is_terminator(self) -> bool:
         return False  # fall-through continues in the block
+
+
+@dataclass(repr=False)
+class BccReg(Bcc):
+    """Fused compare-and-branch on two registers (RISC-V style).
+
+    Flagless targets have no NZCV state: the branch itself compares
+    ``rn`` against ``rm`` under ``cond`` (signed for lt/le/gt/ge,
+    unsigned for lo/ls/hi/hs).  Subclassing :class:`Bcc` keeps every
+    ``isinstance``-based consumer (CFI instrumentation, fault models,
+    golden-trace capture) working unchanged; exact-type dispatch sites
+    carry explicit entries.  The mnemonic stays ``bcc`` so golden traces
+    index conditional branches identically across targets.
+    """
+
+    rn: object = 0
+    rm: object = 0
+    uses_flags = False
+    USES = ("rn", "rm")
+
+    def text(self) -> str:
+        return f"b{self.cond} {reg_name(self.rn)}, {reg_name(self.rm)}, {self.label}"
+
+
+@dataclass(repr=False)
+class BccImm(Bcc):
+    """Fused compare-and-branch of a register against an immediate.
+
+    The compare-with-zero form (``beqz``/``bnez`` flavour); the rv32
+    backend emits it only for ``imm == 0`` and materializes any other
+    constant into a register first.
+    """
+
+    rn: object = 0
+    imm: int = 0
+    uses_flags = False
+    USES = ("rn",)
+
+    def text(self) -> str:
+        return f"b{self.cond} {reg_name(self.rn)}, #{self.imm}, {self.label}"
+
+
+#: The conditional-branch instruction classes (exact types).  Exact-type
+#: dispatch sites — the decode-cache binder table, the superblock
+#: partitioner and code generator, the speculative decode wrapper — use
+#: this instead of ``type(i) is Bcc`` so fused branches participate.
+BCC_CLASSES = (Bcc, BccReg, BccImm)
+
+
+def condition_compare(cond: str, a: int, b: int) -> bool:
+    """Direct register-compare semantics of ``cond`` (flagless targets).
+
+    ``a``/``b`` are unsigned 32-bit register values.  Matches the
+    flag-based evaluation of ``cmp a, b`` followed by ``b<cond>`` bit for
+    bit: lt/le/gt/ge are signed, lo/ls/hi/hs unsigned.
+    """
+    if cond == "eq":
+        return a == b
+    if cond == "ne":
+        return a != b
+    if cond == "lo":
+        return a < b
+    if cond == "hs":
+        return a >= b
+    if cond == "hi":
+        return a > b
+    if cond == "ls":
+        return a <= b
+    sa = a - 0x1_0000_0000 if a & 0x8000_0000 else a
+    sb = b - 0x1_0000_0000 if b & 0x8000_0000 else b
+    if cond == "lt":
+        return sa < sb
+    if cond == "ge":
+        return sa >= sb
+    if cond == "gt":
+        return sa > sb
+    if cond == "le":
+        return sa <= sb
+    raise ValueError(f"unknown condition {cond!r}")
 
 
 @dataclass(repr=False)

@@ -80,7 +80,6 @@ from repro.isa import instructions as ins
 from repro.isa.cpu import MAGIC_RETURN, PAGE_BITS, WORD, Status, _signed
 from repro.isa.cycles import CycleModel
 from repro.isa.dispatch import static_cost
-from repro.isa.encoding import width as encoded_width
 from repro.isa.mmio import MMIO
 from repro.isa.registers import SP, PC
 
@@ -103,7 +102,12 @@ UNBOUNDED = 1 << 60
 _TRACE_ENDS = (ins.B, ins.Bl, ins.BxLr, ins.Udf)
 
 #: control transfers the speculative-variant partitioner ends blocks at.
-_TERMINATORS = (ins.B, ins.Bcc, ins.Bl, ins.BxLr, ins.Udf)
+_TERMINATORS = (ins.B, ins.Bl, ins.BxLr, ins.Udf) + ins.BCC_CLASSES
+
+#: branch-family leaders (exact-type checks; BccReg/BccImm are distinct
+#: classes, so the plain tuple membership must enumerate the family).
+_BRANCH_LEADERS = (ins.B, ins.Bl) + ins.BCC_CLASSES
+_B_OR_BCC = (ins.B,) + ins.BCC_CLASSES
 
 #: condition -> (expression over flag locals, flags read) — mirrors
 #: dispatch._COND over pinned locals.
@@ -126,6 +130,32 @@ _COND_INV = {
     "eq": "ne", "ne": "eq", "hs": "lo", "lo": "hs", "hi": "ls",
     "ls": "hi", "lt": "ge", "ge": "lt", "gt": "le", "le": "gt",
 }
+
+#: fused register-compare branch conditions (flagless targets): Python
+#: comparison operators over pinned register locals.  Signed conditions
+#: compare with the sign bit flipped — ``(a ^ 0x80000000)`` orders 32-bit
+#: two's-complement values correctly while the locals stay unsigned.
+_FUSED_SIGNED = {"lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+_FUSED_UNSIGNED = {
+    "eq": "==", "ne": "!=", "lo": "<", "ls": "<=", "hi": ">", "hs": ">=",
+}
+
+
+def _fused_cond_expr(e: "_Emitter", instr, cond: str) -> str:
+    """Condition expression for a fused register-compare branch — the
+    compiled-trace mirror of :func:`repro.isa.instructions.
+    condition_compare` over register locals, no flag reads."""
+    a = e.r(instr.rn)
+    signed = _FUSED_SIGNED.get(cond)
+    if type(instr) is ins.BccImm:
+        b = instr.imm & 0xFFFFFFFF
+        if signed:
+            return f"({a} ^ 0x80000000) {signed} {(b ^ 0x80000000):#x}"
+        return f"{a} {_FUSED_UNSIGNED[cond]} {b:#x}"
+    b = e.r(instr.rm)
+    if signed:
+        return f"({a} ^ 0x80000000) {signed} ({b} ^ 0x80000000)"
+    return f"{a} {_FUSED_UNSIGNED[cond]} {b}"
 
 
 def _touches_pc(instr) -> bool:
@@ -169,11 +199,14 @@ def partition_image(image, traces: bool = True) -> _Partition:
     (the inline variants); ``traces=False`` builds plain basic blocks
     ending at every control transfer (the speculative variant).
     """
+    from repro.target import get_target  # late: avoids an import cycle
+
+    width_of = get_target(getattr(image, "target", "baseline")).width
     addr_of = image.addr_of
     items = []
     for instr in image.instructions:
         addr = addr_of[id(instr)]
-        items.append((addr, instr, encoded_width(instr)))
+        items.append((addr, instr, width_of(instr)))
     items.sort(key=lambda t: t[0])
 
     leaders = set(image.labels.values())
@@ -182,7 +215,7 @@ def partition_image(image, traces: bool = True) -> _Partition:
         cls = type(instr)
         if cls in (ins.Push, ins.Pop):
             push_counts.add(len(instr.regs))
-        if cls in (ins.B, ins.Bcc, ins.Bl):
+        if cls in _BRANCH_LEADERS:
             if instr.target is not None:
                 leaders.add(instr.target)
             leaders.add(addr + width)
@@ -219,7 +252,7 @@ def _loop_membership(blocks) -> dict:
         cls = type(tinstr)
         if cls is ins.B:
             out = [tinstr.target] if tinstr.target in starts else []
-        elif cls is ins.Bcc:
+        elif cls in ins.BCC_CLASSES:
             out = [t for t in (tinstr.target, taddr + twidth) if t in starts]
         else:  # Bl / BxLr / Udf
             out = []
@@ -233,7 +266,7 @@ def _loop_membership(blocks) -> dict:
         if b.term is None:
             continue
         taddr, tinstr, _ = b.term
-        if type(tinstr) not in (ins.B, ins.Bcc):
+        if type(tinstr) not in _B_OR_BCC:
             continue
         head = tinstr.target
         if head is None or head not in starts or head > taddr:
@@ -320,7 +353,7 @@ def _build_traces(items, leaders, member) -> list:
                 visited.add(addr)
                 block.body.append((addr, instr, width))
                 nxt = addr + width
-                if cls is ins.Bcc:
+                if cls in ins.BCC_CLASSES:
                     target = instr.target
                     if target == start:
                         block.loop = True
@@ -1057,17 +1090,24 @@ def _emit_side_exit(e: _Emitter, cpu, addr: int, instr, width: int,
     e.worst += max(taken, not_taken)
     e.emit_flush()
     if follow_taken:
-        cond, flags = _COND_EXPR[_COND_INV[instr.cond]]
-        for flag in flags:
-            e.f(flag)
+        cc = _COND_INV[instr.cond]
+        if type(instr) is ins.Bcc:
+            cond, flags = _COND_EXPR[cc]
+            for flag in flags:
+                e.f(flag)
+        else:
+            cond = _fused_cond_expr(e, instr, cc)
         e.emit(f"if {cond}:")
         e.emit_epilogue(extra_cycles=not_taken, extra=1)
         e.emit(f"return {addr + width:#x}", 1)
         e.k += taken
         return
-    cond, flags = _COND_EXPR[instr.cond]
-    for flag in flags:
-        e.f(flag)
+    if type(instr) is ins.Bcc:
+        cond, flags = _COND_EXPR[instr.cond]
+        for flag in flags:
+            e.f(flag)
+    else:
+        cond = _fused_cond_expr(e, instr, instr.cond)
     e.emit(f"if {cond}:")
     if e.loop and instr.target == start:
         _emit_back_edge(e, taken, start, worst_pass, extra=1)
@@ -1161,7 +1201,7 @@ def _emit_trace(block: _Block, cpu, image, monitor: bool, inline: bool,
     e.div_inline = type(cpu.cycles_model).div is CycleModel.div
     start = block.addr
     for addr, instr, width in block.body:
-        if type(instr) is ins.Bcc:
+        if type(instr) in ins.BCC_CLASSES:
             _emit_side_exit(e, cpu, addr, instr, width, start, worst_pass,
                             follow_taken=addr in block.taken)
         else:
@@ -1358,6 +1398,7 @@ def run_superblock(
                     blk is not None
                     and cpu.dyn_index + blk[1] < lo_min
                     and cpu.cycles + blk[2] < max_cycles
+                    and not cpu.branch_invert
                 ):
                     regs[PC] = blk[0](cpu, regs, max_cycles)
                     nblk += 1
@@ -1393,7 +1434,15 @@ def run_superblock(
                 return
             pc = regs[PC]
             blk = blocks.get(pc)
-            if blk is not None and cpu.cycles + blk[2] < max_cycles:
+            # Compiled traces evaluate fused branch conditions inline and
+            # never consult the one-shot branch_invert latch; while it is
+            # pending, fall to single-stepping (the decode-cache handlers
+            # consume it).
+            if (
+                blk is not None
+                and cpu.cycles + blk[2] < max_cycles
+                and not cpu.branch_invert
+            ):
                 regs[PC] = blk[0](cpu, regs, max_cycles)
                 nblk += 1
                 continue

@@ -182,7 +182,11 @@ def _build_job(args: argparse.Namespace) -> CampaignJob:
         source=source,
         function=args.function,
         args=workload_args,
-        config=CompileConfig(scheme=args.scheme, cfi_policy=args.cfi_policy),
+        config=CompileConfig(
+            scheme=args.scheme,
+            cfi_policy=args.cfi_policy,
+            target=args.target,
+        ),
         attacks=attacks,
         title=title,
     )
@@ -410,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--function", required=True, help="workload entry point")
     submit.add_argument("--args", default="", help="comma-separated int args")
     submit.add_argument("--scheme", default="ancode")
+    submit.add_argument(
+        "--target",
+        default="baseline",
+        help="machine target (see repro.target; e.g. baseline, rv32)",
+    )
     submit.add_argument("--cfi-policy", default="merge", dest="cfi_policy")
     submit.add_argument(
         "--attack",

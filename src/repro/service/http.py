@@ -6,7 +6,7 @@ A deliberately small HTTP/1.0-style server on ``asyncio.start_server``
 ==========  =============================  =====================================
 Method      Path                           Meaning
 ==========  =============================  =====================================
-``GET``     ``/status``                    service health: version, schemes,
+``GET``     ``/status``                    service health: version, schemes, targets,
                                            queue stats, job counts
 ``POST``    ``/jobs``                      submit a job (JSON body: the job
                                            envelope, optionally ``{"job": ...,
@@ -244,6 +244,7 @@ class ServiceServer:
 
     def _service_status(self) -> dict[str, Any]:
         from repro.spec import PREDICTORS, SpecConfig
+        from repro.target import list_targets
         from repro.toolchain.registry import list_schemes
 
         workbench = self.scheduler.workbench
@@ -251,6 +252,7 @@ class ServiceServer:
             "service": "repro.service",
             "version": repro.__version__,
             "schemes": list(list_schemes()),
+            "targets": list(list_targets()),
             "speculation": {
                 "suite": "speculative",
                 "predictors": sorted(PREDICTORS),

@@ -147,7 +147,7 @@ class SpecEngine:
         wrapped = {}
         for addr, entry in decode.items():
             instr, width = entry[1], entry[2]
-            if type(instr) is ins.Bcc:
+            if type(instr) in ins.BCC_CLASSES:
                 holds, target, next_pc = bind_spec_bcc(instr, addr, width)
 
                 def handler(
@@ -200,6 +200,10 @@ class SpecEngine:
         saved_status = cpu.status
         saved_exit = cpu.exit_code
         saved_detect = cpu.detect_code
+        # A fused branch executed transiently would consume the one-shot
+        # branch-invert latch; the squash must restore it like any other
+        # architectural state.
+        saved_invert = cpu.branch_invert
         cycles_start = cpu.cycles
         memory = cpu.memory
         store_buffer: dict[int, int] = {}
@@ -270,6 +274,7 @@ class SpecEngine:
             cpu.status = saved_status
             cpu.exit_code = saved_exit
             cpu.detect_code = saved_detect
+            cpu.branch_invert = saved_invert
         delta = cpu.cycles - cycles_start
         cpu.cycles = cycles_start
         self.transient_retired += steps

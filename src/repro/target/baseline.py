@@ -1,0 +1,85 @@
+"""The default target: the Thumb-2-flavoured machine the repo grew up on.
+
+Byte-identical to the pre-``repro.target`` stack by construction — it
+wraps the original width model (:mod:`repro.isa.encoding`) and cycle
+model (:mod:`repro.isa.cycles`) without touching either, and the
+byte-identity pin in ``tests/test_engine_equivalence.py`` holds it to
+that against checked-in pre-refactor fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.isa import instructions as ins
+from repro.isa.cycles import CycleModel
+from repro.isa.encoding import width as thumb2_width
+from repro.target.base import Target, register_target
+
+
+def _common_samples() -> list[ins.Instr]:
+    """Instruction samples shared by both bundled targets (everything
+    except the conditional-branch and compare lowering, which differ)."""
+    return [
+        ins.MovImm(0, 42),
+        ins.MovImm(9, 70000),
+        ins.MovReg(1, 2),
+        ins.Movw(3, 0xBEEF),
+        ins.Movt(3, 0xDEAD),
+        ins.Mvn(4, 5),
+        ins.Alu("add", 0, 1, 2, s=True),
+        ins.Alu("sub", 8, 9, 10),
+        ins.Alu("eor", 2, 2, 3, s=True),
+        ins.AluImm("add", 0, 0, 4, s=True),
+        ins.AluImm("sub", 13, 13, 16),
+        ins.ShiftImm("lsl", 1, 1, 3),
+        ins.ShiftReg("lsr", 2, 2, 4),
+        ins.Mul(3, 4, 3),
+        ins.Mla(5, 6, 7, 0),
+        ins.Mls(5, 6, 7, 0),
+        ins.Umull(0, 1, 2, 3),
+        ins.Udiv(0, 1, 2),
+        ins.Sdiv(0, 1, 2),
+        ins.Umod(0, 1, 2),
+        ins.B("somewhere"),
+        ins.Bl("callee"),
+        ins.BxLr(),
+        ins.LdrImm(0, 1, 8),
+        ins.LdrImm(0, 13, 4),
+        ins.LdrReg(0, 1, 2),
+        ins.StrImm(0, 1, 8, size=1),
+        ins.StrReg(0, 1, 2, size=2),
+        ins.Push((4, 5, 14)),
+        ins.Pop((4, 5, 15)),
+        ins.LdrLit(6, "pool0"),
+        ins.Nop(),
+        ins.Udf(0xE1),
+    ]
+
+
+class BaselineTarget(Target):
+    name = "baseline"
+    label = "Thumb-2 baseline"
+    description = (
+        "Cortex-M-flavoured machine: NZCV flags, cmp + b<cond> branches, "
+        "Thumb-2 T1/T2 narrow encodings, the paper's cycle model."
+    )
+    flag_branches = True
+    widths = (2, 4)
+
+    def cycle_model(self) -> CycleModel:
+        return CycleModel()
+
+    def width(self, instr: ins.Instr) -> int:
+        return thumb2_width(instr)
+
+    def sample_instructions(self) -> list[ins.Instr]:
+        samples = _common_samples()
+        samples += [
+            ins.CmpReg(0, 1),
+            ins.CmpImm(2, 200),
+            ins.Bcc("eq", "somewhere"),
+            ins.Bcc("lt", "somewhere"),
+        ]
+        return samples
+
+
+register_target(BaselineTarget())

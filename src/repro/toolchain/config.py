@@ -64,6 +64,11 @@ class CompileConfig:
     #: ``compile_source``/``Workbench`` only; ``compile_ir`` operates on an
     #: already-built module and ignores it.
     module_name: str = "minic"
+    #: Machine target the backend lowers to and the simulator models;
+    #: must be registered (see :mod:`repro.target`).  Part of the content
+    #: hash: compiling the same source for a different target is a
+    #: different compilation, different service job, different campaign.
+    target: str = "baseline"
 
     def __post_init__(self) -> None:
         from repro.toolchain.registry import get_scheme
@@ -91,6 +96,13 @@ class CompileConfig:
             raise ValueError(
                 f"module_name must be a non-empty string, got {self.module_name!r}"
             )
+        from repro.target import get_target
+
+        if not isinstance(self.target, str) or not self.target:
+            raise ValueError(
+                f"target must be a non-empty string, got {self.target!r}"
+            )
+        get_target(self.target)  # raises UnknownTargetError with the known set
 
     # -- presets (the Table III columns) --------------------------------
     @classmethod
@@ -135,7 +147,7 @@ class CompileConfig:
                 "c_rel": self.params.c_rel,
                 "c_eq": self.params.c_eq,
             }
-        return {
+        data = {
             "version": SERIAL_VERSION,
             "scheme": self.scheme,
             "params": params,
@@ -146,6 +158,12 @@ class CompileConfig:
             "operand_checks": self.operand_checks,
             "module_name": self.module_name,
         }
+        # The default target is omitted from the canonical dict so every
+        # pre-multi-target cache key, service job id, and stored manifest
+        # stays byte-identical; any other target is content-hashed.
+        if self.target != "baseline":
+            data["target"] = self.target
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CompileConfig":

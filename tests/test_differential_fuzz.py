@@ -162,11 +162,16 @@ class TestExpressionFuzz:
 # Python oracle here: the engines *are* each other's oracle, and any
 # mismatch is a reproducible seed.
 #
+# Every skeleton runs on both machine targets: per-target the engines
+# are each other's oracle, and across targets the unprotected scheme is
+# its own metamorphic oracle (functional semantics are target-invariant
+# even though codegen, cycle counts and fault surfaces are not).
+#
 # Repro recipe for a failing seed N:
 #
 #     PYTHONPATH=src:. python -c \
 #         "from tests.test_differential_fuzz import reproduce_cfg_seed; \
-#          reproduce_cfg_seed(N)"
+#          reproduce_cfg_seed(N, target='rv32')"
 #
 # which reprints the generated MiniC source and re-runs both comparisons.
 
@@ -174,9 +179,11 @@ import random
 
 from repro.faults.isa_campaign import run_attack
 from repro.faults.models import BranchDirectionFlip, InstructionSkip
+from repro.toolchain import CompileConfig
 
 CFG_SEEDS = range(10)
 CFG_SCHEMES = ("none", "ancode")
+FUZZ_TARGETS = ("baseline", "rv32")
 _ENGINE_TIERS = ("reference", "cached", "superblock")
 _CMPS = ("<", "<=", "==", "!=", ">", ">=")
 
@@ -245,6 +252,12 @@ def _cfg_args_for_seed(seed: int):
     return [rng.randint(0, 300), rng.randint(0, 300)]
 
 
+def _cfg_compile(source: str, scheme: str, target: str):
+    return compile_source(
+        source, config=CompileConfig(scheme=scheme, target=target)
+    )
+
+
 def _golden_mismatch(program, args):
     runs = {
         dispatch: program.run("f", args, dispatch=dispatch)
@@ -268,13 +281,13 @@ def _campaign_tallies(program, args):
     return tallies
 
 
-def reproduce_cfg_seed(seed: int) -> None:
+def reproduce_cfg_seed(seed: int, target: str = "baseline") -> None:
     """Reprint and re-check one seed outside pytest (see recipe above)."""
     source = cfg_source_for_seed(seed)
     args = _cfg_args_for_seed(seed)
-    print(f"seed {seed}: args={args}\n{source}")
+    print(f"seed {seed}: target={target} args={args}\n{source}")
     for scheme in CFG_SCHEMES:
-        program = compile_source(source, scheme=scheme)
+        program = _cfg_compile(source, scheme, target)
         mismatch = _golden_mismatch(program, args)
         print(f"  {scheme}: golden mismatches: {mismatch or 'none'}")
         tallies = _campaign_tallies(program, args)
@@ -286,28 +299,69 @@ def reproduce_cfg_seed(seed: int) -> None:
 
 
 class TestControlFlowFuzz:
+    @pytest.mark.parametrize("target", FUZZ_TARGETS)
     @pytest.mark.parametrize("seed", CFG_SEEDS)
-    def test_three_engine_golden_equivalence(self, seed):
+    def test_three_engine_golden_equivalence(self, seed, target):
         source = cfg_source_for_seed(seed)
         args = _cfg_args_for_seed(seed)
         for scheme in CFG_SCHEMES:
-            program = compile_source(source, scheme=scheme)
+            program = _cfg_compile(source, scheme, target)
             mismatch = _golden_mismatch(program, args)
             assert not mismatch, (
                 f"seed {seed} scheme {scheme}: dispatch tiers diverge "
-                f"{mismatch}; repro: reproduce_cfg_seed({seed})\n{source}"
+                f"{mismatch}; repro: reproduce_cfg_seed({seed}, "
+                f"target={target!r})\n{source}"
             )
 
+    @pytest.mark.parametrize("target", FUZZ_TARGETS)
     @pytest.mark.parametrize("seed", CFG_SEEDS)
-    def test_single_fault_campaign_equivalence(self, seed):
+    def test_single_fault_campaign_equivalence(self, seed, target):
         source = cfg_source_for_seed(seed)
         args = _cfg_args_for_seed(seed)
         for scheme in CFG_SCHEMES:
-            program = compile_source(source, scheme=scheme)
+            program = _cfg_compile(source, scheme, target)
             tallies = _campaign_tallies(program, args)
             assert tallies["reference"] == tallies["fork"] == tallies[
                 "superblock"
             ], (
                 f"seed {seed} scheme {scheme}: campaign tallies diverge "
-                f"{tallies}; repro: reproduce_cfg_seed({seed})\n{source}"
+                f"{tallies}; repro: reproduce_cfg_seed({seed}, "
+                f"target={target!r})\n{source}"
             )
+
+    @pytest.mark.parametrize("seed", CFG_SEEDS)
+    def test_cross_target_metamorphic_outcomes(self, seed):
+        # Metamorphic relation: the unprotected scheme computes the same
+        # function on every target, so (status, exit_code) of the golden
+        # run is target-invariant; and because each source-level decision
+        # lowers to exactly one conditional branch on both targets
+        # (cmp+bcc on baseline, a fused compare-branch on rv32), the
+        # branch-indexed fault surface corresponds trial-for-trial — the
+        # *outcome class* of flipping the n-th branch decision must agree
+        # even though addresses, cycle counts and fire indices all differ.
+        source = cfg_source_for_seed(seed)
+        args = _cfg_args_for_seed(seed)
+        programs = {t: _cfg_compile(source, "none", t) for t in FUZZ_TARGETS}
+        goldens = {t: p.run("f", args) for t, p in programs.items()}
+        assert (
+            len({(g.status.value, g.exit_code) for g in goldens.values()}) == 1
+        ), (
+            f"seed {seed}: golden outcome differs across targets "
+            f"{goldens}; repro: reproduce_cfg_seed({seed}, "
+            f"target='rv32')\n{source}"
+        )
+        models = [BranchDirectionFlip(n) for n in range(1, 5)]
+        outcome_rows = {}
+        for target, program in programs.items():
+            result = run_attack(
+                program, "f", args, models, "xtarget", record_trials=True
+            )
+            outcome_rows[target] = [
+                (outcome, exit_code) for _, outcome, exit_code in result.records
+            ]
+        rows = list(outcome_rows.values())
+        assert all(row == rows[0] for row in rows), (
+            f"seed {seed}: branch-flip outcome classes diverge across "
+            f"targets {outcome_rows}; repro: reproduce_cfg_seed({seed}, "
+            f"target='rv32')\n{source}"
+        )

@@ -593,3 +593,54 @@ class TestSpeculativeEquivalence:
             replayed = cpu.run(2_000_000)
             assert_same_result(forked, replayed, f"predictor-flip@{occurrence}")
             assert forked.spec == replayed.spec
+
+
+# ---------------------------------------------------------------------------
+# Baseline byte-identity pin against pre-refactor fixtures
+# ---------------------------------------------------------------------------
+# The ``repro.target`` refactor must be invisible on the existing machine:
+# golden runs and quick-suite campaign reports for every device program x
+# Table III scheme are recomputed live and compared field-for-field
+# against the JSON fixtures captured before the refactor landed
+# (``tests/fixtures/``, regenerated only deliberately via
+# ``tests/gen_baseline_fixtures.py``).
+
+
+def _genfix():
+    """The fixture generator module (pytest puts ``tests/`` on sys.path)."""
+    import gen_baseline_fixtures
+
+    return gen_baseline_fixtures
+
+
+class TestBaselineByteIdentityPin:
+    @pytest.fixture(scope="class")
+    def programs_by_scheme(self):
+        genfix = _genfix()
+        return {scheme: genfix._programs(scheme) for scheme in table3_schemes()}
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["integer_compare", "memcmp", "sha256", "ecverify", "bootloader"],
+    )
+    def test_pre_refactor_fixture_identity(self, programs_by_scheme, workload):
+        import json
+        import os
+
+        genfix = _genfix()
+        name, function, args = next(
+            w for w in genfix.WORKLOADS if w[0] == workload
+        )
+        path = os.path.join(genfix.FIXTURE_DIR, f"baseline_{name}.json")
+        with open(path) as fh:
+            pinned = json.load(fh)
+        assert sorted(pinned) == sorted(table3_schemes())
+        for scheme in table3_schemes():
+            live = genfix.capture_workload(
+                programs_by_scheme[scheme][name], function, args
+            )
+            live = json.loads(json.dumps(live, sort_keys=True))
+            assert live == pinned[scheme], (
+                f"{name}/{scheme}: baseline target drifted from the "
+                f"pre-refactor capture in {path}"
+            )
